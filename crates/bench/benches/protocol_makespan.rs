@@ -1,0 +1,75 @@
+//! Criterion benchmark: wall-clock cost of one complete simulated run of
+//! static k-selection, per protocol and instance size.
+//!
+//! This is the unit of work behind every data point of Figure 1 / Table 1, so
+//! its cost bounds how far the paper sweep can be pushed (the paper's largest
+//! point is k = 10⁷ with 10 replications per protocol).
+//!
+//! Run with `cargo bench -p mac-bench --bench protocol_makespan`.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use mac_protocols::ProtocolKind;
+use mac_sim::{simulate, ExactSimulator, RunOptions};
+use std::hint::black_box;
+
+fn bench_fast_simulators(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fast_simulated_run");
+    // Keep the total benchmark wall time modest: each point is a full
+    // simulated run, so a handful of samples already gives tight intervals.
+    group.sample_size(20);
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    for kind in ProtocolKind::paper_lineup() {
+        for &k in &[1_000u64, 10_000, 100_000] {
+            group.throughput(Throughput::Elements(k));
+            group.bench_with_input(
+                BenchmarkId::new(kind.label(), k),
+                &k,
+                |bencher, &k| {
+                    let mut seed = 0u64;
+                    bencher.iter(|| {
+                        seed = seed.wrapping_add(1);
+                        let result = simulate(black_box(&kind), black_box(k), seed)
+                            .expect("paper parameters are valid");
+                        assert!(result.completed);
+                        black_box(result.makespan)
+                    });
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+fn bench_exact_simulator(c: &mut Criterion) {
+    let mut group = c.benchmark_group("exact_simulated_run");
+    group.sample_size(20);
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    for kind in [
+        ProtocolKind::OneFailAdaptive { delta: 2.72 },
+        ProtocolKind::ExpBackonBackoff { delta: 0.366 },
+    ] {
+        for &k in &[100u64, 1_000] {
+            group.throughput(Throughput::Elements(k));
+            group.bench_with_input(
+                BenchmarkId::new(kind.label(), k),
+                &k,
+                |bencher, &k| {
+                    let sim = ExactSimulator::new(kind.clone(), RunOptions::default());
+                    let mut seed = 0u64;
+                    bencher.iter(|| {
+                        seed = seed.wrapping_add(1);
+                        let result = sim.run(black_box(k), seed).expect("valid parameters");
+                        assert!(result.completed);
+                        black_box(result.makespan)
+                    });
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fast_simulators, bench_exact_simulator);
+criterion_main!(benches);

@@ -1,0 +1,63 @@
+//! Criterion benchmark: throughput of the simulation primitives themselves —
+//! slot-outcome sampling, balls-in-bins windows, and per-slot cost of the
+//! exact simulator — independent of any particular protocol.
+//!
+//! Run with `cargo bench -p mac-bench --bench sim_throughput`.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use mac_prob::balls::throw_balls;
+use mac_prob::outcome::sample_slot_outcome;
+use mac_prob::rng::Xoshiro256pp;
+use mac_prob::sampling::sample_binomial;
+use rand::SeedableRng;
+use std::hint::black_box;
+
+fn bench_slot_outcome(c: &mut Criterion) {
+    let mut group = c.benchmark_group("slot_outcome_sampling");
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    for &m in &[10u64, 10_000, 10_000_000] {
+        group.throughput(Throughput::Elements(1));
+        group.bench_with_input(BenchmarkId::new("stations", m), &m, |bencher, &m| {
+            let mut rng = Xoshiro256pp::seed_from_u64(1);
+            let p = 1.0 / m as f64;
+            bencher.iter(|| black_box(sample_slot_outcome(black_box(m), black_box(p), &mut rng)));
+        });
+    }
+    group.finish();
+}
+
+fn bench_balls_in_bins(c: &mut Criterion) {
+    let mut group = c.benchmark_group("balls_in_bins_window");
+    group.sample_size(30);
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    for &m in &[100u64, 10_000, 1_000_000] {
+        group.throughput(Throughput::Elements(m));
+        group.bench_with_input(BenchmarkId::new("balls", m), &m, |bencher, &m| {
+            let mut rng = Xoshiro256pp::seed_from_u64(2);
+            bencher.iter(|| black_box(throw_balls(black_box(m), black_box(m), &mut rng).singletons()));
+        });
+    }
+    group.finish();
+}
+
+fn bench_binomial_sampler(c: &mut Criterion) {
+    let mut group = c.benchmark_group("binomial_sampler");
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    for &(n, p) in &[(1_000u64, 0.001f64), (1_000_000, 0.000_001)] {
+        group.bench_with_input(
+            BenchmarkId::new("n", n),
+            &(n, p),
+            |bencher, &(n, p)| {
+                let mut rng = Xoshiro256pp::seed_from_u64(3);
+                bencher.iter(|| black_box(sample_binomial(black_box(n), black_box(p), &mut rng)));
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_slot_outcome, bench_balls_in_bins, bench_binomial_sampler);
+criterion_main!(benches);

@@ -1,0 +1,41 @@
+//! Regenerates **Figure 1** of the paper: the average number of slots needed
+//! to solve static k-selection, as a function of the number of stations `k`,
+//! for the five evaluated protocol configurations (10 replications per point,
+//! as in the paper).
+//!
+//! ```bash
+//! # default: k up to 10^5 (finishes in seconds)
+//! cargo run -p mac-bench --release --bin figure1
+//! # the paper-scale sweep up to 10^7 (takes minutes)
+//! cargo run -p mac-bench --release --bin figure1 -- --full
+//! ```
+//!
+//! Output: a gnuplot-ready block per protocol (`k  mean_steps`) followed by
+//! the full CSV (per-cell statistics). Plot with, e.g.:
+//! `gnuplot> set logscale xy; plot for [i=0:4] 'figure1.dat' index i with linespoints`.
+
+use mac_bench::HarnessOptions;
+use mac_sim::report::{figure1_series, to_csv};
+
+fn main() {
+    let options = HarnessOptions::parse(std::env::args().skip(1));
+    let experiment = options.experiment();
+    eprintln!(
+        "figure 1: {} protocols x {} sizes x {} replications (master seed {})",
+        experiment.protocols.len(),
+        experiment.ks.len(),
+        experiment.replications,
+        experiment.master_seed
+    );
+
+    let started = std::time::Instant::now();
+    let results = experiment.run().expect("paper parameters are valid");
+    eprintln!("sweep finished in {:.1?}", started.elapsed());
+
+    println!("# Figure 1 — average steps to solve static k-selection, per number of stations k");
+    println!("# (paper: Fernandez Anta, Mosteiro, Munoz; PODC 2011. 10-run averages, log-log axes.)");
+    println!();
+    println!("{}", figure1_series(&results));
+    println!("# --- raw per-cell statistics (CSV) ---");
+    print!("{}", to_csv(&results));
+}

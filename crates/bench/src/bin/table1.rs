@@ -1,0 +1,36 @@
+//! Regenerates **Table 1** of the paper: the ratio `steps / k` as a function
+//! of the number of stations `k`, for the five evaluated protocol
+//! configurations, together with the analytical constants of the "Analysis"
+//! column.
+//!
+//! ```bash
+//! cargo run -p mac-bench --release --bin table1            # k up to 10^5
+//! cargo run -p mac-bench --release --bin table1 -- --full  # k up to 10^7, as in the paper
+//! ```
+
+use mac_bench::HarnessOptions;
+use mac_sim::report::{table1_markdown, to_csv};
+
+fn main() {
+    let options = HarnessOptions::parse(std::env::args().skip(1));
+    let experiment = options.experiment();
+    eprintln!(
+        "table 1: {} protocols x {} sizes x {} replications (master seed {})",
+        experiment.protocols.len(),
+        experiment.ks.len(),
+        experiment.replications,
+        experiment.master_seed
+    );
+
+    let started = std::time::Instant::now();
+    let results = experiment.run().expect("paper parameters are valid");
+    eprintln!("sweep finished in {:.1?}", started.elapsed());
+
+    println!("Table 1 — ratio steps/nodes as a function of the number of nodes k");
+    println!("(measured: mean over {} replications; Analysis: constants from the paper's theorems)", results.replications);
+    println!();
+    println!("{}", table1_markdown(&results));
+    println!();
+    println!("--- raw per-cell statistics (CSV) ---");
+    print!("{}", to_csv(&results));
+}

@@ -1,0 +1,188 @@
+//! # mac-bench — evaluation harness for the paper's figures and tables
+//!
+//! This crate hosts the binaries that regenerate the evaluation artefacts of
+//! the paper (run them with `--release`; the full paper-scale sweep to
+//! `k = 10⁷` is opt-in because it takes minutes):
+//!
+//! * `cargo run -p mac-bench --release --bin figure1` — Figure 1: average
+//!   number of slots to solve static k-selection vs. `k`, one series per
+//!   protocol (gnuplot-ready blocks + CSV);
+//! * `cargo run -p mac-bench --release --bin table1` — Table 1: the ratio
+//!   slots/k per protocol and `k`, with the paper's "Analysis" column;
+//! * `cargo run -p mac-bench --release --bin ablation_delta` — sensitivity of
+//!   both new protocols to their δ parameter (extension experiment);
+//! * `cargo run -p mac-bench --release --bin ablation_backoff` — growth-factor
+//!   sweep for the monotone back-off baselines (extension experiment).
+//!
+//! Criterion micro-benchmarks (`cargo bench -p mac-bench`) measure the wall
+//! time of the simulators themselves (`sim_throughput`) and of a full
+//! simulated run per protocol (`protocol_makespan`), which is what bounds how
+//! far the paper sweep can be pushed.
+//!
+//! The library part of the crate contains the small amount of shared plumbing
+//! (command-line parsing, default grids) used by the binaries.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use mac_protocols::ProtocolKind;
+use mac_sim::{EngineChoice, Experiment, RunOptions};
+
+/// The instance sizes of the paper's evaluation: powers of ten from 10 up to
+/// `10^max_exponent` (the paper uses `max_exponent = 7`).
+pub fn paper_ks(max_exponent: u32) -> Vec<u64> {
+    (1..=max_exponent).map(|e| 10u64.pow(e)).collect()
+}
+
+/// The paper's five-protocol line-up plus the known-k oracle reference.
+pub fn lineup_with_oracle() -> Vec<ProtocolKind> {
+    let mut protocols = ProtocolKind::paper_lineup();
+    protocols.push(ProtocolKind::KnownKOracle);
+    protocols
+}
+
+/// Builds the paper sweep (Figure 1 / Table 1) for the given maximum
+/// instance-size exponent, replication count and master seed.
+pub fn paper_experiment(max_exponent: u32, replications: u64, master_seed: u64) -> Experiment {
+    Experiment {
+        protocols: ProtocolKind::paper_lineup(),
+        ks: paper_ks(max_exponent),
+        replications,
+        master_seed,
+        options: RunOptions::default(),
+        engine: EngineChoice::Fast,
+        threads: 0,
+    }
+}
+
+/// Minimal command-line options shared by the harness binaries.
+///
+/// Recognised flags (all optional):
+/// `--max-exp <u32>` (default 5; the paper uses 7),
+/// `--reps <u64>` (default 10, as in the paper),
+/// `--seed <u64>` (default 2011),
+/// `--full` (shorthand for `--max-exp 7`).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HarnessOptions {
+    /// Largest instance size is `10^max_exp`.
+    pub max_exp: u32,
+    /// Replications per (protocol, k) cell.
+    pub reps: u64,
+    /// Master seed.
+    pub seed: u64,
+}
+
+impl Default for HarnessOptions {
+    fn default() -> Self {
+        Self {
+            max_exp: 5,
+            reps: 10,
+            seed: 2011,
+        }
+    }
+}
+
+impl HarnessOptions {
+    /// Parses the options from an iterator of command-line arguments
+    /// (excluding the program name). Unknown flags cause a panic with a usage
+    /// message, which is the desired behaviour for a harness binary.
+    pub fn parse<I: IntoIterator<Item = String>>(args: I) -> Self {
+        let mut options = Self::default();
+        let mut iter = args.into_iter();
+        while let Some(arg) = iter.next() {
+            match arg.as_str() {
+                "--max-exp" => {
+                    options.max_exp = iter
+                        .next()
+                        .and_then(|v| v.parse().ok())
+                        .expect("--max-exp requires an integer argument");
+                }
+                "--reps" => {
+                    options.reps = iter
+                        .next()
+                        .and_then(|v| v.parse().ok())
+                        .expect("--reps requires an integer argument");
+                }
+                "--seed" => {
+                    options.seed = iter
+                        .next()
+                        .and_then(|v| v.parse().ok())
+                        .expect("--seed requires an integer argument");
+                }
+                "--full" => options.max_exp = 7,
+                "--help" | "-h" => {
+                    println!(
+                        "usage: [--max-exp N] [--reps R] [--seed S] [--full]\n\
+                         --max-exp N  largest instance size is 10^N (default 5, paper uses 7)\n\
+                         --reps R     replications per cell (default 10, as in the paper)\n\
+                         --seed S     master seed (default 2011)\n\
+                         --full       shorthand for --max-exp 7 (the paper-scale sweep)"
+                    );
+                    std::process::exit(0);
+                }
+                other => panic!("unknown argument `{other}` (try --help)"),
+            }
+        }
+        assert!(
+            (1..=7).contains(&options.max_exp),
+            "--max-exp must be between 1 and 7"
+        );
+        options
+    }
+
+    /// The experiment this option set describes.
+    pub fn experiment(&self) -> Experiment {
+        paper_experiment(self.max_exp, self.reps, self.seed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_ks_are_powers_of_ten() {
+        assert_eq!(paper_ks(3), vec![10, 100, 1000]);
+        assert_eq!(paper_ks(7).len(), 7);
+        assert_eq!(*paper_ks(7).last().unwrap(), 10_000_000);
+    }
+
+    #[test]
+    fn lineup_with_oracle_has_six_protocols() {
+        assert_eq!(lineup_with_oracle().len(), 6);
+    }
+
+    #[test]
+    fn default_options_match_paper_replications() {
+        let opts = HarnessOptions::default();
+        assert_eq!(opts.reps, 10);
+        let experiment = opts.experiment();
+        assert_eq!(experiment.protocols.len(), 5);
+        assert_eq!(experiment.replications, 10);
+    }
+
+    #[test]
+    fn parse_recognises_all_flags() {
+        let opts = HarnessOptions::parse(
+            ["--max-exp", "3", "--reps", "2", "--seed", "9"]
+                .iter()
+                .map(|s| s.to_string()),
+        );
+        assert_eq!(
+            opts,
+            HarnessOptions {
+                max_exp: 3,
+                reps: 2,
+                seed: 9
+            }
+        );
+        let full = HarnessOptions::parse(["--full".to_string()]);
+        assert_eq!(full.max_exp, 7);
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown argument")]
+    fn parse_rejects_unknown_flags() {
+        HarnessOptions::parse(["--bogus".to_string()]);
+    }
+}

@@ -1,0 +1,251 @@
+//! Channel feedback: what a station can observe about a slot.
+//!
+//! The channel-level truth about a slot is a [`SlotOutcome`] (silence /
+//! delivery / collision). How much of that truth a station sees depends on
+//! the channel model:
+//!
+//! * **without collision detection** (the paper's model): silence and
+//!   collision are indistinguishable — both are just *noise*; a delivered
+//!   message is received by everyone;
+//! * **with collision detection**: stations can additionally tell collision
+//!   from silence (used by the related-work baselines and by comparison
+//!   experiments).
+//!
+//! Orthogonally, the acknowledgement mode decides whether the transmitter of
+//! a delivered message learns about its own success in the same slot
+//! ([`AckMode::Immediate`], the paper's assumption, cf. IEEE 802.11 ACKs) or
+//! never ([`AckMode::None`], for sensor-network settings where a leader or
+//! infrastructure would have to provide acknowledgements).
+
+use mac_prob::outcome::SlotOutcome;
+use serde::{Deserialize, Serialize};
+
+/// What one station observes about one slot.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Observation {
+    /// The station heard only noise. Without collision detection this covers
+    /// both an empty slot and a collision.
+    Noise,
+    /// The station received a message transmitted by **another** station.
+    ReceivedMessage,
+    /// The station transmitted and its own message was delivered
+    /// (acknowledged).
+    DeliveredOwn,
+    /// The station can tell that the slot was silent (only possible with
+    /// collision detection).
+    DetectedSilence,
+    /// The station can tell that the slot had a collision (only possible with
+    /// collision detection).
+    DetectedCollision,
+}
+
+impl Observation {
+    /// True if the observation corresponds to some successful delivery
+    /// (either the station's own or someone else's).
+    pub fn is_delivery(self) -> bool {
+        matches!(self, Observation::ReceivedMessage | Observation::DeliveredOwn)
+    }
+}
+
+/// Acknowledgement model: how a transmitter learns of its own success.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize, Default)]
+pub enum AckMode {
+    /// The transmitter of a delivered message learns it immediately
+    /// (the paper's assumption; e.g. MAC-level acknowledgements).
+    #[default]
+    Immediate,
+    /// No acknowledgement: the transmitter observes the slot like everyone
+    /// else (it cannot hear its own transmission, so it observes noise).
+    None,
+}
+
+/// The capability model of the channel.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct ChannelModel {
+    /// Whether stations can distinguish collision from silence.
+    pub collision_detection: bool,
+    /// How transmitters learn about their own deliveries.
+    pub ack_mode: AckMode,
+}
+
+impl Default for ChannelModel {
+    fn default() -> Self {
+        Self::without_collision_detection()
+    }
+}
+
+impl ChannelModel {
+    /// The paper's model: no collision detection, immediate acknowledgement.
+    pub fn without_collision_detection() -> Self {
+        Self {
+            collision_detection: false,
+            ack_mode: AckMode::Immediate,
+        }
+    }
+
+    /// A channel with collision detection, immediate acknowledgement.
+    pub fn with_collision_detection() -> Self {
+        Self {
+            collision_detection: true,
+            ack_mode: AckMode::Immediate,
+        }
+    }
+
+    /// Returns the same model with a different acknowledgement mode.
+    pub fn ack_mode(mut self, ack: AckMode) -> Self {
+        self.ack_mode = ack;
+        self
+    }
+
+    /// Translates the channel-level outcome of a slot into the observation of
+    /// one particular station.
+    ///
+    /// * `transmitted` — whether this station transmitted in the slot;
+    /// * `delivered_own` — whether this station's transmission was the one
+    ///   delivered (implies `transmitted`).
+    ///
+    /// # Panics
+    /// Panics if `delivered_own` is `true` while `transmitted` is `false`, or
+    /// if `delivered_own` is `true` for a non-delivery outcome (those
+    /// combinations are physically impossible and indicate a simulator bug).
+    pub fn observe(
+        &self,
+        outcome: SlotOutcome,
+        transmitted: bool,
+        delivered_own: bool,
+    ) -> Observation {
+        assert!(
+            !delivered_own || transmitted,
+            "a station cannot have delivered without transmitting"
+        );
+        assert!(
+            !delivered_own || outcome == SlotOutcome::Delivery,
+            "own delivery reported for a non-delivery slot"
+        );
+        match outcome {
+            SlotOutcome::Delivery => {
+                if delivered_own {
+                    match self.ack_mode {
+                        AckMode::Immediate => Observation::DeliveredOwn,
+                        // Without acknowledgements the transmitter cannot hear
+                        // its own message; it observes noise.
+                        AckMode::None => Observation::Noise,
+                    }
+                } else {
+                    Observation::ReceivedMessage
+                }
+            }
+            SlotOutcome::Silence => {
+                if self.collision_detection {
+                    Observation::DetectedSilence
+                } else {
+                    Observation::Noise
+                }
+            }
+            SlotOutcome::Collision => {
+                if self.collision_detection {
+                    Observation::DetectedCollision
+                } else {
+                    Observation::Noise
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn no_cd_merges_silence_and_collision() {
+        let model = ChannelModel::without_collision_detection();
+        assert_eq!(
+            model.observe(SlotOutcome::Silence, false, false),
+            Observation::Noise
+        );
+        assert_eq!(
+            model.observe(SlotOutcome::Collision, false, false),
+            Observation::Noise
+        );
+        assert_eq!(
+            model.observe(SlotOutcome::Collision, true, false),
+            Observation::Noise
+        );
+    }
+
+    #[test]
+    fn cd_distinguishes_silence_and_collision() {
+        let model = ChannelModel::with_collision_detection();
+        assert_eq!(
+            model.observe(SlotOutcome::Silence, false, false),
+            Observation::DetectedSilence
+        );
+        assert_eq!(
+            model.observe(SlotOutcome::Collision, true, false),
+            Observation::DetectedCollision
+        );
+    }
+
+    #[test]
+    fn delivery_observations() {
+        let model = ChannelModel::without_collision_detection();
+        assert_eq!(
+            model.observe(SlotOutcome::Delivery, false, false),
+            Observation::ReceivedMessage
+        );
+        assert_eq!(
+            model.observe(SlotOutcome::Delivery, true, true),
+            Observation::DeliveredOwn
+        );
+        // A station that transmitted but was not the delivered one is
+        // impossible in a Delivery slot with a single transmitter, but the
+        // channel cannot know that here; it reports a received message.
+        assert_eq!(
+            model.observe(SlotOutcome::Delivery, true, false),
+            Observation::ReceivedMessage
+        );
+    }
+
+    #[test]
+    fn ack_none_hides_own_delivery() {
+        let model = ChannelModel::without_collision_detection().ack_mode(AckMode::None);
+        assert_eq!(
+            model.observe(SlotOutcome::Delivery, true, true),
+            Observation::Noise
+        );
+        assert_eq!(
+            model.observe(SlotOutcome::Delivery, false, false),
+            Observation::ReceivedMessage
+        );
+    }
+
+    #[test]
+    fn is_delivery_helper() {
+        assert!(Observation::ReceivedMessage.is_delivery());
+        assert!(Observation::DeliveredOwn.is_delivery());
+        assert!(!Observation::Noise.is_delivery());
+        assert!(!Observation::DetectedCollision.is_delivery());
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot have delivered without transmitting")]
+    fn impossible_combination_panics() {
+        let model = ChannelModel::default();
+        model.observe(SlotOutcome::Delivery, false, true);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-delivery slot")]
+    fn own_delivery_in_collision_slot_panics() {
+        let model = ChannelModel::default();
+        model.observe(SlotOutcome::Collision, true, true);
+    }
+
+    #[test]
+    fn default_is_paper_model() {
+        let model = ChannelModel::default();
+        assert!(!model.collision_detection);
+        assert_eq!(model.ack_mode, AckMode::Immediate);
+    }
+}

@@ -1,0 +1,184 @@
+//! Bounded per-slot traces of channel activity.
+//!
+//! Traces exist for debugging, for the examples (which print small traces to
+//! illustrate protocol behaviour) and for tests that need to assert on the
+//! exact sequence of slot outcomes. They are intentionally bounded: a
+//! `k = 10^7` run would otherwise allocate tens of gigabytes of trace.
+
+use crate::node::NodeId;
+use mac_prob::outcome::SlotOutcome;
+use serde::{Deserialize, Serialize};
+use std::collections::VecDeque;
+
+/// One traced slot.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TraceEntry {
+    /// Slot index.
+    pub slot: u64,
+    /// Channel-level outcome of the slot.
+    pub outcome: SlotOutcome,
+    /// Number of stations that transmitted.
+    pub transmitters: u64,
+    /// Station whose message was delivered, if any.
+    pub delivered: Option<NodeId>,
+}
+
+/// A bounded ring of the most recent [`TraceEntry`] values.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Trace {
+    capacity: usize,
+    entries: VecDeque<TraceEntry>,
+    dropped: u64,
+}
+
+impl Trace {
+    /// Creates a trace that keeps at most `capacity` entries.
+    ///
+    /// # Panics
+    /// Panics if `capacity` is zero.
+    pub fn with_capacity(capacity: usize) -> Self {
+        assert!(capacity > 0, "trace capacity must be positive");
+        Self {
+            capacity,
+            entries: VecDeque::with_capacity(capacity.min(4096)),
+            dropped: 0,
+        }
+    }
+
+    /// Appends an entry, evicting the oldest if the trace is full.
+    pub fn record(&mut self, entry: TraceEntry) {
+        if self.entries.len() == self.capacity {
+            self.entries.pop_front();
+            self.dropped += 1;
+        }
+        self.entries.push_back(entry);
+    }
+
+    /// Number of entries currently held.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True if no entry has been recorded yet.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Number of entries that have been evicted because of the capacity
+    /// bound.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// The retained entries, oldest first.
+    pub fn entries(&self) -> Vec<TraceEntry> {
+        self.entries.iter().copied().collect()
+    }
+
+    /// Iterates over the retained entries, oldest first.
+    pub fn iter(&self) -> impl Iterator<Item = &TraceEntry> {
+        self.entries.iter()
+    }
+
+    /// The slots (among the retained entries) in which a delivery happened.
+    pub fn delivery_slots(&self) -> Vec<u64> {
+        self.entries
+            .iter()
+            .filter(|e| e.outcome == SlotOutcome::Delivery)
+            .map(|e| e.slot)
+            .collect()
+    }
+
+    /// Renders the retained entries as a compact one-character-per-slot
+    /// string: `.` silence, `*` delivery, `x` collision. Useful in examples
+    /// and debugging output.
+    pub fn ascii_timeline(&self) -> String {
+        self.entries
+            .iter()
+            .map(|e| match e.outcome {
+                SlotOutcome::Silence => '.',
+                SlotOutcome::Delivery => '*',
+                SlotOutcome::Collision => 'x',
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn entry(slot: u64, outcome: SlotOutcome) -> TraceEntry {
+        TraceEntry {
+            slot,
+            outcome,
+            transmitters: match outcome {
+                SlotOutcome::Silence => 0,
+                SlotOutcome::Delivery => 1,
+                SlotOutcome::Collision => 2,
+            },
+            delivered: if outcome == SlotOutcome::Delivery {
+                Some(NodeId(slot))
+            } else {
+                None
+            },
+        }
+    }
+
+    #[test]
+    fn records_in_order() {
+        let mut t = Trace::with_capacity(10);
+        assert!(t.is_empty());
+        t.record(entry(0, SlotOutcome::Silence));
+        t.record(entry(1, SlotOutcome::Delivery));
+        assert_eq!(t.len(), 2);
+        assert_eq!(t.entries()[0].slot, 0);
+        assert_eq!(t.entries()[1].slot, 1);
+        assert_eq!(t.dropped(), 0);
+    }
+
+    #[test]
+    fn evicts_oldest_beyond_capacity() {
+        let mut t = Trace::with_capacity(3);
+        for i in 0..5 {
+            t.record(entry(i, SlotOutcome::Collision));
+        }
+        assert_eq!(t.len(), 3);
+        assert_eq!(t.dropped(), 2);
+        assert_eq!(t.entries()[0].slot, 2);
+        assert_eq!(t.entries()[2].slot, 4);
+    }
+
+    #[test]
+    fn delivery_slots_filters_deliveries() {
+        let mut t = Trace::with_capacity(10);
+        t.record(entry(0, SlotOutcome::Silence));
+        t.record(entry(1, SlotOutcome::Delivery));
+        t.record(entry(2, SlotOutcome::Collision));
+        t.record(entry(3, SlotOutcome::Delivery));
+        assert_eq!(t.delivery_slots(), vec![1, 3]);
+    }
+
+    #[test]
+    fn ascii_timeline_renders_outcomes() {
+        let mut t = Trace::with_capacity(10);
+        t.record(entry(0, SlotOutcome::Silence));
+        t.record(entry(1, SlotOutcome::Delivery));
+        t.record(entry(2, SlotOutcome::Collision));
+        assert_eq!(t.ascii_timeline(), ".*x");
+    }
+
+    #[test]
+    fn iter_matches_entries() {
+        let mut t = Trace::with_capacity(4);
+        t.record(entry(7, SlotOutcome::Delivery));
+        let via_iter: Vec<u64> = t.iter().map(|e| e.slot).collect();
+        assert_eq!(via_iter, vec![7]);
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity must be positive")]
+    fn zero_capacity_rejected() {
+        let _ = Trace::with_capacity(0);
+    }
+}

@@ -1,0 +1,277 @@
+//! Balls-in-bins occupancy experiments.
+//!
+//! Contention-window protocols (Exp Back-on/Back-off, Loglog-iterated
+//! Back-off, r-exponential back-off) have every active station pick one slot
+//! uniformly at random inside a window of `w` slots. A window with `m` active
+//! stations is therefore exactly an experiment in which `m` balls are dropped
+//! uniformly at random into `w` bins; the stations whose ball lands alone in
+//! its bin deliver their message (Lemma 1 of the paper analyses precisely this
+//! process).
+//!
+//! This module provides the sampling primitive ([`throw_balls`]) and an
+//! occupancy summary ([`BinsOccupancy`]) with the counts the protocols and the
+//! analytical bounds care about: number of singleton bins, number of empty
+//! bins, number of colliding bins and the maximum load.
+//!
+//! Two occupancy-counting strategies are used depending on density:
+//! a dense `Vec<u32>` of per-bin counts when `w` is comparable to `m`, and a
+//! sorted-assignment scan when `w ≫ m` (so that a window of four billion slots
+//! with three active stations does not allocate four billion counters).
+
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// Result of dropping `m` balls uniformly at random into `w` bins.
+///
+/// `assignments[i]` is the bin of ball `i`; the remaining fields summarise the
+/// occupancy. Constructed by [`throw_balls`] or from a pre-existing assignment
+/// with [`BinsOccupancy::from_assignments`].
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct BinsOccupancy {
+    /// Number of bins in the experiment.
+    pub bins: u64,
+    /// Bin chosen by each ball (`assignments.len()` is the number of balls).
+    pub assignments: Vec<u64>,
+    /// Bins containing exactly one ball, in increasing bin order.
+    pub singleton_bins: Vec<u64>,
+    /// Number of bins with no ball.
+    pub empty_bins: u64,
+    /// Number of bins with two or more balls.
+    pub colliding_bins: u64,
+    /// Largest number of balls in any single bin (0 when there are no balls).
+    pub max_load: u64,
+}
+
+impl BinsOccupancy {
+    /// Builds the occupancy summary from an explicit assignment of balls to
+    /// bins.
+    ///
+    /// # Panics
+    /// Panics if any assignment refers to a bin `>= bins`.
+    pub fn from_assignments(bins: u64, assignments: Vec<u64>) -> Self {
+        for &a in &assignments {
+            assert!(a < bins, "ball assigned to bin {a} but only {bins} bins exist");
+        }
+        let m = assignments.len() as u64;
+        // Dense counting when the bins array is affordable relative to the
+        // number of balls; otherwise sort a copy of the assignments.
+        let dense_limit = (assignments.len() as u64).saturating_mul(8).max(1024);
+        let (singleton_bins, empty_bins, colliding_bins, max_load) = if bins <= dense_limit {
+            let mut counts = vec![0u32; bins as usize];
+            for &a in &assignments {
+                counts[a as usize] += 1;
+            }
+            let mut singles = Vec::new();
+            let mut empty = 0u64;
+            let mut colliding = 0u64;
+            let mut max_load = 0u64;
+            for (bin, &c) in counts.iter().enumerate() {
+                match c {
+                    0 => empty += 1,
+                    1 => singles.push(bin as u64),
+                    _ => colliding += 1,
+                }
+                max_load = max_load.max(c as u64);
+            }
+            (singles, empty, colliding, max_load)
+        } else {
+            let mut sorted = assignments.clone();
+            sorted.sort_unstable();
+            let mut singles = Vec::new();
+            let mut occupied = 0u64;
+            let mut colliding = 0u64;
+            let mut max_load = 0u64;
+            let mut i = 0usize;
+            while i < sorted.len() {
+                let bin = sorted[i];
+                let mut j = i + 1;
+                while j < sorted.len() && sorted[j] == bin {
+                    j += 1;
+                }
+                let load = (j - i) as u64;
+                occupied += 1;
+                if load == 1 {
+                    singles.push(bin);
+                } else {
+                    colliding += 1;
+                }
+                max_load = max_load.max(load);
+                i = j;
+            }
+            (singles, bins - occupied, colliding, max_load)
+        };
+        debug_assert_eq!(
+            singleton_bins.len() as u64 + empty_bins + colliding_bins,
+            bins,
+            "occupancy categories must partition the bins"
+        );
+        debug_assert!(m == 0 || max_load >= 1);
+        Self {
+            bins,
+            assignments,
+            singleton_bins,
+            empty_bins,
+            colliding_bins,
+            max_load,
+        }
+    }
+
+    /// Number of balls in the experiment.
+    pub fn balls(&self) -> u64 {
+        self.assignments.len() as u64
+    }
+
+    /// Number of bins that contain exactly one ball.
+    pub fn singletons(&self) -> u64 {
+        self.singleton_bins.len() as u64
+    }
+
+    /// Indices (into the ball list) of the balls that landed alone in their
+    /// bin, i.e. the stations whose transmission is delivered.
+    pub fn singleton_balls(&self) -> Vec<usize> {
+        // The singleton bin list is sorted; binary-search each ball's bin.
+        self.assignments
+            .iter()
+            .enumerate()
+            .filter(|(_, bin)| self.singleton_bins.binary_search(bin).is_ok())
+            .map(|(i, _)| i)
+            .collect()
+    }
+}
+
+/// Drops `m` balls uniformly at random into `w` bins.
+///
+/// # Panics
+/// Panics if `w == 0` while `m > 0` (there is nowhere to put the balls).
+///
+/// # Example
+/// ```
+/// use mac_prob::balls::throw_balls;
+/// use mac_prob::rng::Xoshiro256pp;
+/// use rand::SeedableRng;
+/// let mut rng = Xoshiro256pp::seed_from_u64(3);
+/// let occ = throw_balls(10, 100, &mut rng);
+/// assert_eq!(occ.balls(), 10);
+/// assert_eq!(occ.bins, 100);
+/// assert_eq!(occ.singletons() + occ.colliding_bins + occ.empty_bins, 100);
+/// ```
+pub fn throw_balls<R: Rng + ?Sized>(m: u64, w: u64, rng: &mut R) -> BinsOccupancy {
+    if m == 0 {
+        return BinsOccupancy::from_assignments(w, Vec::new());
+    }
+    assert!(w > 0, "cannot throw {m} balls into zero bins");
+    let assignments = (0..m).map(|_| rng.gen_range(0..w)).collect();
+    BinsOccupancy::from_assignments(w, assignments)
+}
+
+/// Expected fraction of balls that land alone when `m` balls are thrown into
+/// `w` bins: `(1 - 1/w)^(m-1)`.
+///
+/// This is the quantity Lemma 1 of the paper bounds from below by `δ` (for
+/// `w ≥ m` large enough); exposing it here lets tests and the analysis module
+/// share one definition.
+pub fn expected_singleton_fraction(m: u64, w: u64) -> f64 {
+    if m == 0 {
+        return 0.0;
+    }
+    assert!(w > 0, "zero bins");
+    let q = -1.0 / w as f64;
+    ((m as f64 - 1.0) * q.ln_1p()).exp()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::Xoshiro256pp;
+    use rand::SeedableRng;
+
+    #[test]
+    fn zero_balls_everything_empty() {
+        let occ = BinsOccupancy::from_assignments(5, vec![]);
+        assert_eq!(occ.balls(), 0);
+        assert_eq!(occ.empty_bins, 5);
+        assert_eq!(occ.singletons(), 0);
+        assert_eq!(occ.colliding_bins, 0);
+        assert_eq!(occ.max_load, 0);
+    }
+
+    #[test]
+    fn explicit_assignment_counts() {
+        // bins: 0 has 2 balls, 1 has 1 ball, 2 empty, 3 has 3 balls.
+        let occ = BinsOccupancy::from_assignments(4, vec![0, 0, 1, 3, 3, 3]);
+        assert_eq!(occ.singleton_bins, vec![1]);
+        assert_eq!(occ.empty_bins, 1);
+        assert_eq!(occ.colliding_bins, 2);
+        assert_eq!(occ.max_load, 3);
+        assert_eq!(occ.singleton_balls(), vec![2]);
+    }
+
+    #[test]
+    fn sparse_path_matches_dense_path() {
+        // Force the sparse path with a huge bin count, then verify against a
+        // manual count.
+        let assignments = vec![1_000_000_000u64, 1_000_000_000, 42, 7, 7, 7];
+        let occ = BinsOccupancy::from_assignments(5_000_000_000, assignments);
+        assert_eq!(occ.singleton_bins, vec![42]);
+        assert_eq!(occ.colliding_bins, 2);
+        assert_eq!(occ.max_load, 3);
+        assert_eq!(occ.empty_bins, 5_000_000_000 - 3);
+        assert_eq!(occ.singleton_balls(), vec![2]);
+    }
+
+    #[test]
+    #[should_panic(expected = "only")]
+    fn rejects_out_of_range_assignment() {
+        let _ = BinsOccupancy::from_assignments(3, vec![3]);
+    }
+
+    #[test]
+    #[should_panic(expected = "zero bins")]
+    fn rejects_throwing_into_zero_bins() {
+        let mut rng = Xoshiro256pp::seed_from_u64(0);
+        let _ = throw_balls(1, 0, &mut rng);
+    }
+
+    #[test]
+    fn categories_partition_bins() {
+        let mut rng = Xoshiro256pp::seed_from_u64(10);
+        for &(m, w) in &[(1u64, 1u64), (5, 3), (100, 100), (1000, 64), (3, 10_000)] {
+            let occ = throw_balls(m, w, &mut rng);
+            assert_eq!(occ.balls(), m);
+            assert_eq!(occ.singletons() + occ.empty_bins + occ.colliding_bins, w);
+            assert_eq!(occ.singleton_balls().len() as u64, occ.singletons());
+        }
+    }
+
+    #[test]
+    fn singleton_fraction_matches_lemma_one_expectation() {
+        // With w = m, the expected fraction of singleton balls tends to 1/e.
+        let m = 10_000u64;
+        let mut rng = Xoshiro256pp::seed_from_u64(11);
+        let mut total_singletons = 0u64;
+        let reps = 50;
+        for _ in 0..reps {
+            total_singletons += throw_balls(m, m, &mut rng).singletons();
+        }
+        let frac = total_singletons as f64 / (m * reps) as f64;
+        let expected = expected_singleton_fraction(m, m);
+        assert!((expected - (-1.0f64).exp()).abs() < 1e-3);
+        assert!((frac - expected).abs() < 0.01, "{frac} vs {expected}");
+    }
+
+    #[test]
+    fn expected_singleton_fraction_edges() {
+        assert_eq!(expected_singleton_fraction(0, 10), 0.0);
+        assert_eq!(expected_singleton_fraction(1, 10), 1.0);
+        assert!(expected_singleton_fraction(2, 2) - 0.5 < 1e-12);
+    }
+
+    #[test]
+    fn all_balls_one_bin_when_single_bin() {
+        let mut rng = Xoshiro256pp::seed_from_u64(12);
+        let occ = throw_balls(7, 1, &mut rng);
+        assert_eq!(occ.max_load, 7);
+        assert_eq!(occ.colliding_bins, 1);
+        assert_eq!(occ.singletons(), 0);
+    }
+}

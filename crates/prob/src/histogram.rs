@@ -1,0 +1,272 @@
+//! Fixed-bucket and logarithmic histograms.
+//!
+//! The dynamic-arrival experiments summarise per-message latencies; mean and
+//! percentiles (in [`crate::stats`]) lose the shape of the distribution,
+//! which for contention-resolution protocols is often heavy-tailed (a few
+//! stragglers survive several windows). [`Histogram`] keeps exact counts in
+//! logarithmically spaced buckets so that a latency distribution spanning
+//! five orders of magnitude can be rendered compactly (used by the examples'
+//! text output) and compared across protocols.
+
+use serde::{Deserialize, Serialize};
+
+/// A histogram over `u64` values with logarithmically spaced buckets.
+///
+/// Bucket `i` covers the value range `[base^i, base^(i+1))`, except bucket 0
+/// which also includes 0. The default base is 2.
+///
+/// # Example
+/// ```
+/// use mac_prob::histogram::Histogram;
+/// let mut h = Histogram::new();
+/// for v in [0u64, 1, 2, 3, 5, 9, 1000] {
+///     h.record(v);
+/// }
+/// assert_eq!(h.count(), 7);
+/// assert_eq!(h.max(), Some(1000));
+/// assert!(h.bucket_for(3) == h.bucket_for(2));
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Histogram {
+    base: f64,
+    counts: Vec<u64>,
+    total: u64,
+    min: Option<u64>,
+    max: Option<u64>,
+    sum: u128,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Histogram {
+    /// Creates a histogram with base-2 buckets.
+    pub fn new() -> Self {
+        Self::with_base(2.0)
+    }
+
+    /// Creates a histogram with the given bucket base (> 1).
+    ///
+    /// # Panics
+    /// Panics if `base ≤ 1` or is not finite.
+    pub fn with_base(base: f64) -> Self {
+        assert!(base.is_finite() && base > 1.0, "histogram base must be > 1");
+        Self {
+            base,
+            counts: Vec::new(),
+            total: 0,
+            min: None,
+            max: None,
+            sum: 0,
+        }
+    }
+
+    /// Index of the bucket a value falls into.
+    pub fn bucket_for(&self, value: u64) -> usize {
+        if value <= 1 {
+            0
+        } else {
+            (value as f64).log(self.base).floor() as usize
+        }
+    }
+
+    /// Lower bound (inclusive) of bucket `i`.
+    pub fn bucket_lower_bound(&self, i: usize) -> u64 {
+        if i == 0 {
+            0
+        } else {
+            self.base.powi(i as i32).floor() as u64
+        }
+    }
+
+    /// Records one observation.
+    pub fn record(&mut self, value: u64) {
+        let bucket = self.bucket_for(value);
+        if bucket >= self.counts.len() {
+            self.counts.resize(bucket + 1, 0);
+        }
+        self.counts[bucket] += 1;
+        self.total += 1;
+        self.sum += value as u128;
+        self.min = Some(self.min.map_or(value, |m| m.min(value)));
+        self.max = Some(self.max.map_or(value, |m| m.max(value)));
+    }
+
+    /// Records every value of an iterator.
+    pub fn record_all<I: IntoIterator<Item = u64>>(&mut self, values: I) {
+        for v in values {
+            self.record(v);
+        }
+    }
+
+    /// Total number of recorded observations.
+    pub fn count(&self) -> u64 {
+        self.total
+    }
+
+    /// Smallest recorded value.
+    pub fn min(&self) -> Option<u64> {
+        self.min
+    }
+
+    /// Largest recorded value.
+    pub fn max(&self) -> Option<u64> {
+        self.max
+    }
+
+    /// Mean of the recorded values (`None` if empty).
+    pub fn mean(&self) -> Option<f64> {
+        if self.total == 0 {
+            None
+        } else {
+            Some(self.sum as f64 / self.total as f64)
+        }
+    }
+
+    /// Non-empty buckets as `(lower_bound, count)` pairs, in increasing
+    /// order.
+    pub fn buckets(&self) -> Vec<(u64, u64)> {
+        self.counts
+            .iter()
+            .enumerate()
+            .filter(|(_, &c)| c > 0)
+            .map(|(i, &c)| (self.bucket_lower_bound(i), c))
+            .collect()
+    }
+
+    /// An upper bound on the `q`-quantile (`q` in `[0,1]`): the upper edge of
+    /// the bucket in which the quantile falls. `None` if empty.
+    ///
+    /// # Panics
+    /// Panics if `q` is outside `[0, 1]`.
+    pub fn quantile_upper_bound(&self, q: f64) -> Option<u64> {
+        assert!((0.0..=1.0).contains(&q), "quantile must be in [0,1]");
+        if self.total == 0 {
+            return None;
+        }
+        let target = (q * self.total as f64).ceil().max(1.0) as u64;
+        let mut seen = 0u64;
+        for (i, &c) in self.counts.iter().enumerate() {
+            seen += c;
+            if seen >= target {
+                return Some(self.bucket_lower_bound(i + 1).saturating_sub(1).max(1));
+            }
+        }
+        self.max
+    }
+
+    /// Renders the histogram as an ASCII bar chart (one line per non-empty
+    /// bucket), scaled so the largest bucket uses `width` characters.
+    pub fn ascii(&self, width: usize) -> String {
+        let buckets = self.buckets();
+        let Some(&(_, max_count)) = buckets.iter().max_by_key(|(_, c)| *c) else {
+            return String::from("(empty)\n");
+        };
+        let mut out = String::new();
+        for (lo, count) in buckets {
+            let bar_len = ((count as f64 / max_count as f64) * width as f64).round() as usize;
+            out.push_str(&format!(
+                "{:>12} | {:<width$} {}\n",
+                format!(">= {lo}"),
+                "#".repeat(bar_len.max(1)),
+                count,
+                width = width
+            ));
+        }
+        out
+    }
+}
+
+impl FromIterator<u64> for Histogram {
+    fn from_iter<T: IntoIterator<Item = u64>>(iter: T) -> Self {
+        let mut h = Histogram::new();
+        h.record_all(iter);
+        h
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_histogram_is_safe() {
+        let h = Histogram::new();
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.min(), None);
+        assert_eq!(h.max(), None);
+        assert_eq!(h.mean(), None);
+        assert_eq!(h.quantile_upper_bound(0.5), None);
+        assert!(h.buckets().is_empty());
+        assert_eq!(h.ascii(10), "(empty)\n");
+    }
+
+    #[test]
+    fn bucket_assignment_base_two() {
+        let h = Histogram::new();
+        assert_eq!(h.bucket_for(0), 0);
+        assert_eq!(h.bucket_for(1), 0);
+        assert_eq!(h.bucket_for(2), 1);
+        assert_eq!(h.bucket_for(3), 1);
+        assert_eq!(h.bucket_for(4), 2);
+        assert_eq!(h.bucket_for(1023), 9);
+        assert_eq!(h.bucket_for(1024), 10);
+        assert_eq!(h.bucket_lower_bound(0), 0);
+        assert_eq!(h.bucket_lower_bound(3), 8);
+    }
+
+    #[test]
+    fn counts_min_max_mean() {
+        let h: Histogram = [1u64, 2, 3, 4, 10].into_iter().collect();
+        assert_eq!(h.count(), 5);
+        assert_eq!(h.min(), Some(1));
+        assert_eq!(h.max(), Some(10));
+        assert_eq!(h.mean(), Some(4.0));
+        let buckets = h.buckets();
+        assert_eq!(buckets.iter().map(|(_, c)| c).sum::<u64>(), 5);
+    }
+
+    #[test]
+    fn quantile_bounds_are_monotone_and_cover_values() {
+        let h: Histogram = (1u64..=1000).collect();
+        let p50 = h.quantile_upper_bound(0.5).unwrap();
+        let p95 = h.quantile_upper_bound(0.95).unwrap();
+        let p100 = h.quantile_upper_bound(1.0).unwrap();
+        assert!(p50 <= p95 && p95 <= p100);
+        assert!(p50 >= 500, "upper bound must not be below the true median");
+        assert!(p100 >= 1000 - 1);
+    }
+
+    #[test]
+    fn ascii_output_has_one_line_per_nonempty_bucket() {
+        let h: Histogram = [1u64, 1, 1, 2, 100].into_iter().collect();
+        let art = h.ascii(20);
+        assert_eq!(art.lines().count(), h.buckets().len());
+        assert!(art.contains('#'));
+    }
+
+    #[test]
+    fn custom_base_changes_bucket_granularity() {
+        let coarse = Histogram::with_base(10.0);
+        assert_eq!(coarse.bucket_for(9), 0);
+        assert_eq!(coarse.bucket_for(10), 1);
+        assert_eq!(coarse.bucket_for(99), 1);
+        assert_eq!(coarse.bucket_for(100), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "base must be > 1")]
+    fn rejects_invalid_base() {
+        let _ = Histogram::with_base(1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "quantile must be in")]
+    fn rejects_invalid_quantile() {
+        let h: Histogram = [1u64].into_iter().collect();
+        let _ = h.quantile_upper_bound(1.5);
+    }
+}

@@ -1,0 +1,63 @@
+//! # mac-prob — probability toolkit for multiple-access-channel simulation
+//!
+//! This crate provides the numerical substrate used by the contention-resolution
+//! simulators in this workspace:
+//!
+//! * [`rng`] — deterministic, splittable random-number generation
+//!   ([`rng::SplitMix64`], [`rng::Xoshiro256pp`], seed derivation) so that every
+//!   simulated run is reproducible from a master seed;
+//! * [`outcome`] — exact sampling of the *slot outcome trichotomy*
+//!   (silence / single delivery / collision) for a slot in which `m` stations
+//!   each transmit independently with probability `p`, computed in log-space
+//!   so it is stable up to `m = 10^9` and beyond;
+//! * [`sampling`] — Bernoulli, binomial, geometric and Poisson samplers built
+//!   only on a [`rand::RngCore`] source;
+//! * [`balls`] — balls-in-bins occupancy experiments (the random process behind
+//!   contention-window protocols) and their summary statistics;
+//! * [`stats`] — streaming (Welford) and batch summary statistics, percentiles
+//!   and normal-approximation confidence intervals used by the experiment
+//!   runner;
+//! * [`special`] — log-factorials, log-binomial coefficients and
+//!   Chernoff–Hoeffding tail helpers used by the analytical-bound module of
+//!   `mac-protocols`.
+//!
+//! # Example
+//!
+//! Sample the outcome of a slot in which 1000 stations transmit with
+//! probability 1/1000 each:
+//!
+//! ```
+//! use mac_prob::outcome::{SlotOutcome, slot_outcome_probabilities, sample_slot_outcome};
+//! use mac_prob::rng::Xoshiro256pp;
+//! use rand::SeedableRng;
+//!
+//! let probs = slot_outcome_probabilities(1000, 1e-3);
+//! assert!((probs.silence + probs.delivery + probs.collision - 1.0).abs() < 1e-12);
+//! // With p = 1/m the delivery probability is close to 1/e.
+//! assert!((probs.delivery - (-1.0f64).exp()).abs() < 0.01);
+//!
+//! let mut rng = Xoshiro256pp::seed_from_u64(42);
+//! match sample_slot_outcome(1000, 1e-3, &mut rng) {
+//!     SlotOutcome::Silence | SlotOutcome::Delivery | SlotOutcome::Collision => {}
+//! }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod balls;
+pub mod histogram;
+pub mod outcome;
+pub mod rng;
+pub mod sampling;
+pub mod special;
+pub mod stats;
+
+pub use balls::{throw_balls, BinsOccupancy};
+pub use outcome::{
+    sample_slot_outcome, slot_outcome_probabilities, SlotOutcome, SlotOutcomeProbabilities,
+};
+pub use rng::{derive_seed, SeedSequence, SplitMix64, Xoshiro256pp};
+pub use sampling::{sample_bernoulli, sample_binomial, sample_geometric, sample_poisson};
+pub use stats::{ConfidenceInterval, StreamingStats, Summary};

@@ -1,0 +1,211 @@
+//! Special functions and tail bounds used by the analytical-bound module.
+//!
+//! The paper's analysis (Theorem 1, Theorem 2, Lemma 1 and the appendix
+//! lemmata) is phrased in terms of a small set of quantities: logarithms of
+//! factorials and binomial coefficients, Chernoff–Hoeffding tails for sums of
+//! independent indicator variables, and the Poisson-approximation correction
+//! factor `e·√m` of Mitzenmacher–Upfal. This module implements those
+//! quantities once so that `mac-protocols::analysis` and the tests can share
+//! them.
+
+/// Natural logarithm of `n!`, computed exactly by summation for `n ≤ 256` and
+/// by Stirling's series (with the `1/(12n)` and `1/(360n^3)` corrections) for
+/// larger `n`.
+///
+/// Accuracy is better than `1e-9` relative error over the whole range, which
+/// is far more than the tail bounds need.
+///
+/// # Example
+/// ```
+/// use mac_prob::special::ln_factorial;
+/// assert_eq!(ln_factorial(0), 0.0);
+/// assert!((ln_factorial(5) - 120f64.ln()).abs() < 1e-12);
+/// ```
+pub fn ln_factorial(n: u64) -> f64 {
+    if n <= 256 {
+        let mut acc = 0.0;
+        for i in 2..=n {
+            acc += (i as f64).ln();
+        }
+        acc
+    } else {
+        let x = n as f64;
+        let ln2pi = (2.0 * std::f64::consts::PI).ln();
+        (x + 0.5) * x.ln() - x + 0.5 * ln2pi + 1.0 / (12.0 * x) - 1.0 / (360.0 * x.powi(3))
+    }
+}
+
+/// Natural logarithm of the binomial coefficient `C(n, k)`.
+///
+/// Returns `-inf` when `k > n`.
+///
+/// # Example
+/// ```
+/// use mac_prob::special::ln_binomial;
+/// assert!((ln_binomial(5, 2) - 10f64.ln()).abs() < 1e-12);
+/// assert_eq!(ln_binomial(3, 5), f64::NEG_INFINITY);
+/// ```
+pub fn ln_binomial(n: u64, k: u64) -> f64 {
+    if k > n {
+        return f64::NEG_INFINITY;
+    }
+    ln_factorial(n) - ln_factorial(k) - ln_factorial(n - k)
+}
+
+/// Exact probability that a `Binomial(n, p)` variable equals `k`.
+///
+/// Computed in log-space; accurate for large `n`.
+pub fn binomial_pmf(n: u64, k: u64, p: f64) -> f64 {
+    assert!((0.0..=1.0).contains(&p), "p must be in [0,1]");
+    if k > n {
+        return 0.0;
+    }
+    if p == 0.0 {
+        return if k == 0 { 1.0 } else { 0.0 };
+    }
+    if p == 1.0 {
+        return if k == n { 1.0 } else { 0.0 };
+    }
+    let ln_p = ln_binomial(n, k) + k as f64 * p.ln() + (n - k) as f64 * (-p).ln_1p();
+    ln_p.exp()
+}
+
+/// Chernoff–Hoeffding upper bound on the lower tail of a sum of independent
+/// `[0,1]` variables with mean `mu`:
+/// `P[X ≤ (1-φ)·mu] ≤ exp(-φ²·mu/2)` for `0 < φ < 1`.
+///
+/// This is the form used in Lemma 5 of the paper's appendix.
+///
+/// # Panics
+/// Panics unless `0 < phi < 1` and `mu ≥ 0`.
+pub fn chernoff_lower_tail(mu: f64, phi: f64) -> f64 {
+    assert!(phi > 0.0 && phi < 1.0, "phi must be in (0,1), got {phi}");
+    assert!(mu >= 0.0, "mu must be non-negative");
+    (-phi * phi * mu / 2.0).exp()
+}
+
+/// Chernoff upper bound on the upper tail:
+/// `P[X ≥ (1+φ)·mu] ≤ exp(-φ²·mu/3)` for `0 < φ ≤ 1`.
+pub fn chernoff_upper_tail(mu: f64, phi: f64) -> f64 {
+    assert!(phi > 0.0 && phi <= 1.0, "phi must be in (0,1], got {phi}");
+    assert!(mu >= 0.0, "mu must be non-negative");
+    (-phi * phi * mu / 3.0).exp()
+}
+
+/// The Poisson-approximation correction factor `e·√m` of
+/// Mitzenmacher–Upfal (Probability and Computing, Cor. 5.9, cited as [21] in
+/// the paper): any event with probability `p` under the independent-Poisson
+/// approximation of a balls-in-bins experiment with `m` balls has probability
+/// at most `p · e·√m` in the exact experiment.
+pub fn poisson_approximation_factor(m: u64) -> f64 {
+    std::f64::consts::E * (m as f64).sqrt()
+}
+
+/// Base-2 logarithm as used by the paper (the paper's `log` is `log₂`).
+///
+/// # Panics
+/// Panics if `x <= 0`.
+pub fn log2(x: f64) -> f64 {
+    assert!(x > 0.0, "log2 of non-positive value {x}");
+    x.log2()
+}
+
+/// `log_{1/(1-δ)}(x)`, the number of multiplicative reductions by `(1-δ)`
+/// needed to go from `x` down to 1; appears in Theorem 2's probability bound.
+///
+/// # Panics
+/// Panics unless `0 < delta < 1` and `x ≥ 1`.
+pub fn log_shrink(x: f64, delta: f64) -> f64 {
+    assert!(delta > 0.0 && delta < 1.0, "delta must be in (0,1)");
+    assert!(x >= 1.0, "x must be at least 1");
+    x.ln() / (1.0 / (1.0 - delta)).ln()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ln_factorial_small_values() {
+        let factorials = [1.0, 1.0, 2.0, 6.0, 24.0, 120.0, 720.0, 5040.0];
+        for (n, &f) in factorials.iter().enumerate() {
+            assert!((ln_factorial(n as u64) - (f as f64).ln()).abs() < 1e-12, "n={n}");
+        }
+    }
+
+    #[test]
+    fn ln_factorial_stirling_continuity() {
+        // The exact and Stirling branches must agree near the switch point.
+        let exact: f64 = (2..=300u64).map(|i| (i as f64).ln()).sum();
+        assert!((ln_factorial(300) - exact).abs() / exact < 1e-9);
+    }
+
+    #[test]
+    fn ln_binomial_symmetry_and_edges() {
+        assert_eq!(ln_binomial(10, 0), 0.0);
+        assert_eq!(ln_binomial(10, 10), 0.0);
+        assert!((ln_binomial(10, 3) - ln_binomial(10, 7)).abs() < 1e-10);
+        assert_eq!(ln_binomial(3, 4), f64::NEG_INFINITY);
+    }
+
+    #[test]
+    fn binomial_pmf_sums_to_one() {
+        let n = 40;
+        let p = 0.3;
+        let total: f64 = (0..=n).map(|k| binomial_pmf(n, k, p)).sum();
+        assert!((total - 1.0).abs() < 1e-10);
+    }
+
+    #[test]
+    fn binomial_pmf_degenerate() {
+        assert_eq!(binomial_pmf(5, 0, 0.0), 1.0);
+        assert_eq!(binomial_pmf(5, 3, 0.0), 0.0);
+        assert_eq!(binomial_pmf(5, 5, 1.0), 1.0);
+        assert_eq!(binomial_pmf(5, 6, 0.5), 0.0);
+    }
+
+    #[test]
+    fn binomial_pmf_matches_slot_outcome() {
+        use crate::outcome::slot_outcome_probabilities;
+        let m = 1000u64;
+        let p = 1.0 / 997.0;
+        let pr = slot_outcome_probabilities(m, p);
+        assert!((binomial_pmf(m, 0, p) - pr.silence).abs() < 1e-12);
+        assert!((binomial_pmf(m, 1, p) - pr.delivery).abs() < 1e-12);
+    }
+
+    #[test]
+    fn chernoff_bounds_are_valid_probabilities_and_monotone() {
+        let b1 = chernoff_lower_tail(100.0, 0.5);
+        let b2 = chernoff_lower_tail(200.0, 0.5);
+        assert!(b1 > 0.0 && b1 < 1.0);
+        assert!(b2 < b1, "larger mean gives a stronger bound");
+        let u1 = chernoff_upper_tail(100.0, 0.5);
+        assert!(u1 > 0.0 && u1 < 1.0);
+    }
+
+    #[test]
+    fn chernoff_bound_dominates_exact_binomial_tail() {
+        // P[Bin(n, 1/2) <= (1-phi) n/2] <= exp(-phi^2 n/4)
+        let n = 200u64;
+        let p = 0.5;
+        let phi = 0.4;
+        let mu = n as f64 * p;
+        let cutoff = ((1.0 - phi) * mu).floor() as u64;
+        let exact: f64 = (0..=cutoff).map(|k| binomial_pmf(n, k, p)).sum();
+        assert!(exact <= chernoff_lower_tail(mu, phi) + 1e-12);
+    }
+
+    #[test]
+    fn log_helpers() {
+        assert_eq!(log2(8.0), 3.0);
+        assert!((log_shrink(8.0, 0.5) - 3.0).abs() < 1e-12);
+        assert!(poisson_approximation_factor(4) > 2.0 * std::f64::consts::E - 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "log2 of non-positive")]
+    fn log2_rejects_zero() {
+        let _ = log2(0.0);
+    }
+}

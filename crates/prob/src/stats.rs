@@ -1,0 +1,339 @@
+//! Streaming and batch summary statistics.
+//!
+//! The experiment runner (`mac-sim`) aggregates the makespan of many
+//! replicated simulation runs; this module provides the aggregation
+//! primitives:
+//!
+//! * [`StreamingStats`] — single-pass Welford accumulation of count, mean,
+//!   variance, min and max; merging two accumulators is supported so that
+//!   per-thread partial results can be combined;
+//! * [`Summary`] — an immutable snapshot (plus the 95% normal-approximation
+//!   confidence interval) that is what gets serialised into result records;
+//! * [`percentile`] — nearest-rank percentile of a slice;
+//! * [`ConfidenceInterval`] — a `[lo, hi]` pair with its nominal level.
+
+use serde::{Deserialize, Serialize};
+
+/// Single-pass (Welford) accumulator for mean/variance/min/max.
+///
+/// # Example
+/// ```
+/// use mac_prob::stats::StreamingStats;
+/// let mut s = StreamingStats::new();
+/// for x in [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0] {
+///     s.push(x);
+/// }
+/// assert_eq!(s.count(), 8);
+/// assert!((s.mean() - 5.0).abs() < 1e-12);
+/// assert!((s.population_variance() - 4.0).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize, Default)]
+pub struct StreamingStats {
+    count: u64,
+    mean: f64,
+    m2: f64,
+    min: f64,
+    max: f64,
+}
+
+impl StreamingStats {
+    /// Creates an empty accumulator.
+    pub fn new() -> Self {
+        Self {
+            count: 0,
+            mean: 0.0,
+            m2: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
+    }
+
+    /// Adds one observation.
+    pub fn push(&mut self, x: f64) {
+        self.count += 1;
+        let delta = x - self.mean;
+        self.mean += delta / self.count as f64;
+        let delta2 = x - self.mean;
+        self.m2 += delta * delta2;
+        self.min = self.min.min(x);
+        self.max = self.max.max(x);
+    }
+
+    /// Merges another accumulator into this one (parallel Welford/Chan).
+    pub fn merge(&mut self, other: &StreamingStats) {
+        if other.count == 0 {
+            return;
+        }
+        if self.count == 0 {
+            *self = *other;
+            return;
+        }
+        let n1 = self.count as f64;
+        let n2 = other.count as f64;
+        let delta = other.mean - self.mean;
+        let total = n1 + n2;
+        self.mean += delta * n2 / total;
+        self.m2 += other.m2 + delta * delta * n1 * n2 / total;
+        self.count += other.count;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+
+    /// Number of observations pushed so far.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Arithmetic mean (0 if empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.mean
+        }
+    }
+
+    /// Unbiased sample variance (0 if fewer than two observations).
+    pub fn variance(&self) -> f64 {
+        if self.count < 2 {
+            0.0
+        } else {
+            self.m2 / (self.count - 1) as f64
+        }
+    }
+
+    /// Population variance (0 if empty).
+    pub fn population_variance(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.m2 / self.count as f64
+        }
+    }
+
+    /// Sample standard deviation.
+    pub fn std_dev(&self) -> f64 {
+        self.variance().sqrt()
+    }
+
+    /// Standard error of the mean.
+    pub fn std_error(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.std_dev() / (self.count as f64).sqrt()
+        }
+    }
+
+    /// Smallest observation (`+inf` if empty).
+    pub fn min(&self) -> f64 {
+        self.min
+    }
+
+    /// Largest observation (`-inf` if empty).
+    pub fn max(&self) -> f64 {
+        self.max
+    }
+
+    /// 95% normal-approximation confidence interval for the mean.
+    pub fn ci95(&self) -> ConfidenceInterval {
+        let half = 1.959_963_985 * self.std_error();
+        ConfidenceInterval {
+            lo: self.mean() - half,
+            hi: self.mean() + half,
+            level: 0.95,
+        }
+    }
+
+    /// Produces an immutable summary snapshot.
+    pub fn summary(&self) -> Summary {
+        Summary {
+            count: self.count,
+            mean: self.mean(),
+            std_dev: self.std_dev(),
+            min: if self.count == 0 { f64::NAN } else { self.min },
+            max: if self.count == 0 { f64::NAN } else { self.max },
+            ci95: self.ci95(),
+        }
+    }
+}
+
+impl FromIterator<f64> for StreamingStats {
+    fn from_iter<T: IntoIterator<Item = f64>>(iter: T) -> Self {
+        let mut s = StreamingStats::new();
+        for x in iter {
+            s.push(x);
+        }
+        s
+    }
+}
+
+impl Extend<f64> for StreamingStats {
+    fn extend<T: IntoIterator<Item = f64>>(&mut self, iter: T) {
+        for x in iter {
+            self.push(x);
+        }
+    }
+}
+
+/// A two-sided confidence interval.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ConfidenceInterval {
+    /// Lower endpoint.
+    pub lo: f64,
+    /// Upper endpoint.
+    pub hi: f64,
+    /// Nominal coverage level (e.g. 0.95).
+    pub level: f64,
+}
+
+impl ConfidenceInterval {
+    /// Returns `true` if `x` lies inside the interval (inclusive).
+    pub fn contains(&self, x: f64) -> bool {
+        x >= self.lo && x <= self.hi
+    }
+
+    /// Returns `true` if the two intervals overlap.
+    pub fn overlaps(&self, other: &ConfidenceInterval) -> bool {
+        self.lo <= other.hi && other.lo <= self.hi
+    }
+}
+
+/// Immutable summary of a set of observations.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Summary {
+    /// Number of observations.
+    pub count: u64,
+    /// Arithmetic mean.
+    pub mean: f64,
+    /// Sample standard deviation.
+    pub std_dev: f64,
+    /// Minimum observation (NaN if empty).
+    pub min: f64,
+    /// Maximum observation (NaN if empty).
+    pub max: f64,
+    /// 95% confidence interval for the mean.
+    pub ci95: ConfidenceInterval,
+}
+
+/// Nearest-rank percentile (`q` in `[0, 100]`) of a slice.
+///
+/// The slice does not need to be sorted; a sorted copy is made internally.
+/// Returns `None` for an empty slice.
+///
+/// # Example
+/// ```
+/// use mac_prob::stats::percentile;
+/// let xs = [1.0, 2.0, 3.0, 4.0, 5.0];
+/// assert_eq!(percentile(&xs, 50.0), Some(3.0));
+/// assert_eq!(percentile(&xs, 100.0), Some(5.0));
+/// assert_eq!(percentile(&[], 50.0), None);
+/// ```
+pub fn percentile(values: &[f64], q: f64) -> Option<f64> {
+    if values.is_empty() {
+        return None;
+    }
+    assert!((0.0..=100.0).contains(&q), "percentile must be in [0,100]");
+    let mut sorted: Vec<f64> = values.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("NaN in percentile input"));
+    let rank = ((q / 100.0) * sorted.len() as f64).ceil() as usize;
+    Some(sorted[rank.saturating_sub(1).min(sorted.len() - 1)])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_stats_are_safe() {
+        let s = StreamingStats::new();
+        assert_eq!(s.count(), 0);
+        assert_eq!(s.mean(), 0.0);
+        assert_eq!(s.variance(), 0.0);
+        assert_eq!(s.std_error(), 0.0);
+        assert!(s.summary().min.is_nan());
+    }
+
+    #[test]
+    fn welford_matches_two_pass() {
+        let xs: Vec<f64> = (0..1000).map(|i| ((i * 37) % 101) as f64 * 0.5).collect();
+        let s: StreamingStats = xs.iter().copied().collect();
+        let mean = xs.iter().sum::<f64>() / xs.len() as f64;
+        let var = xs.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / (xs.len() - 1) as f64;
+        assert!((s.mean() - mean).abs() < 1e-9);
+        assert!((s.variance() - var).abs() < 1e-9);
+        assert_eq!(s.min(), *xs.iter().min_by(|a, b| a.partial_cmp(b).unwrap()).unwrap());
+        assert_eq!(s.max(), *xs.iter().max_by(|a, b| a.partial_cmp(b).unwrap()).unwrap());
+    }
+
+    #[test]
+    fn merge_equals_sequential() {
+        let xs: Vec<f64> = (0..500).map(|i| (i as f64).sin() * 10.0).collect();
+        let (a, b) = xs.split_at(123);
+        let mut sa: StreamingStats = a.iter().copied().collect();
+        let sb: StreamingStats = b.iter().copied().collect();
+        sa.merge(&sb);
+        let all: StreamingStats = xs.iter().copied().collect();
+        assert_eq!(sa.count(), all.count());
+        assert!((sa.mean() - all.mean()).abs() < 1e-9);
+        assert!((sa.variance() - all.variance()).abs() < 1e-9);
+        assert_eq!(sa.min(), all.min());
+        assert_eq!(sa.max(), all.max());
+    }
+
+    #[test]
+    fn merge_with_empty_is_identity() {
+        let mut s: StreamingStats = [1.0, 2.0, 3.0].into_iter().collect();
+        let before = s;
+        s.merge(&StreamingStats::new());
+        assert_eq!(s, before);
+        let mut empty = StreamingStats::new();
+        empty.merge(&before);
+        assert_eq!(empty, before);
+    }
+
+    #[test]
+    fn ci95_contains_mean_and_shrinks_with_n() {
+        let small: StreamingStats = (0..10).map(|i| i as f64).collect();
+        let large: StreamingStats = (0..10_000).map(|i| (i % 10) as f64).collect();
+        assert!(small.ci95().contains(small.mean()));
+        let w_small = small.ci95().hi - small.ci95().lo;
+        let w_large = large.ci95().hi - large.ci95().lo;
+        assert!(w_large < w_small);
+    }
+
+    #[test]
+    fn interval_overlap_logic() {
+        let a = ConfidenceInterval { lo: 0.0, hi: 1.0, level: 0.95 };
+        let b = ConfidenceInterval { lo: 0.9, hi: 2.0, level: 0.95 };
+        let c = ConfidenceInterval { lo: 1.5, hi: 2.0, level: 0.95 };
+        assert!(a.overlaps(&b));
+        assert!(b.overlaps(&a));
+        assert!(!a.overlaps(&c));
+        assert!(a.contains(0.5));
+        assert!(!a.contains(1.5));
+    }
+
+    #[test]
+    fn percentile_nearest_rank() {
+        let xs = [9.0, 1.0, 5.0, 3.0, 7.0];
+        assert_eq!(percentile(&xs, 0.0), Some(1.0));
+        assert_eq!(percentile(&xs, 20.0), Some(1.0));
+        assert_eq!(percentile(&xs, 50.0), Some(5.0));
+        assert_eq!(percentile(&xs, 90.0), Some(9.0));
+        assert_eq!(percentile(&xs, 100.0), Some(9.0));
+    }
+
+    #[test]
+    fn extend_adds_observations() {
+        let mut s = StreamingStats::new();
+        s.extend([1.0, 2.0, 3.0]);
+        assert_eq!(s.count(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "percentile must be in")]
+    fn percentile_rejects_out_of_range() {
+        let _ = percentile(&[1.0], 150.0);
+    }
+}

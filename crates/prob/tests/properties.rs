@@ -1,0 +1,140 @@
+//! Property-based tests for the probability toolkit.
+
+use mac_prob::balls::{expected_singleton_fraction, throw_balls, BinsOccupancy};
+use mac_prob::outcome::{sample_slot_outcome, slot_outcome_probabilities, SlotOutcome};
+use mac_prob::rng::{derive_seed, Xoshiro256pp};
+use mac_prob::sampling::{sample_binomial, sample_geometric, sample_poisson};
+use mac_prob::special::{binomial_pmf, ln_binomial, ln_factorial};
+use mac_prob::stats::{percentile, StreamingStats};
+use proptest::prelude::*;
+use rand::SeedableRng;
+
+proptest! {
+    #[test]
+    fn outcome_probabilities_form_a_distribution(m in 0u64..=10_000_000, p in 0.0f64..=1.0) {
+        let pr = slot_outcome_probabilities(m, p);
+        prop_assert!(pr.silence >= 0.0 && pr.silence <= 1.0);
+        prop_assert!(pr.delivery >= 0.0 && pr.delivery <= 1.0);
+        prop_assert!(pr.collision >= 0.0 && pr.collision <= 1.0);
+        prop_assert!((pr.silence + pr.delivery + pr.collision - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn outcome_sample_is_in_support(m in 0u64..=1000, p in 0.0f64..=1.0, seed in any::<u64>()) {
+        let mut rng = Xoshiro256pp::seed_from_u64(seed);
+        let outcome = sample_slot_outcome(m, p, &mut rng);
+        if m == 0 {
+            prop_assert_eq!(outcome, SlotOutcome::Silence);
+        }
+        if m == 1 {
+            prop_assert_ne!(outcome, SlotOutcome::Collision);
+        }
+    }
+
+    #[test]
+    fn binomial_sample_is_bounded(n in 0u64..=500, p in 0.0f64..=1.0, seed in any::<u64>()) {
+        let mut rng = Xoshiro256pp::seed_from_u64(seed);
+        let x = sample_binomial(n, p, &mut rng);
+        prop_assert!(x <= n);
+        if p == 0.0 { prop_assert_eq!(x, 0); }
+        if p == 1.0 { prop_assert_eq!(x, n); }
+    }
+
+    #[test]
+    fn geometric_is_finite(p in 0.001f64..=1.0, seed in any::<u64>()) {
+        let mut rng = Xoshiro256pp::seed_from_u64(seed);
+        let _ = sample_geometric(p, &mut rng);
+    }
+
+    #[test]
+    fn poisson_is_reasonable(lambda in 0.0f64..=200.0, seed in any::<u64>()) {
+        let mut rng = Xoshiro256pp::seed_from_u64(seed);
+        let x = sample_poisson(lambda, &mut rng);
+        // 200 + 20 sigma is astronomically unlikely to be exceeded.
+        prop_assert!((x as f64) < lambda + 20.0 * lambda.sqrt() + 50.0);
+    }
+
+    #[test]
+    fn balls_in_bins_categories_partition(m in 0u64..=400, w in 1u64..=4000, seed in any::<u64>()) {
+        let mut rng = Xoshiro256pp::seed_from_u64(seed);
+        let occ = throw_balls(m, w, &mut rng);
+        prop_assert_eq!(occ.balls(), m);
+        prop_assert_eq!(occ.singletons() + occ.empty_bins + occ.colliding_bins, w);
+        prop_assert_eq!(occ.singleton_balls().len() as u64, occ.singletons());
+        // Every ball in a singleton bin must map back to a singleton bin.
+        for ball in occ.singleton_balls() {
+            prop_assert!(occ.singleton_bins.contains(&occ.assignments[ball]));
+        }
+        if m > 0 {
+            prop_assert!(occ.max_load >= 1);
+            prop_assert!(occ.max_load <= m);
+        }
+    }
+
+    #[test]
+    fn occupancy_from_assignments_is_deterministic(assignments in prop::collection::vec(0u64..50, 0..200)) {
+        let a = BinsOccupancy::from_assignments(50, assignments.clone());
+        let b = BinsOccupancy::from_assignments(50, assignments);
+        prop_assert_eq!(a, b);
+    }
+
+    #[test]
+    fn expected_singleton_fraction_is_probability(m in 1u64..=1_000_000, w in 1u64..=1_000_000) {
+        let f = expected_singleton_fraction(m, w);
+        prop_assert!((0.0..=1.0).contains(&f));
+    }
+
+    #[test]
+    fn derive_seed_is_pure(master in any::<u64>(), path in prop::collection::vec(any::<u64>(), 0..5)) {
+        prop_assert_eq!(derive_seed(master, &path), derive_seed(master, &path));
+    }
+
+    #[test]
+    fn streaming_stats_mean_is_bounded_by_min_max(xs in prop::collection::vec(-1e6f64..1e6, 1..200)) {
+        let s: StreamingStats = xs.iter().copied().collect();
+        prop_assert!(s.mean() >= s.min() - 1e-9);
+        prop_assert!(s.mean() <= s.max() + 1e-9);
+        prop_assert!(s.variance() >= 0.0);
+        prop_assert!(s.ci95().contains(s.mean()));
+    }
+
+    #[test]
+    fn streaming_stats_merge_matches_sequential(
+        xs in prop::collection::vec(-1e3f64..1e3, 0..100),
+        ys in prop::collection::vec(-1e3f64..1e3, 0..100),
+    ) {
+        let mut merged: StreamingStats = xs.iter().copied().collect();
+        let right: StreamingStats = ys.iter().copied().collect();
+        merged.merge(&right);
+        let all: StreamingStats = xs.iter().chain(ys.iter()).copied().collect();
+        prop_assert_eq!(merged.count(), all.count());
+        prop_assert!((merged.mean() - all.mean()).abs() < 1e-6);
+        prop_assert!((merged.variance() - all.variance()).abs() < 1e-4);
+    }
+
+    #[test]
+    fn percentile_is_an_element(xs in prop::collection::vec(-1e3f64..1e3, 1..100), q in 0.0f64..=100.0) {
+        let p = percentile(&xs, q).unwrap();
+        prop_assert!(xs.contains(&p));
+    }
+
+    #[test]
+    fn ln_binomial_pascal_identity(n in 1u64..60, k in 0u64..60) {
+        prop_assume!(k <= n);
+        // C(n+1, k+1) = C(n, k) + C(n, k+1), checked in linear space.
+        let lhs = ln_binomial(n + 1, k + 1).exp();
+        let rhs = ln_binomial(n, k).exp() + ln_binomial(n, k + 1).exp();
+        prop_assert!((lhs - rhs).abs() <= 1e-6 * lhs.max(1.0));
+    }
+
+    #[test]
+    fn ln_factorial_is_monotone(n in 1u64..10_000) {
+        prop_assert!(ln_factorial(n) >= ln_factorial(n - 1));
+    }
+
+    #[test]
+    fn binomial_pmf_in_unit_interval(n in 0u64..=2000, k in 0u64..=2000, p in 0.0f64..=1.0) {
+        let x = binomial_pmf(n, k, p);
+        prop_assert!((0.0..=1.0 + 1e-12).contains(&x));
+    }
+}

@@ -1,0 +1,237 @@
+//! A collision-detection baseline: multiplicative density estimation from
+//! ternary channel feedback.
+//!
+//! The paper's related-work section (§2) recounts that *with* collision
+//! detection, adaptive protocols can solve k-selection in `O(k + log n)`
+//! expected time (Martel) because stations can tell apart the three channel
+//! states — silence, success, collision — and steer a density estimate with
+//! that information. The paper's own protocols deliberately avoid this
+//! assumption; this module provides the classic ternary-feedback estimator as
+//! an *extension baseline* so the collision-detection channel model of
+//! `mac-channel` can be exercised and the value of the extra feedback can be
+//! quantified (see the `ablation`/example programs and EXPERIMENTS.md).
+//!
+//! The protocol: every active station keeps a density estimate `κ̃ ≥ 1` and
+//! transmits with probability `1/κ̃`. After each slot:
+//!
+//! * **collision** (too much contention) → `κ̃ ← κ̃·g`;
+//! * **silence** (too little contention) → `κ̃ ← max(κ̃/g, 1)`;
+//! * **delivery of another station's message** → `κ̃ ← max(κ̃ − 1, 1)`
+//!   (one contender left the system);
+//! * **delivery of its own message** → the station becomes idle.
+//!
+//! With growth factor `g = 2` the estimate reaches the true density from
+//! either side in logarithmically many slots and then tracks it, giving a
+//! slots-per-message ratio close to the fair-protocol optimum `e`.
+//!
+//! Because the update rule needs to *distinguish* silence from collision,
+//! this protocol only makes sense on a channel with collision detection
+//! ([`mac_channel::ChannelModel::with_collision_detection`]); on the paper's
+//! channel model both map to [`Observation::Noise`], which the protocol
+//! ignores (it then never adapts and degrades badly — exactly the point the
+//! paper's protocols address).
+
+use crate::error::ParameterError;
+use crate::traits::Protocol;
+use mac_channel::Observation;
+use rand::{Rng, RngCore};
+use serde::{Deserialize, Serialize};
+
+/// Per-station state of the collision-detection adaptive baseline.
+///
+/// # Example
+/// ```
+/// use mac_protocols::cd_adaptive::CdAdaptive;
+/// use mac_channel::Observation;
+/// use mac_protocols::Protocol;
+///
+/// let mut node = CdAdaptive::with_default_growth();
+/// // A collision doubles the density estimate…
+/// node.observe(Observation::DetectedCollision);
+/// assert_eq!(node.estimate(), 2.0);
+/// // …and a detected silence halves it again.
+/// node.observe(Observation::DetectedSilence);
+/// assert_eq!(node.estimate(), 1.0);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CdAdaptive {
+    growth: f64,
+    estimate: f64,
+    delivered: bool,
+    steps: u64,
+}
+
+impl CdAdaptive {
+    /// The growth factor used by default (binary doubling/halving).
+    pub const DEFAULT_GROWTH: f64 = 2.0;
+
+    /// Creates the protocol with the given multiplicative growth factor.
+    ///
+    /// # Panics
+    /// Panics if `growth ≤ 1` or is not finite; use [`CdAdaptive::try_new`]
+    /// for fallible construction.
+    pub fn new(growth: f64) -> Self {
+        Self::try_new(growth).expect("invalid collision-detection adaptive parameter")
+    }
+
+    /// Creates the protocol with the given multiplicative growth factor.
+    ///
+    /// # Errors
+    /// Returns an error unless `growth > 1` and finite.
+    pub fn try_new(growth: f64) -> Result<Self, ParameterError> {
+        if !growth.is_finite() || growth <= 1.0 {
+            return Err(ParameterError::new(
+                "growth",
+                growth,
+                "the collision-detection adaptive baseline requires a finite growth factor > 1",
+            ));
+        }
+        Ok(Self {
+            growth,
+            estimate: 1.0,
+            delivered: false,
+            steps: 0,
+        })
+    }
+
+    /// Creates the protocol with the default growth factor 2.
+    pub fn with_default_growth() -> Self {
+        Self::new(Self::DEFAULT_GROWTH)
+    }
+
+    /// The current density estimate `κ̃`.
+    pub fn estimate(&self) -> f64 {
+        self.estimate
+    }
+
+    /// The configured growth factor.
+    pub fn growth(&self) -> f64 {
+        self.growth
+    }
+
+    /// Number of observations processed so far.
+    pub fn steps_observed(&self) -> u64 {
+        self.steps
+    }
+}
+
+impl Protocol for CdAdaptive {
+    fn name(&self) -> &'static str {
+        "cd-adaptive"
+    }
+
+    fn decide(&mut self, rng: &mut dyn RngCore) -> bool {
+        if self.delivered {
+            return false;
+        }
+        let p = (1.0 / self.estimate).min(1.0);
+        rng.gen::<f64>() < p
+    }
+
+    fn observe(&mut self, observation: Observation) {
+        if self.delivered {
+            return;
+        }
+        self.steps += 1;
+        match observation {
+            Observation::DeliveredOwn => self.delivered = true,
+            Observation::ReceivedMessage => {
+                self.estimate = (self.estimate - 1.0).max(1.0);
+            }
+            Observation::DetectedCollision => {
+                self.estimate *= self.growth;
+            }
+            Observation::DetectedSilence => {
+                self.estimate = (self.estimate / self.growth).max(1.0);
+            }
+            // Without collision detection the protocol receives no usable
+            // signal; it does not adapt (see the module documentation).
+            Observation::Noise => {}
+        }
+    }
+
+    fn has_delivered(&self) -> bool {
+        self.delivered
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mac_prob::rng::Xoshiro256pp;
+    use rand::SeedableRng;
+
+    #[test]
+    fn rejects_invalid_growth() {
+        assert!(CdAdaptive::try_new(1.0).is_err());
+        assert!(CdAdaptive::try_new(0.5).is_err());
+        assert!(CdAdaptive::try_new(f64::NAN).is_err());
+        assert!(CdAdaptive::try_new(1.5).is_ok());
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid collision-detection adaptive parameter")]
+    fn new_panics_on_invalid_growth() {
+        let _ = CdAdaptive::new(0.9);
+    }
+
+    #[test]
+    fn estimate_reacts_to_ternary_feedback() {
+        let mut node = CdAdaptive::with_default_growth();
+        assert_eq!(node.estimate(), 1.0);
+        node.observe(Observation::DetectedCollision);
+        node.observe(Observation::DetectedCollision);
+        node.observe(Observation::DetectedCollision);
+        assert_eq!(node.estimate(), 8.0);
+        node.observe(Observation::ReceivedMessage);
+        assert_eq!(node.estimate(), 7.0);
+        node.observe(Observation::DetectedSilence);
+        assert_eq!(node.estimate(), 3.5);
+        node.observe(Observation::DetectedSilence);
+        node.observe(Observation::DetectedSilence);
+        node.observe(Observation::DetectedSilence);
+        assert_eq!(node.estimate(), 1.0, "estimate is floored at 1");
+        assert_eq!(node.steps_observed(), 8);
+    }
+
+    #[test]
+    fn noise_is_ignored_without_collision_detection() {
+        let mut node = CdAdaptive::with_default_growth();
+        for _ in 0..10 {
+            node.observe(Observation::Noise);
+        }
+        assert_eq!(node.estimate(), 1.0);
+    }
+
+    #[test]
+    fn stops_after_own_delivery() {
+        let mut rng = Xoshiro256pp::seed_from_u64(1);
+        let mut node = CdAdaptive::with_default_growth();
+        assert!(node.decide(&mut rng), "estimate 1 means transmit always");
+        node.observe(Observation::DeliveredOwn);
+        assert!(node.has_delivered());
+        assert!(!node.decide(&mut rng));
+        node.observe(Observation::DetectedCollision);
+        assert_eq!(node.estimate(), 1.0, "observations after delivery are ignored");
+    }
+
+    #[test]
+    fn transmission_probability_is_inverse_estimate() {
+        let mut node = CdAdaptive::with_default_growth();
+        for _ in 0..6 {
+            node.observe(Observation::DetectedCollision);
+        }
+        assert_eq!(node.estimate(), 64.0);
+        // Empirically the transmission frequency must be ≈ 1/64.
+        let mut rng = Xoshiro256pp::seed_from_u64(2);
+        let n = 64_000;
+        let mut sent = 0;
+        for _ in 0..n {
+            if node.decide(&mut rng) {
+                sent += 1;
+            }
+        }
+        let freq = sent as f64 / n as f64;
+        assert!((freq - 1.0 / 64.0).abs() < 0.005, "frequency {freq}");
+    }
+}

@@ -1,0 +1,79 @@
+//! Error types for protocol construction.
+
+use std::error::Error;
+use std::fmt;
+
+/// Error returned when a protocol is constructed with parameters outside the
+/// range required by its analysis.
+///
+/// Every protocol constructor has a panicking `new` (convenient for the
+/// common case of literal, known-good parameters) and a `try_new` returning
+/// `Result<Self, ParameterError>` for parameters coming from configuration or
+/// sweeps.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ParameterError {
+    parameter: &'static str,
+    value: f64,
+    requirement: &'static str,
+}
+
+impl ParameterError {
+    /// Creates a new parameter error.
+    pub fn new(parameter: &'static str, value: f64, requirement: &'static str) -> Self {
+        Self {
+            parameter,
+            value,
+            requirement,
+        }
+    }
+
+    /// Name of the offending parameter.
+    pub fn parameter(&self) -> &'static str {
+        self.parameter
+    }
+
+    /// The rejected value.
+    pub fn value(&self) -> f64 {
+        self.value
+    }
+
+    /// Human-readable statement of the valid range.
+    pub fn requirement(&self) -> &'static str {
+        self.requirement
+    }
+}
+
+impl fmt::Display for ParameterError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "invalid value {} for parameter `{}`: {}",
+            self.value, self.parameter, self.requirement
+        )
+    }
+}
+
+impl Error for ParameterError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_mentions_parameter_value_and_requirement() {
+        let e = ParameterError::new("delta", 5.0, "must satisfy e < delta <= 2.99");
+        let s = e.to_string();
+        assert!(s.contains("delta"));
+        assert!(s.contains('5'));
+        assert!(s.contains("2.99"));
+        assert_eq!(e.parameter(), "delta");
+        assert_eq!(e.value(), 5.0);
+        assert_eq!(e.requirement(), "must satisfy e < delta <= 2.99");
+    }
+
+    #[test]
+    fn is_std_error() {
+        fn assert_error<E: Error + Send + Sync + 'static>() {}
+        assert_error::<ParameterError>();
+    }
+}

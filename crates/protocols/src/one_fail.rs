@@ -1,0 +1,299 @@
+//! One-fail Adaptive (Algorithm 1 of the paper).
+//!
+//! One-fail Adaptive is the paper's main contribution: a randomized protocol
+//! for static k-selection that needs **no information whatsoever** about the
+//! number of contenders (not even an upper bound) and no collision detection,
+//! yet solves the problem in `2(δ+1)k + O(log² k)` slots with probability at
+//! least `1 − 2/(1+k)` (Theorem 1).
+//!
+//! The protocol interleaves two transmission rules, one per slot parity
+//! (communication steps are numbered 1, 2, 3, … as in the paper):
+//!
+//! * **AT-steps** (odd steps): intended for the regime where many messages
+//!   remain. The station transmits with probability `1/κ̃`, where `κ̃` is a
+//!   running *density estimator* of the number of messages left. After every
+//!   AT-step the estimator is incremented by one; every time a message of
+//!   another station is heard, the estimator is decreased by `δ+1` (AT-step)
+//!   or `δ` (BT-step), never dropping below `δ+1`.
+//! * **BT-steps** (even steps): intended for the endgame where few messages
+//!   remain. The station transmits with probability `1/(1 + log₂(σ+1))`,
+//!   where `σ` counts the messages received so far.
+//!
+//! Both rules act on *public* information (slot parity and the deliveries
+//! heard on the channel), so every active station holds exactly the same
+//! state under batched arrivals: One-fail Adaptive is a fair protocol and is
+//! exposed here as a [`FairProtocol`].
+//!
+//! The crucial difference with its predecessor Log-fails Adaptive
+//! ([`crate::log_fails`]) is that the density estimator is updated *every*
+//! step and the BT probability adapts to `σ`, which removes the need to know
+//! `ε` (and hence `n`).
+
+use crate::error::ParameterError;
+use crate::traits::FairProtocol;
+use serde::{Deserialize, Serialize};
+
+/// Largest admissible `δ`: `Σ_{j=1..5} (5/6)^j = 23255/7776 ≈ 2.9906`.
+pub const DELTA_MAX: f64 = 23255.0 / 7776.0;
+
+/// The `δ` used in the paper's simulations (§5).
+pub const PAPER_DELTA: f64 = 2.72;
+
+/// Shared state of the One-fail Adaptive protocol (Algorithm 1).
+///
+/// # Example
+/// ```
+/// use mac_protocols::{FairProtocol, OneFailAdaptive};
+/// let mut ofa = OneFailAdaptive::with_default_delta();
+/// // Step 1 (AT): transmit with probability 1/κ̃ = 1/(δ+1).
+/// assert!((ofa.transmission_probability() - 1.0 / 3.72).abs() < 1e-12);
+/// ofa.advance(false);
+/// // Step 2 (BT): σ = 0, so the probability is 1/(1 + log2(1)) = 1.
+/// assert_eq!(ofa.transmission_probability(), 1.0);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct OneFailAdaptive {
+    delta: f64,
+    /// Density estimator κ̃.
+    kappa_estimate: f64,
+    /// Messages-received counter σ.
+    received: u64,
+    /// Next communication step, numbered from 1 as in the paper.
+    step: u64,
+}
+
+impl OneFailAdaptive {
+    /// Creates the protocol state with the given `δ`.
+    ///
+    /// # Panics
+    /// Panics if `δ` is outside `(e, Σ_{j=1..5}(5/6)^j]`. Use
+    /// [`OneFailAdaptive::try_new`] for fallible construction.
+    pub fn new(delta: f64) -> Self {
+        Self::try_new(delta).expect("invalid One-fail Adaptive parameter")
+    }
+
+    /// Creates the protocol state with the given `δ`.
+    ///
+    /// # Errors
+    /// Returns an error if `δ` is outside `(e, Σ_{j=1..5}(5/6)^j]`
+    /// (Theorem 1's admissible range).
+    pub fn try_new(delta: f64) -> Result<Self, ParameterError> {
+        if !delta.is_finite() || delta <= std::f64::consts::E || delta > DELTA_MAX {
+            return Err(ParameterError::new(
+                "delta",
+                delta,
+                "One-fail Adaptive requires e < delta <= sum_{j=1..5}(5/6)^j ~= 2.9906",
+            ));
+        }
+        Ok(Self {
+            delta,
+            kappa_estimate: delta + 1.0,
+            received: 0,
+            step: 1,
+        })
+    }
+
+    /// Creates the protocol with the paper's simulation value `δ = 2.72`.
+    pub fn with_default_delta() -> Self {
+        Self::new(PAPER_DELTA)
+    }
+
+    /// The configured `δ`.
+    pub fn delta(&self) -> f64 {
+        self.delta
+    }
+
+    /// Current value of the density estimator `κ̃`.
+    pub fn kappa_estimate(&self) -> f64 {
+        self.kappa_estimate
+    }
+
+    /// Number of messages received (deliveries of other stations heard) so
+    /// far, the paper's `σ`.
+    pub fn received(&self) -> u64 {
+        self.received
+    }
+
+    /// True if the *next* step is a BT-step (paper: steps ≡ 0 mod 2).
+    pub fn next_step_is_bt(&self) -> bool {
+        self.step % 2 == 0
+    }
+
+    fn floor(&self) -> f64 {
+        self.delta + 1.0
+    }
+}
+
+impl FairProtocol for OneFailAdaptive {
+    fn name(&self) -> &'static str {
+        "one-fail-adaptive"
+    }
+
+    fn transmission_probability(&self) -> f64 {
+        if self.next_step_is_bt() {
+            // BT-step: 1/(1 + log2(σ + 1)).
+            1.0 / (1.0 + ((self.received + 1) as f64).log2())
+        } else {
+            // AT-step: 1/κ̃ (κ̃ ≥ δ+1 > 1, so this is a valid probability).
+            1.0 / self.kappa_estimate
+        }
+    }
+
+    fn advance(&mut self, delivered: bool) {
+        let is_bt = self.next_step_is_bt();
+        if !is_bt {
+            // Task 1, line 11: the estimator grows by one at every AT-step.
+            self.kappa_estimate += 1.0;
+        }
+        if delivered {
+            // Task 2: a message of another station was received.
+            self.received += 1;
+            let decrement = if is_bt { self.delta } else { self.delta + 1.0 };
+            self.kappa_estimate = (self.kappa_estimate - decrement).max(self.floor());
+        }
+        self.step += 1;
+    }
+
+    fn steps_elapsed(&self) -> u64 {
+        self.step - 1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_delta_is_admissible() {
+        assert!(PAPER_DELTA > std::f64::consts::E);
+        assert!(PAPER_DELTA <= DELTA_MAX);
+        let ofa = OneFailAdaptive::with_default_delta();
+        assert_eq!(ofa.delta(), PAPER_DELTA);
+    }
+
+    #[test]
+    fn delta_max_matches_geometric_sum() {
+        let sum: f64 = (1..=5).map(|j| (5.0f64 / 6.0).powi(j)).sum();
+        assert!((DELTA_MAX - sum).abs() < 1e-12);
+    }
+
+    #[test]
+    fn rejects_delta_outside_range() {
+        assert!(OneFailAdaptive::try_new(std::f64::consts::E).is_err());
+        assert!(OneFailAdaptive::try_new(2.0).is_err());
+        assert!(OneFailAdaptive::try_new(3.0).is_err());
+        assert!(OneFailAdaptive::try_new(f64::NAN).is_err());
+        assert!(OneFailAdaptive::try_new(2.99).is_ok());
+        assert!(OneFailAdaptive::try_new(DELTA_MAX).is_ok());
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid One-fail Adaptive parameter")]
+    fn new_panics_on_invalid_delta() {
+        let _ = OneFailAdaptive::new(1.0);
+    }
+
+    #[test]
+    fn initial_state_matches_algorithm_one() {
+        let ofa = OneFailAdaptive::with_default_delta();
+        assert_eq!(ofa.kappa_estimate(), PAPER_DELTA + 1.0);
+        assert_eq!(ofa.received(), 0);
+        assert_eq!(ofa.steps_elapsed(), 0);
+        assert!(!ofa.next_step_is_bt(), "step 1 is an AT-step");
+    }
+
+    #[test]
+    fn step_parity_alternates_starting_with_at() {
+        let mut ofa = OneFailAdaptive::with_default_delta();
+        for i in 0..10 {
+            assert_eq!(ofa.next_step_is_bt(), i % 2 == 1, "step {}", i + 1);
+            ofa.advance(false);
+        }
+        assert_eq!(ofa.steps_elapsed(), 10);
+    }
+
+    #[test]
+    fn at_step_probability_is_inverse_estimator() {
+        let mut ofa = OneFailAdaptive::with_default_delta();
+        assert!((ofa.transmission_probability() - 1.0 / 3.72).abs() < 1e-12);
+        // Two silent steps: the AT-step increments κ̃ to 4.72, the BT-step
+        // leaves it unchanged, so the next AT-step uses 1/4.72.
+        ofa.advance(false);
+        ofa.advance(false);
+        assert!((ofa.transmission_probability() - 1.0 / 4.72).abs() < 1e-12);
+    }
+
+    #[test]
+    fn bt_step_probability_is_inverse_log_of_received() {
+        let mut ofa = OneFailAdaptive::with_default_delta();
+        ofa.advance(false); // step 1 (AT) done; step 2 is BT, σ = 0
+        assert_eq!(ofa.transmission_probability(), 1.0);
+        // Hear 3 deliveries across the next steps, then check a BT-step.
+        ofa.advance(true); // step 2 (BT)
+        ofa.advance(true); // step 3 (AT)
+        ofa.advance(true); // step 4 (BT)
+        assert_eq!(ofa.received(), 3);
+        // Step 5 is AT; advance silently to reach BT step 6.
+        ofa.advance(false);
+        assert!(ofa.next_step_is_bt());
+        let expected = 1.0 / (1.0 + 4.0f64.log2());
+        assert!((ofa.transmission_probability() - expected).abs() < 1e-12);
+    }
+
+    #[test]
+    fn estimator_grows_by_one_per_silent_at_step() {
+        let mut ofa = OneFailAdaptive::with_default_delta();
+        let k0 = ofa.kappa_estimate();
+        for _ in 0..20 {
+            ofa.advance(false);
+        }
+        // 10 of the 20 steps are AT-steps.
+        assert!((ofa.kappa_estimate() - (k0 + 10.0)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn delivery_in_at_step_decreases_estimator_by_delta_net() {
+        let mut ofa = OneFailAdaptive::with_default_delta();
+        // Inflate the estimator first so that the floor does not clip.
+        for _ in 0..40 {
+            ofa.advance(false);
+        }
+        let before = ofa.kappa_estimate();
+        assert!(!ofa.next_step_is_bt());
+        ofa.advance(true); // AT-step with a delivery: +1 then −(δ+1) = −δ net
+        assert!((ofa.kappa_estimate() - (before - PAPER_DELTA)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn delivery_in_bt_step_decreases_estimator_by_delta() {
+        let mut ofa = OneFailAdaptive::with_default_delta();
+        for _ in 0..41 {
+            ofa.advance(false);
+        }
+        assert!(ofa.next_step_is_bt());
+        let before = ofa.kappa_estimate();
+        ofa.advance(true); // BT-step with a delivery: −δ, no increment
+        assert!((ofa.kappa_estimate() - (before - PAPER_DELTA)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn estimator_never_drops_below_floor() {
+        let mut ofa = OneFailAdaptive::with_default_delta();
+        for _ in 0..100 {
+            ofa.advance(true);
+            assert!(ofa.kappa_estimate() >= PAPER_DELTA + 1.0 - 1e-12);
+        }
+        assert_eq!(ofa.received(), 100);
+    }
+
+    #[test]
+    fn probability_is_always_valid() {
+        let mut ofa = OneFailAdaptive::new(2.99);
+        for i in 0..10_000 {
+            let p = ofa.transmission_probability();
+            assert!((0.0..=1.0).contains(&p), "step {i}: p = {p}");
+            // Mix of deliveries and silence.
+            ofa.advance(i % 7 == 0);
+        }
+    }
+}

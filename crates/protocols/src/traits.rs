@@ -1,0 +1,594 @@
+//! Protocol traits and adapters.
+//!
+//! Three levels of abstraction are provided:
+//!
+//! * [`Protocol`] — the per-station state machine interface: *decide* whether
+//!   to transmit in the next slot, then *observe* the channel feedback for
+//!   that slot. This is what the exact simulator drives, one instance per
+//!   station, and it works for any protocol.
+//! * [`FairProtocol`] — protocols in which every active station uses the
+//!   same transmission probability in every slot and reacts only to public
+//!   feedback. Wrapping a `FairProtocol` in a [`FairNode`] yields a
+//!   [`Protocol`]; the fair fast simulator instead keeps a *single* shared
+//!   copy of the state.
+//! * [`WindowSchedule`] — protocols in which a station picks one uniform slot
+//!   per window of a deterministic window-length sequence. Wrapping a
+//!   schedule in a [`WindowNode`] yields a [`Protocol`]; the window fast
+//!   simulator instead runs one balls-in-bins experiment per window.
+//!
+//! [`ProtocolKind`] is a serialisable description (name + parameters) of any
+//! protocol in this crate, used by the experiment runner and the benchmark
+//! harness to construct protocol instances from configuration.
+
+use crate::error::ParameterError;
+use crate::exp_backon_backoff::ExpBackonBackoff;
+use crate::log_fails::{LogFailsAdaptive, LogFailsConfig};
+use crate::loglog_backoff::{LoglogIteratedBackoff, RExponentialBackoff};
+use crate::one_fail::OneFailAdaptive;
+use crate::oracle::KnownKOracle;
+use mac_channel::Observation;
+use rand::{Rng, RngCore};
+use serde::{Deserialize, Serialize};
+use std::fmt::Debug;
+
+/// A per-station contention-resolution protocol.
+///
+/// The driving loop is, for every slot while the station is active:
+///
+/// 1. `transmit = protocol.decide(rng)`;
+/// 2. the channel resolves the slot from all stations' decisions;
+/// 3. `protocol.observe(observation)` with the station's view of the slot.
+///
+/// Once the station's own message has been delivered
+/// ([`Observation::DeliveredOwn`]), [`Protocol::has_delivered`] returns
+/// `true` and the simulator stops driving the station (the model's stations
+/// become idle on delivery).
+pub trait Protocol: Debug {
+    /// A short human-readable protocol name (e.g. `"one-fail-adaptive"`).
+    fn name(&self) -> &'static str;
+
+    /// Decides whether the station transmits in the next slot.
+    fn decide(&mut self, rng: &mut dyn RngCore) -> bool;
+
+    /// Observes the station's view of the slot that was just decided.
+    fn observe(&mut self, observation: Observation);
+
+    /// True once the station's own message has been delivered.
+    fn has_delivered(&self) -> bool;
+}
+
+/// A *fair* protocol: all active stations transmit with the same probability,
+/// derived from public information only.
+///
+/// The object captures the **common state** of the active stations (under
+/// batched arrivals every active station holds an identical copy). Each slot:
+///
+/// 1. every active station transmits with
+///    [`FairProtocol::transmission_probability`];
+/// 2. after the slot, [`FairProtocol::advance`] is called with `delivered =
+///    true` iff some station's message was delivered in the slot.
+pub trait FairProtocol: Debug {
+    /// A short human-readable protocol name.
+    fn name(&self) -> &'static str;
+
+    /// The probability with which each active station transmits in the next
+    /// slot. Always in `[0, 1]`.
+    fn transmission_probability(&self) -> f64;
+
+    /// Advances the common state by one slot. `delivered` states whether a
+    /// message (necessarily of another station, from the point of view of the
+    /// stations that remain active) was delivered in the slot.
+    fn advance(&mut self, delivered: bool);
+
+    /// Number of slots already elapsed since activation.
+    fn steps_elapsed(&self) -> u64;
+}
+
+/// A window-based protocol, described by its (deterministic, possibly
+/// infinite) sequence of window lengths.
+///
+/// A station executing a window protocol picks one slot uniformly at random
+/// inside each successive window and transmits only in that slot; the only
+/// feedback it reacts to is the delivery of its own message, upon which it
+/// stops.
+pub trait WindowSchedule: Debug {
+    /// A short human-readable protocol name.
+    fn name(&self) -> &'static str;
+
+    /// Returns the length (≥ 1) of the next window.
+    fn next_window(&mut self) -> u64;
+}
+
+/// Adapter that runs a [`FairProtocol`] as a per-station [`Protocol`].
+#[derive(Debug, Clone)]
+pub struct FairNode<P> {
+    state: P,
+    delivered: bool,
+}
+
+impl<P: FairProtocol> FairNode<P> {
+    /// Wraps the given fair-protocol state for one station.
+    pub fn new(state: P) -> Self {
+        Self {
+            state,
+            delivered: false,
+        }
+    }
+
+    /// Read access to the wrapped state (used by tests).
+    pub fn state(&self) -> &P {
+        &self.state
+    }
+}
+
+impl<P: FairProtocol> Protocol for FairNode<P> {
+    fn name(&self) -> &'static str {
+        self.state.name()
+    }
+
+    fn decide(&mut self, rng: &mut dyn RngCore) -> bool {
+        if self.delivered {
+            return false;
+        }
+        let p = self.state.transmission_probability();
+        debug_assert!((0.0..=1.0).contains(&p), "probability out of range: {p}");
+        rng.gen::<f64>() < p
+    }
+
+    fn observe(&mut self, observation: Observation) {
+        if self.delivered {
+            return;
+        }
+        match observation {
+            Observation::DeliveredOwn => {
+                self.delivered = true;
+            }
+            Observation::ReceivedMessage => self.state.advance(true),
+            Observation::Noise
+            | Observation::DetectedSilence
+            | Observation::DetectedCollision => self.state.advance(false),
+        }
+    }
+
+    fn has_delivered(&self) -> bool {
+        self.delivered
+    }
+}
+
+/// Adapter that runs a [`WindowSchedule`] as a per-station [`Protocol`].
+#[derive(Debug)]
+pub struct WindowNode<S> {
+    schedule: S,
+    window_len: u64,
+    position: u64,
+    chosen: u64,
+    delivered: bool,
+    started: bool,
+}
+
+impl<S: WindowSchedule> WindowNode<S> {
+    /// Wraps the given window schedule for one station.
+    pub fn new(schedule: S) -> Self {
+        Self {
+            schedule,
+            window_len: 0,
+            position: 0,
+            chosen: 0,
+            delivered: false,
+            started: false,
+        }
+    }
+
+    /// The length of the window the station is currently in (0 before the
+    /// first call to [`Protocol::decide`]).
+    pub fn current_window(&self) -> u64 {
+        self.window_len
+    }
+}
+
+impl<S: WindowSchedule> Protocol for WindowNode<S> {
+    fn name(&self) -> &'static str {
+        self.schedule.name()
+    }
+
+    fn decide(&mut self, rng: &mut dyn RngCore) -> bool {
+        if self.delivered {
+            return false;
+        }
+        if !self.started || self.position >= self.window_len {
+            self.window_len = self.schedule.next_window();
+            assert!(self.window_len >= 1, "window length must be at least 1");
+            self.position = 0;
+            self.chosen = rng.gen_range(0..self.window_len);
+            self.started = true;
+        }
+        let transmit = self.position == self.chosen;
+        self.position += 1;
+        transmit
+    }
+
+    fn observe(&mut self, observation: Observation) {
+        if observation == Observation::DeliveredOwn {
+            self.delivered = true;
+        }
+    }
+
+    fn has_delivered(&self) -> bool {
+        self.delivered
+    }
+}
+
+/// A serialisable description of a protocol and its parameters.
+///
+/// `ProtocolKind` is how the experiment runner, the benchmark harness and the
+/// examples refer to protocols in configuration: it can be stored, printed
+/// and turned into a runnable instance with [`ProtocolKind::build_node`] (or,
+/// for the fast simulators, [`ProtocolKind::build_fair`] /
+/// [`ProtocolKind::build_window`]).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum ProtocolKind {
+    /// One-fail Adaptive with parameter `δ` (paper default 2.72).
+    OneFailAdaptive {
+        /// The δ constant, `e < δ ≤ Σ_{j=1..5}(5/6)^j`.
+        delta: f64,
+    },
+    /// Exp Back-on/Back-off with parameter `δ` (paper default 0.366).
+    ExpBackonBackoff {
+        /// The δ constant, `0 < δ < 1/e`.
+        delta: f64,
+    },
+    /// Log-fails Adaptive (reconstruction) with parameters `ξδ`, `ξβ`, `ξt`.
+    /// The required `ε` is derived from the instance size as `1/(k+1)`.
+    LogFailsAdaptive {
+        /// Estimator decrement slack (paper simulation value 0.1).
+        xi_delta: f64,
+        /// Failure-window length factor (paper simulation value 0.1).
+        xi_beta: f64,
+        /// Fraction of slots that are BT-steps (paper uses 1/2 and 1/10).
+        xi_t: f64,
+    },
+    /// Loglog-iterated Back-off with window growth factor `r` (paper uses 2).
+    LoglogIteratedBackoff {
+        /// Window growth factor, `r > 1`.
+        r: f64,
+    },
+    /// Plain r-exponential back-off.
+    RExponentialBackoff {
+        /// Window growth factor, `r > 1`.
+        r: f64,
+    },
+    /// The known-k oracle (fair-protocol optimum, requires exact `k`).
+    KnownKOracle,
+}
+
+/// The structural family a protocol belongs to, which determines which fast
+/// simulator applies.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ProtocolFamily {
+    /// Every active station transmits with the same probability each slot.
+    Fair,
+    /// Stations pick one uniform slot per window of a deterministic schedule.
+    Window,
+}
+
+impl ProtocolKind {
+    /// The paper's five evaluated configurations (Figure 1 / Table 1), in the
+    /// order of the paper's table rows: LFA(ξt=1/2), LFA(ξt=1/10), OFA, EBB,
+    /// LLIB.
+    pub fn paper_lineup() -> Vec<ProtocolKind> {
+        vec![
+            ProtocolKind::LogFailsAdaptive {
+                xi_delta: 0.1,
+                xi_beta: 0.1,
+                xi_t: 0.5,
+            },
+            ProtocolKind::LogFailsAdaptive {
+                xi_delta: 0.1,
+                xi_beta: 0.1,
+                xi_t: 0.1,
+            },
+            ProtocolKind::OneFailAdaptive { delta: 2.72 },
+            ProtocolKind::ExpBackonBackoff { delta: 0.366 },
+            ProtocolKind::LoglogIteratedBackoff { r: 2.0 },
+        ]
+    }
+
+    /// A short label including the distinguishing parameter, suitable for
+    /// table headers and CSV columns.
+    pub fn label(&self) -> String {
+        match self {
+            ProtocolKind::OneFailAdaptive { .. } => "One-fail Adaptive".to_string(),
+            ProtocolKind::ExpBackonBackoff { .. } => "Exp Back-on/Back-off".to_string(),
+            ProtocolKind::LogFailsAdaptive { xi_t, .. } => {
+                format!("Log-fails Adaptive (xi_t=1/{:.0})", 1.0 / xi_t)
+            }
+            ProtocolKind::LoglogIteratedBackoff { .. } => "Loglog-iterated Back-off".to_string(),
+            ProtocolKind::RExponentialBackoff { r } => {
+                format!("{r}-exponential Back-off")
+            }
+            ProtocolKind::KnownKOracle => "Known-k oracle".to_string(),
+        }
+    }
+
+    /// The family (fair or window) of the protocol.
+    pub fn family(&self) -> ProtocolFamily {
+        match self {
+            ProtocolKind::OneFailAdaptive { .. }
+            | ProtocolKind::LogFailsAdaptive { .. }
+            | ProtocolKind::KnownKOracle => ProtocolFamily::Fair,
+            ProtocolKind::ExpBackonBackoff { .. }
+            | ProtocolKind::LoglogIteratedBackoff { .. }
+            | ProtocolKind::RExponentialBackoff { .. } => ProtocolFamily::Window,
+        }
+    }
+
+    /// Builds the shared [`FairProtocol`] state for this kind, if it is a
+    /// fair protocol. `k` is the instance size: it is used only by the
+    /// protocols that require knowledge of the instance (the oracle, and the
+    /// `ε ≈ 1/(k+1)` of Log-fails Adaptive), exactly as in the paper's
+    /// simulations.
+    ///
+    /// # Errors
+    /// Returns a [`ParameterError`] if the parameters are outside the range
+    /// required by the protocol's analysis.
+    pub fn build_fair(&self, k: u64) -> Result<Option<Box<dyn FairProtocol>>, ParameterError> {
+        Ok(Some(match self {
+            ProtocolKind::OneFailAdaptive { delta } => {
+                Box::new(OneFailAdaptive::try_new(*delta)?) as Box<dyn FairProtocol>
+            }
+            ProtocolKind::LogFailsAdaptive {
+                xi_delta,
+                xi_beta,
+                xi_t,
+            } => {
+                let config = LogFailsConfig {
+                    xi_delta: *xi_delta,
+                    xi_beta: *xi_beta,
+                    xi_t: *xi_t,
+                    epsilon: 1.0 / (k as f64 + 1.0),
+                };
+                Box::new(LogFailsAdaptive::try_new(config)?) as Box<dyn FairProtocol>
+            }
+            ProtocolKind::KnownKOracle => Box::new(KnownKOracle::new(k)) as Box<dyn FairProtocol>,
+            _ => return Ok(None),
+        }))
+    }
+
+    /// Builds the [`WindowSchedule`] for this kind, if it is a window
+    /// protocol.
+    ///
+    /// # Errors
+    /// Returns a [`ParameterError`] if the parameters are outside the range
+    /// required by the protocol's analysis.
+    pub fn build_window(&self) -> Result<Option<Box<dyn WindowSchedule>>, ParameterError> {
+        Ok(Some(match self {
+            ProtocolKind::ExpBackonBackoff { delta } => {
+                Box::new(ExpBackonBackoff::try_new(*delta)?) as Box<dyn WindowSchedule>
+            }
+            ProtocolKind::LoglogIteratedBackoff { r } => {
+                Box::new(LoglogIteratedBackoff::try_new(*r)?) as Box<dyn WindowSchedule>
+            }
+            ProtocolKind::RExponentialBackoff { r } => {
+                Box::new(RExponentialBackoff::try_new(*r)?) as Box<dyn WindowSchedule>
+            }
+            _ => return Ok(None),
+        }))
+    }
+
+    /// Builds a per-station [`Protocol`] instance for this kind.
+    ///
+    /// # Errors
+    /// Returns a [`ParameterError`] if the parameters are invalid.
+    pub fn build_node(&self, k: u64) -> Result<Box<dyn Protocol>, ParameterError> {
+        match self {
+            ProtocolKind::OneFailAdaptive { delta } => Ok(Box::new(FairNode::new(
+                OneFailAdaptive::try_new(*delta)?,
+            ))),
+            ProtocolKind::LogFailsAdaptive {
+                xi_delta,
+                xi_beta,
+                xi_t,
+            } => {
+                let config = LogFailsConfig {
+                    xi_delta: *xi_delta,
+                    xi_beta: *xi_beta,
+                    xi_t: *xi_t,
+                    epsilon: 1.0 / (k as f64 + 1.0),
+                };
+                Ok(Box::new(FairNode::new(LogFailsAdaptive::try_new(config)?)))
+            }
+            ProtocolKind::KnownKOracle => Ok(Box::new(FairNode::new(KnownKOracle::new(k)))),
+            ProtocolKind::ExpBackonBackoff { delta } => Ok(Box::new(WindowNode::new(
+                ExpBackonBackoff::try_new(*delta)?,
+            ))),
+            ProtocolKind::LoglogIteratedBackoff { r } => Ok(Box::new(WindowNode::new(
+                LoglogIteratedBackoff::try_new(*r)?,
+            ))),
+            ProtocolKind::RExponentialBackoff { r } => Ok(Box::new(WindowNode::new(
+                RExponentialBackoff::try_new(*r)?,
+            ))),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mac_prob::rng::Xoshiro256pp;
+    use rand::SeedableRng;
+
+    /// A trivially predictable fair protocol for adapter tests: transmit with
+    /// probability 1 until two deliveries have been heard, then probability 0.
+    #[derive(Debug, Clone, Default)]
+    struct TwoThenSilent {
+        heard: u64,
+        steps: u64,
+    }
+
+    impl FairProtocol for TwoThenSilent {
+        fn name(&self) -> &'static str {
+            "two-then-silent"
+        }
+        fn transmission_probability(&self) -> f64 {
+            if self.heard < 2 {
+                1.0
+            } else {
+                0.0
+            }
+        }
+        fn advance(&mut self, delivered: bool) {
+            self.steps += 1;
+            if delivered {
+                self.heard += 1;
+            }
+        }
+        fn steps_elapsed(&self) -> u64 {
+            self.steps
+        }
+    }
+
+    /// A window schedule of constant windows of length 3.
+    #[derive(Debug, Default)]
+    struct ConstantThree;
+
+    impl WindowSchedule for ConstantThree {
+        fn name(&self) -> &'static str {
+            "constant-3"
+        }
+        fn next_window(&mut self) -> u64 {
+            3
+        }
+    }
+
+    #[test]
+    fn fair_node_transmits_and_reacts_to_feedback() {
+        let mut rng = Xoshiro256pp::seed_from_u64(0);
+        let mut node = FairNode::new(TwoThenSilent::default());
+        assert_eq!(node.name(), "two-then-silent");
+        assert!(node.decide(&mut rng), "p = 1 must transmit");
+        node.observe(Observation::ReceivedMessage);
+        assert!(node.decide(&mut rng));
+        node.observe(Observation::ReceivedMessage);
+        // Two deliveries heard: probability drops to zero.
+        assert!(!node.decide(&mut rng));
+        node.observe(Observation::Noise);
+        assert_eq!(node.state().steps_elapsed(), 3);
+        assert!(!node.has_delivered());
+    }
+
+    #[test]
+    fn fair_node_stops_after_own_delivery() {
+        let mut rng = Xoshiro256pp::seed_from_u64(1);
+        let mut node = FairNode::new(TwoThenSilent::default());
+        assert!(node.decide(&mut rng));
+        node.observe(Observation::DeliveredOwn);
+        assert!(node.has_delivered());
+        assert!(!node.decide(&mut rng), "a delivered station never transmits");
+        // Further observations are ignored without panicking.
+        node.observe(Observation::ReceivedMessage);
+        assert_eq!(node.state().steps_elapsed(), 0);
+    }
+
+    #[test]
+    fn window_node_transmits_exactly_once_per_window() {
+        let mut rng = Xoshiro256pp::seed_from_u64(2);
+        let mut node = WindowNode::new(ConstantThree);
+        assert_eq!(node.current_window(), 0);
+        for _window in 0..50 {
+            let mut transmissions = 0;
+            for _ in 0..3 {
+                if node.decide(&mut rng) {
+                    transmissions += 1;
+                }
+                node.observe(Observation::Noise);
+            }
+            assert_eq!(node.current_window(), 3);
+            assert_eq!(transmissions, 1, "exactly one transmission per window");
+        }
+    }
+
+    #[test]
+    fn window_node_stops_after_own_delivery() {
+        let mut rng = Xoshiro256pp::seed_from_u64(3);
+        let mut node = WindowNode::new(ConstantThree);
+        let _ = node.decide(&mut rng);
+        node.observe(Observation::DeliveredOwn);
+        assert!(node.has_delivered());
+        for _ in 0..10 {
+            assert!(!node.decide(&mut rng));
+        }
+    }
+
+    #[test]
+    fn paper_lineup_has_five_entries_in_table_order() {
+        let lineup = ProtocolKind::paper_lineup();
+        assert_eq!(lineup.len(), 5);
+        assert!(lineup[0].label().contains("1/2"));
+        assert!(lineup[1].label().contains("1/10"));
+        assert_eq!(lineup[2].label(), "One-fail Adaptive");
+        assert_eq!(lineup[3].label(), "Exp Back-on/Back-off");
+        assert_eq!(lineup[4].label(), "Loglog-iterated Back-off");
+    }
+
+    #[test]
+    fn families_are_assigned_correctly() {
+        assert_eq!(
+            ProtocolKind::OneFailAdaptive { delta: 2.72 }.family(),
+            ProtocolFamily::Fair
+        );
+        assert_eq!(
+            ProtocolKind::ExpBackonBackoff { delta: 0.366 }.family(),
+            ProtocolFamily::Window
+        );
+        assert_eq!(
+            ProtocolKind::LoglogIteratedBackoff { r: 2.0 }.family(),
+            ProtocolFamily::Window
+        );
+        assert_eq!(ProtocolKind::KnownKOracle.family(), ProtocolFamily::Fair);
+    }
+
+    #[test]
+    fn builders_return_matching_family() {
+        for kind in ProtocolKind::paper_lineup() {
+            let fair = kind.build_fair(100).unwrap();
+            let window = kind.build_window().unwrap();
+            match kind.family() {
+                ProtocolFamily::Fair => {
+                    assert!(fair.is_some());
+                    assert!(window.is_none());
+                }
+                ProtocolFamily::Window => {
+                    assert!(fair.is_none());
+                    assert!(window.is_some());
+                }
+            }
+            let node = kind.build_node(100).unwrap();
+            assert!(!node.has_delivered());
+        }
+    }
+
+    #[test]
+    fn invalid_parameters_are_rejected_by_builders() {
+        assert!(ProtocolKind::OneFailAdaptive { delta: 1.0 }
+            .build_fair(10)
+            .is_err());
+        assert!(ProtocolKind::ExpBackonBackoff { delta: 0.9 }
+            .build_window()
+            .is_err());
+        assert!(ProtocolKind::LoglogIteratedBackoff { r: 0.5 }
+            .build_node(10)
+            .is_err());
+    }
+
+    #[test]
+    fn labels_are_distinct_for_the_lineup() {
+        let labels: Vec<String> = ProtocolKind::paper_lineup()
+            .iter()
+            .map(|k| k.label())
+            .collect();
+        let mut dedup = labels.clone();
+        dedup.sort();
+        dedup.dedup();
+        assert_eq!(dedup.len(), labels.len());
+    }
+}

@@ -1,0 +1,174 @@
+//! Dynamic-arrival experiments (the paper's §6 future-work direction).
+//!
+//! The paper analyses *static* k-selection (all messages arrive at once) and
+//! points at the dynamic problem — statistical or adversarial arrivals — as
+//! the natural next step, conjecturing that non-monotonic strategies remain
+//! promising there. This module provides the measurement side of that
+//! extension: it runs any protocol of the crate against a
+//! [`mac_channel::ArrivalModel`] with the exact per-station simulator and
+//! reports latency and throughput metrics instead of just the makespan.
+
+use crate::exact::{DetailedRun, ExactSimulator};
+use crate::result::RunOptions;
+use mac_channel::ArrivalModel;
+use mac_prob::rng::{derive_seed, Xoshiro256pp};
+use mac_prob::stats::percentile;
+use mac_protocols::{ParameterError, ProtocolKind};
+use rand::SeedableRng;
+use serde::{Deserialize, Serialize};
+
+/// Latency and throughput summary of a dynamic-arrival run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DynamicReport {
+    /// Protocol configuration label.
+    pub protocol: String,
+    /// Number of messages that arrived.
+    pub messages: u64,
+    /// Number of messages delivered before the slot cap.
+    pub delivered: u64,
+    /// Slot at which the last delivery happened (or the cap).
+    pub makespan: u64,
+    /// Mean delivery latency (delivery slot − arrival slot) over delivered
+    /// messages.
+    pub mean_latency: f64,
+    /// Median delivery latency.
+    pub p50_latency: f64,
+    /// 95th-percentile delivery latency.
+    pub p95_latency: f64,
+    /// Maximum delivery latency.
+    pub max_latency: u64,
+    /// Delivered messages per slot over the whole run.
+    pub throughput: f64,
+}
+
+impl DynamicReport {
+    /// Builds the report from a detailed exact-simulator run.
+    pub fn from_run(run: &DetailedRun) -> Self {
+        let latencies: Vec<f64> = run.latencies().iter().map(|&l| l as f64).collect();
+        let mean = if latencies.is_empty() {
+            0.0
+        } else {
+            latencies.iter().sum::<f64>() / latencies.len() as f64
+        };
+        Self {
+            protocol: run.result.protocol.clone(),
+            messages: run.result.k,
+            delivered: run.result.delivered,
+            makespan: run.result.makespan,
+            mean_latency: mean,
+            p50_latency: percentile(&latencies, 50.0).unwrap_or(0.0),
+            p95_latency: percentile(&latencies, 95.0).unwrap_or(0.0),
+            max_latency: run.latencies().into_iter().max().unwrap_or(0),
+            throughput: if run.result.makespan == 0 {
+                0.0
+            } else {
+                run.result.delivered as f64 / run.result.makespan as f64
+            },
+        }
+    }
+}
+
+/// Runs `kind` against an arrival model and summarises latency/throughput.
+///
+/// The arrival schedule is sampled from `model` with a seed derived from
+/// `seed`, and the protocol run uses an independent derived seed, so two
+/// protocols evaluated with the same `seed` see the *same* arrival pattern —
+/// which is what a comparison experiment wants.
+///
+/// # Errors
+/// Returns a [`ParameterError`] if the protocol parameters are invalid.
+pub fn simulate_dynamic(
+    kind: &ProtocolKind,
+    model: &ArrivalModel,
+    seed: u64,
+    options: &RunOptions,
+) -> Result<DynamicReport, ParameterError> {
+    let mut arrival_rng = Xoshiro256pp::seed_from_u64(derive_seed(seed, &[0xA11]));
+    let schedule = model.sample(&mut arrival_rng);
+    let sim = ExactSimulator::new(kind.clone(), options.clone());
+    let run = sim.run_schedule(&schedule, derive_seed(seed, &[0x51A]))?;
+    Ok(DynamicReport::from_run(&run))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn batched_model_reduces_to_static_problem() {
+        let report = simulate_dynamic(
+            &ProtocolKind::OneFailAdaptive { delta: 2.72 },
+            &ArrivalModel::batched(64),
+            1,
+            &RunOptions::default(),
+        )
+        .unwrap();
+        assert_eq!(report.messages, 64);
+        assert_eq!(report.delivered, 64);
+        assert_eq!(report.max_latency + 1, report.makespan);
+        assert!(report.throughput > 0.0 && report.throughput <= 1.0);
+        assert!(report.p50_latency <= report.p95_latency);
+        assert!(report.p95_latency <= report.max_latency as f64);
+    }
+
+    #[test]
+    fn light_poisson_load_has_low_latency() {
+        let report = simulate_dynamic(
+            &ProtocolKind::OneFailAdaptive { delta: 2.72 },
+            &ArrivalModel::Poisson {
+                rate: 0.02,
+                horizon: 3_000,
+            },
+            5,
+            &RunOptions::default(),
+        )
+        .unwrap();
+        assert_eq!(report.messages, report.delivered);
+        // Under 2% load the channel is mostly idle, so latencies stay modest
+        // compared with the batched case.
+        assert!(
+            report.mean_latency < 200.0,
+            "mean latency {}",
+            report.mean_latency
+        );
+    }
+
+    #[test]
+    fn same_seed_gives_same_arrivals_across_protocols() {
+        let model = ArrivalModel::Poisson {
+            rate: 0.05,
+            horizon: 500,
+        };
+        let a = simulate_dynamic(
+            &ProtocolKind::OneFailAdaptive { delta: 2.72 },
+            &model,
+            9,
+            &RunOptions::default(),
+        )
+        .unwrap();
+        let b = simulate_dynamic(
+            &ProtocolKind::ExpBackonBackoff { delta: 0.366 },
+            &model,
+            9,
+            &RunOptions::default(),
+        )
+        .unwrap();
+        assert_eq!(a.messages, b.messages, "identical arrival pattern");
+    }
+
+    #[test]
+    fn bursty_arrivals_are_handled() {
+        let report = simulate_dynamic(
+            &ProtocolKind::ExpBackonBackoff { delta: 0.366 },
+            &ArrivalModel::Bursts {
+                bursts: vec![(0, 20), (500, 20), (1_000, 20)],
+            },
+            13,
+            &RunOptions::default(),
+        )
+        .unwrap();
+        assert_eq!(report.messages, 60);
+        assert_eq!(report.delivered, 60);
+        assert!(report.makespan >= 1_000);
+    }
+}

@@ -1,0 +1,101 @@
+//! # mac-sim — simulation engine for contention resolution on a shared channel
+//!
+//! This crate turns the protocol state machines of `mac-protocols` and the
+//! channel model of `mac-channel` into the measurements reported in the
+//! paper's evaluation (Figure 1 and Table 1): the number of slots until a
+//! batch of `k` messages has been fully delivered, averaged over replicated
+//! runs.
+//!
+//! Three simulators are provided, trading generality for speed:
+//!
+//! | Simulator | Applies to | Cost | Used for |
+//! |-----------|-----------|------|----------|
+//! | [`exact::ExactSimulator`] | any [`mac_protocols::Protocol`], any arrival schedule | O(k) per slot | correctness reference, traces, dynamic arrivals |
+//! | [`fair::FairSimulator`] | fair protocols (One-fail/Log-fails Adaptive, oracle), batched arrivals | O(1) per slot | the paper's sweep up to k = 10⁷ |
+//! | [`window::WindowSimulator`] | window protocols (Exp Back-on/Back-off, Loglog-iterated, r-exponential), batched arrivals | O(m + w) per window | the paper's sweep up to k = 10⁷ |
+//!
+//! The fair and window simulators are *exact in distribution*: they sample
+//! the same random process as the per-station simulator, just without
+//! materialising the stations (see the crate-level DESIGN.md for the
+//! argument, and the integration tests for the statistical cross-check).
+//!
+//! On top of the simulators sit:
+//!
+//! * [`runner`] — replicated, multi-threaded experiment sweeps over a grid of
+//!   protocols × instance sizes with deterministic per-run seeds;
+//! * [`report`] — CSV / markdown / gnuplot-ready rendering of sweep results;
+//! * [`dynamic`] — latency-oriented measurements for the dynamic-arrival
+//!   extension discussed in the paper's conclusions.
+//!
+//! # Example: one run of each protocol at k = 1000
+//!
+//! ```
+//! use mac_protocols::ProtocolKind;
+//! use mac_sim::simulate;
+//!
+//! for kind in ProtocolKind::paper_lineup() {
+//!     let result = simulate(&kind, 1_000, 42).unwrap();
+//!     assert!(result.completed);
+//!     // Every protocol in the paper's line-up needs at least one slot per
+//!     // message, and far fewer than 100 slots per message at this size.
+//!     assert!(result.makespan >= 1_000);
+//!     assert!(result.makespan < 100_000, "{}", kind.label());
+//! }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod dynamic;
+pub mod exact;
+pub mod fair;
+pub mod report;
+pub mod result;
+pub mod runner;
+pub mod window;
+
+pub use exact::ExactSimulator;
+pub use fair::FairSimulator;
+pub use result::{RunOptions, RunResult};
+pub use runner::{EngineChoice, Experiment, ExperimentCell, ExperimentResults};
+pub use window::WindowSimulator;
+
+use mac_protocols::{ParameterError, ProtocolFamily, ProtocolKind};
+
+/// Simulates one batched (static k-selection) run of `kind` with `k` messages
+/// using the fastest applicable simulator, with default [`RunOptions`].
+///
+/// This is the convenience entry point used by the examples and the
+/// benchmark harness; for finer control (slot caps, per-delivery records,
+/// exact simulation, dynamic arrivals) use the simulator types directly.
+///
+/// # Errors
+/// Returns a [`ParameterError`] if the protocol parameters are invalid.
+///
+/// # Example
+/// ```
+/// use mac_protocols::ProtocolKind;
+/// let result = mac_sim::simulate(&ProtocolKind::OneFailAdaptive { delta: 2.72 }, 100, 7).unwrap();
+/// assert!(result.completed);
+/// assert_eq!(result.k, 100);
+/// ```
+pub fn simulate(kind: &ProtocolKind, k: u64, seed: u64) -> Result<RunResult, ParameterError> {
+    simulate_with_options(kind, k, seed, &RunOptions::default())
+}
+
+/// Like [`simulate`], with explicit [`RunOptions`].
+///
+/// # Errors
+/// Returns a [`ParameterError`] if the protocol parameters are invalid.
+pub fn simulate_with_options(
+    kind: &ProtocolKind,
+    k: u64,
+    seed: u64,
+    options: &RunOptions,
+) -> Result<RunResult, ParameterError> {
+    match kind.family() {
+        ProtocolFamily::Fair => FairSimulator::new(kind.clone(), options.clone()).run(k, seed),
+        ProtocolFamily::Window => WindowSimulator::new(kind.clone(), options.clone()).run(k, seed),
+    }
+}

@@ -1,0 +1,345 @@
+//! Replicated, multi-threaded experiment sweeps.
+//!
+//! An [`Experiment`] describes the full grid the paper's evaluation runs:
+//! a set of protocol configurations × a set of instance sizes × a number of
+//! replications (the paper uses 10 runs per point). The runner executes every
+//! cell with deterministic per-run seeds derived from a single master seed,
+//! distributes the runs over OS threads, and aggregates the makespans into
+//! [`ExperimentCell`]s that the reporting module renders as Figure 1 and
+//! Table 1.
+
+use crate::result::{RunOptions, RunResult};
+use crate::{simulate_with_options, ExactSimulator};
+use mac_prob::rng::derive_seed;
+use mac_prob::stats::{StreamingStats, Summary};
+use mac_protocols::{ParameterError, ProtocolKind};
+use parking_lot::Mutex;
+use serde::{Deserialize, Serialize};
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Which simulation engine the runner uses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize, Default)]
+pub enum EngineChoice {
+    /// Use the fast simulator appropriate for the protocol family (the fair
+    /// simulator for fair protocols, the window simulator for window
+    /// protocols). This is exact in distribution and is what the paper-scale
+    /// sweeps use.
+    #[default]
+    Fast,
+    /// Use the exact per-station simulator for every run (slow; intended for
+    /// validation sweeps at small `k`).
+    Exact,
+}
+
+/// Description of a sweep: protocols × instance sizes × replications.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Experiment {
+    /// Protocol configurations to evaluate.
+    pub protocols: Vec<ProtocolKind>,
+    /// Instance sizes (number of messages `k`) to evaluate.
+    pub ks: Vec<u64>,
+    /// Number of independent replications per (protocol, k) cell.
+    pub replications: u64,
+    /// Master seed from which every run's seed is derived.
+    pub master_seed: u64,
+    /// Per-run options (slot caps, recording).
+    pub options: RunOptions,
+    /// Simulation engine.
+    pub engine: EngineChoice,
+    /// Number of worker threads (0 = one per available CPU).
+    pub threads: usize,
+}
+
+impl Experiment {
+    /// The paper's evaluation grid: the five configurations of Figure 1 /
+    /// Table 1 with 10 replications, over the given instance sizes.
+    pub fn paper(ks: Vec<u64>, master_seed: u64) -> Self {
+        Self {
+            protocols: ProtocolKind::paper_lineup(),
+            ks,
+            replications: 10,
+            master_seed,
+            options: RunOptions::default(),
+            engine: EngineChoice::Fast,
+            threads: 0,
+        }
+    }
+
+    /// Runs the whole grid and aggregates per-cell statistics.
+    ///
+    /// # Errors
+    /// Returns a [`ParameterError`] if any protocol configuration is invalid
+    /// (the error is detected before any simulation starts).
+    pub fn run(&self) -> Result<ExperimentResults, ParameterError> {
+        // Validate every configuration up front so a sweep cannot fail hours in.
+        for kind in &self.protocols {
+            kind.build_node(1)?;
+        }
+
+        #[derive(Clone, Copy)]
+        struct Task {
+            protocol_index: usize,
+            k_index: usize,
+            replication: u64,
+        }
+        let mut tasks = Vec::new();
+        for (pi, _) in self.protocols.iter().enumerate() {
+            for (ki, _) in self.ks.iter().enumerate() {
+                for rep in 0..self.replications {
+                    tasks.push(Task {
+                        protocol_index: pi,
+                        k_index: ki,
+                        replication: rep,
+                    });
+                }
+            }
+        }
+
+        let threads = if self.threads == 0 {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+        } else {
+            self.threads
+        };
+        let next_task = AtomicUsize::new(0);
+        let results: Mutex<Vec<Option<RunResult>>> = Mutex::new(vec![None; tasks.len()]);
+        let failure: Mutex<Option<ParameterError>> = Mutex::new(None);
+
+        std::thread::scope(|scope| {
+            for _ in 0..threads.max(1) {
+                scope.spawn(|| loop {
+                    let index = next_task.fetch_add(1, Ordering::Relaxed);
+                    if index >= tasks.len() || failure.lock().is_some() {
+                        break;
+                    }
+                    let task = tasks[index];
+                    let kind = &self.protocols[task.protocol_index];
+                    let k = self.ks[task.k_index];
+                    let seed = derive_seed(
+                        self.master_seed,
+                        &[
+                            task.protocol_index as u64,
+                            task.k_index as u64,
+                            task.replication,
+                        ],
+                    );
+                    let outcome = match self.engine {
+                        EngineChoice::Fast => {
+                            simulate_with_options(kind, k, seed, &self.options)
+                        }
+                        EngineChoice::Exact => {
+                            ExactSimulator::new(kind.clone(), self.options.clone()).run(k, seed)
+                        }
+                    };
+                    match outcome {
+                        Ok(result) => results.lock()[index] = Some(result),
+                        Err(error) => *failure.lock() = Some(error),
+                    }
+                });
+            }
+        });
+
+        if let Some(error) = failure.into_inner() {
+            return Err(error);
+        }
+        let results = results.into_inner();
+
+        // Aggregate per cell.
+        let mut cells = Vec::new();
+        for (pi, kind) in self.protocols.iter().enumerate() {
+            for (ki, &k) in self.ks.iter().enumerate() {
+                let mut makespans = StreamingStats::new();
+                let mut ratios = StreamingStats::new();
+                let mut raw = Vec::new();
+                let mut all_completed = true;
+                for (ti, task_result) in results.iter().enumerate() {
+                    let task = tasks[ti];
+                    if task.protocol_index != pi || task.k_index != ki {
+                        continue;
+                    }
+                    let result = task_result
+                        .as_ref()
+                        .expect("every task either completed or the sweep failed");
+                    makespans.push(result.makespan as f64);
+                    ratios.push(result.ratio());
+                    raw.push(result.makespan);
+                    all_completed &= result.completed;
+                }
+                cells.push(ExperimentCell {
+                    protocol: kind.label(),
+                    kind: kind.clone(),
+                    k,
+                    replications: raw.len() as u64,
+                    makespan: makespans.summary(),
+                    ratio: ratios.summary(),
+                    makespans: raw,
+                    all_completed,
+                });
+            }
+        }
+        Ok(ExperimentResults {
+            cells,
+            master_seed: self.master_seed,
+            replications: self.replications,
+        })
+    }
+}
+
+/// Aggregated statistics for one (protocol, k) cell of a sweep.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ExperimentCell {
+    /// Human-readable protocol label.
+    pub protocol: String,
+    /// The protocol configuration.
+    pub kind: ProtocolKind,
+    /// Instance size.
+    pub k: u64,
+    /// Number of replications aggregated.
+    pub replications: u64,
+    /// Summary of the makespans (slots) over the replications.
+    pub makespan: Summary,
+    /// Summary of the slots-per-message ratios over the replications.
+    pub ratio: Summary,
+    /// Raw makespans, one per replication.
+    pub makespans: Vec<u64>,
+    /// True iff every replication delivered all messages within the slot cap.
+    pub all_completed: bool,
+}
+
+/// The full result of a sweep.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ExperimentResults {
+    /// One cell per (protocol, k) pair, in protocol-major order.
+    pub cells: Vec<ExperimentCell>,
+    /// Master seed the sweep was run with.
+    pub master_seed: u64,
+    /// Replications per cell.
+    pub replications: u64,
+}
+
+impl ExperimentResults {
+    /// Looks up the cell for a protocol label and instance size.
+    ///
+    /// When a sweep contains several configurations of the *same* protocol
+    /// (e.g. a δ ablation), their labels coincide; use
+    /// [`ExperimentResults::cell_for`] to disambiguate by full configuration.
+    pub fn cell(&self, protocol: &str, k: u64) -> Option<&ExperimentCell> {
+        self.cells
+            .iter()
+            .find(|c| c.protocol == protocol && c.k == k)
+    }
+
+    /// Looks up the cell for an exact protocol configuration and instance
+    /// size.
+    pub fn cell_for(&self, kind: &ProtocolKind, k: u64) -> Option<&ExperimentCell> {
+        self.cells.iter().find(|c| &c.kind == kind && c.k == k)
+    }
+
+    /// The distinct protocol labels, in sweep order.
+    pub fn protocols(&self) -> Vec<String> {
+        let mut seen = Vec::new();
+        for cell in &self.cells {
+            if !seen.contains(&cell.protocol) {
+                seen.push(cell.protocol.clone());
+            }
+        }
+        seen
+    }
+
+    /// The distinct instance sizes, in sweep order.
+    pub fn ks(&self) -> Vec<u64> {
+        let mut seen = Vec::new();
+        for cell in &self.cells {
+            if !seen.contains(&cell.k) {
+                seen.push(cell.k);
+            }
+        }
+        seen
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_experiment() -> Experiment {
+        Experiment {
+            protocols: vec![
+                ProtocolKind::OneFailAdaptive { delta: 2.72 },
+                ProtocolKind::ExpBackonBackoff { delta: 0.366 },
+            ],
+            ks: vec![10, 100],
+            replications: 4,
+            master_seed: 2024,
+            options: RunOptions::default(),
+            engine: EngineChoice::Fast,
+            threads: 2,
+        }
+    }
+
+    #[test]
+    fn runs_every_cell_with_the_requested_replications() {
+        let results = small_experiment().run().unwrap();
+        assert_eq!(results.cells.len(), 4);
+        for cell in &results.cells {
+            assert_eq!(cell.replications, 4);
+            assert_eq!(cell.makespans.len(), 4);
+            assert!(cell.all_completed);
+            assert!(cell.makespan.mean >= cell.k as f64);
+            assert!(cell.ratio.mean >= 1.0);
+        }
+        assert_eq!(results.protocols().len(), 2);
+        assert_eq!(results.ks(), vec![10, 100]);
+        assert!(results.cell("One-fail Adaptive", 100).is_some());
+        assert!(results.cell("One-fail Adaptive", 999).is_none());
+    }
+
+    #[test]
+    fn sweeps_are_reproducible_from_the_master_seed() {
+        let a = small_experiment().run().unwrap();
+        let b = small_experiment().run().unwrap();
+        assert_eq!(a, b);
+        let mut different = small_experiment();
+        different.master_seed = 9999;
+        let c = different.run().unwrap();
+        assert_ne!(
+            a.cells[0].makespans, c.cells[0].makespans,
+            "a different master seed must give different runs"
+        );
+    }
+
+    #[test]
+    fn thread_count_does_not_change_results() {
+        let mut one = small_experiment();
+        one.threads = 1;
+        let mut many = small_experiment();
+        many.threads = 8;
+        assert_eq!(one.run().unwrap(), many.run().unwrap());
+    }
+
+    #[test]
+    fn exact_engine_agrees_on_tiny_instances() {
+        let mut experiment = small_experiment();
+        experiment.engine = EngineChoice::Exact;
+        experiment.ks = vec![8];
+        let results = experiment.run().unwrap();
+        for cell in &results.cells {
+            assert!(cell.all_completed);
+        }
+    }
+
+    #[test]
+    fn invalid_protocol_fails_before_running() {
+        let mut experiment = small_experiment();
+        experiment.protocols.push(ProtocolKind::OneFailAdaptive { delta: 1.0 });
+        assert!(experiment.run().is_err());
+    }
+
+    #[test]
+    fn paper_grid_has_five_protocols_and_ten_replications() {
+        let experiment = Experiment::paper(vec![10, 100], 1);
+        assert_eq!(experiment.protocols.len(), 5);
+        assert_eq!(experiment.replications, 10);
+    }
+}

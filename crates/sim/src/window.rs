@@ -1,0 +1,262 @@
+//! Fast simulator for window protocols under batched arrivals.
+//!
+//! A window protocol has every station pick one uniformly random slot inside
+//! each window of a deterministic window-length sequence, transmitting only
+//! there, and reacting to nothing but the delivery of its own message. Under
+//! a batched arrival all stations share the same window boundaries, so a
+//! window of length `w` with `m` still-active stations is exactly a
+//! balls-in-bins experiment: the stations whose slot (bin) is chosen by
+//! nobody else are delivered (Lemma 1 of the paper analyses this process).
+//!
+//! The simulator therefore advances window by window: it throws `m` balls
+//! into `w` bins (`mac-prob::balls`), removes the singletons, and adds `w`
+//! slots to the clock — O(m + w) per window instead of O(m·w) station-slot
+//! decisions. Within the final window the makespan is the position of the
+//! last singleton actually needed, exactly as a per-station simulation would
+//! report it.
+
+use crate::result::{RunOptions, RunResult};
+use mac_prob::balls::throw_balls;
+use mac_prob::rng::Xoshiro256pp;
+use mac_protocols::{ParameterError, ProtocolKind, WindowSchedule};
+use rand::SeedableRng;
+
+/// Fast simulator for window protocols (Exp Back-on/Back-off, Loglog-iterated
+/// Back-off, r-exponential back-off) on a batched instance.
+///
+/// # Example
+/// ```
+/// use mac_protocols::ProtocolKind;
+/// use mac_sim::{WindowSimulator, RunOptions};
+///
+/// let sim = WindowSimulator::new(ProtocolKind::ExpBackonBackoff { delta: 0.366 }, RunOptions::default());
+/// let result = sim.run(500, 1).unwrap();
+/// assert!(result.completed);
+/// assert_eq!(result.delivered, 500);
+/// // Theorem 2's bound is 4(1+1/δ) ≈ 14.9 slots per message; observed ratios
+/// // in the paper oscillate between 4 and 8.
+/// assert!(result.ratio() < 14.9);
+/// ```
+#[derive(Debug, Clone)]
+pub struct WindowSimulator {
+    kind: ProtocolKind,
+    options: RunOptions,
+}
+
+impl WindowSimulator {
+    /// Creates a simulator for the given protocol kind.
+    pub fn new(kind: ProtocolKind, options: RunOptions) -> Self {
+        Self { kind, options }
+    }
+
+    /// Runs one batched instance with `k` messages.
+    ///
+    /// # Errors
+    /// Returns a [`ParameterError`] if the protocol parameters are invalid or
+    /// the kind is not a window protocol.
+    pub fn run(&self, k: u64, seed: u64) -> Result<RunResult, ParameterError> {
+        let schedule = self.kind.build_window()?.ok_or_else(|| {
+            ParameterError::new(
+                "protocol",
+                f64::NAN,
+                "WindowSimulator requires a window protocol (Exp Back-on/Back-off, Loglog-iterated or exponential back-off)",
+            )
+        })?;
+        let mut rng = Xoshiro256pp::seed_from_u64(seed);
+        Ok(run_window(
+            schedule,
+            self.kind.label(),
+            k,
+            seed,
+            &self.options,
+            &mut rng,
+        ))
+    }
+}
+
+pub(crate) fn run_window(
+    mut schedule: Box<dyn WindowSchedule>,
+    label: String,
+    k: u64,
+    seed: u64,
+    options: &RunOptions,
+    rng: &mut Xoshiro256pp,
+) -> RunResult {
+    let max_slots = options.max_slots(k);
+    let mut remaining = k;
+    let mut elapsed: u64 = 0;
+    let mut makespan: u64 = 0;
+    let mut collisions: u64 = 0;
+    let mut silent: u64 = 0;
+    let mut delivery_slots = options.record_deliveries.then(Vec::new);
+
+    while remaining > 0 && elapsed < max_slots {
+        let w = schedule.next_window();
+        let occupancy = throw_balls(remaining, w, rng);
+        let singles = occupancy.singletons();
+        collisions += occupancy.colliding_bins;
+        // Empty bins of a *fully used* window count as silent slots; for the
+        // final window only the prefix up to the last needed delivery counts.
+        if let Some(slots) = delivery_slots.as_mut() {
+            for &bin in &occupancy.singleton_bins {
+                slots.push(elapsed + bin);
+            }
+        }
+        remaining -= singles;
+        if remaining == 0 {
+            // Every ball of this window landed alone (otherwise some station
+            // would still be active), so the last delivery happens at the
+            // largest occupied bin; slots after it are not part of the
+            // makespan, and the colliding-bin count of this window is zero.
+            let last = *occupancy
+                .singleton_bins
+                .last()
+                .expect("remaining hit zero, so this window delivered something");
+            debug_assert_eq!(occupancy.colliding_bins, 0);
+            makespan = elapsed + last + 1;
+            silent += (last + 1) - singles;
+            elapsed = makespan;
+        } else {
+            silent += occupancy.empty_bins;
+            elapsed += w;
+            makespan = elapsed.min(max_slots);
+        }
+    }
+
+    let completed = remaining == 0;
+    if let Some(slots) = delivery_slots.as_mut() {
+        slots.sort_unstable();
+        slots.truncate((k - remaining) as usize);
+    }
+    RunResult {
+        protocol: label,
+        k,
+        seed,
+        makespan: if completed { makespan } else { max_slots },
+        completed,
+        delivered: k - remaining,
+        collisions,
+        silent_slots: silent,
+        delivery_slots,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mac_prob::stats::StreamingStats;
+
+    fn run(kind: ProtocolKind, k: u64, seed: u64) -> RunResult {
+        WindowSimulator::new(kind, RunOptions::default())
+            .run(k, seed)
+            .unwrap()
+    }
+
+    #[test]
+    fn empty_instance_completes_immediately() {
+        let r = run(ProtocolKind::ExpBackonBackoff { delta: 0.366 }, 0, 1);
+        assert!(r.completed);
+        assert_eq!(r.makespan, 0);
+    }
+
+    #[test]
+    fn single_message_delivers_in_first_window() {
+        let r = run(ProtocolKind::ExpBackonBackoff { delta: 0.366 }, 1, 2);
+        assert!(r.completed);
+        // The first window has 2 slots; a lone station is always a singleton.
+        assert!(r.makespan <= 2);
+    }
+
+    #[test]
+    fn all_window_protocols_deliver_everything() {
+        let kinds = [
+            ProtocolKind::ExpBackonBackoff { delta: 0.366 },
+            ProtocolKind::LoglogIteratedBackoff { r: 2.0 },
+            ProtocolKind::RExponentialBackoff { r: 2.0 },
+        ];
+        for kind in kinds {
+            for &k in &[10u64, 100, 1_000] {
+                let r = run(kind.clone(), k, k + 1);
+                assert!(r.completed, "{} k={k}", kind.label());
+                assert_eq!(r.delivered, k);
+                assert!(r.makespan >= k);
+            }
+        }
+    }
+
+    #[test]
+    fn ebb_ratio_stays_under_theorem2_bound_and_paper_range() {
+        let mut stats = StreamingStats::new();
+        for seed in 0..10 {
+            let r = run(ProtocolKind::ExpBackonBackoff { delta: 0.366 }, 5_000, seed);
+            assert!(r.completed);
+            stats.push(r.ratio());
+        }
+        // Theorem 2 bound: 14.9; the paper observes ratios between 4 and 8.
+        assert!(stats.max() < 14.9, "max ratio {}", stats.max());
+        assert!(
+            stats.mean() > 3.0 && stats.mean() < 9.0,
+            "mean ratio {}",
+            stats.mean()
+        );
+    }
+
+    #[test]
+    fn llib_is_slower_than_ebb_on_average() {
+        let mut ebb = StreamingStats::new();
+        let mut llib = StreamingStats::new();
+        for seed in 0..8 {
+            ebb.push(run(ProtocolKind::ExpBackonBackoff { delta: 0.366 }, 2_000, seed).ratio());
+            llib.push(run(ProtocolKind::LoglogIteratedBackoff { r: 2.0 }, 2_000, seed).ratio());
+        }
+        assert!(
+            llib.mean() > ebb.mean(),
+            "paper finding: LLIB (≈10 slots/msg) is slower than EBB (4–8): {} vs {}",
+            llib.mean(),
+            ebb.mean()
+        );
+    }
+
+    #[test]
+    fn runs_are_deterministic_per_seed() {
+        let kind = ProtocolKind::LoglogIteratedBackoff { r: 2.0 };
+        let a = run(kind.clone(), 400, 11);
+        let b = run(kind, 400, 11);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn rejects_fair_protocols() {
+        let sim = WindowSimulator::new(
+            ProtocolKind::OneFailAdaptive { delta: 2.72 },
+            RunOptions::default(),
+        );
+        assert!(sim.run(10, 0).is_err());
+    }
+
+    #[test]
+    fn delivery_slots_are_recorded_and_bounded_by_makespan() {
+        let sim = WindowSimulator::new(
+            ProtocolKind::ExpBackonBackoff { delta: 0.366 },
+            RunOptions::recording_deliveries(),
+        );
+        let r = sim.run(200, 9).unwrap();
+        let slots = r.delivery_slots.clone().expect("recording requested");
+        assert_eq!(slots.len(), 200);
+        assert!(slots.iter().all(|&s| s < r.makespan));
+        assert!(slots.windows(2).all(|w| w[0] <= w[1]));
+    }
+
+    #[test]
+    fn incomplete_run_reported_with_tiny_cap() {
+        let options = RunOptions {
+            slot_cap_per_message: 1,
+            min_slot_cap: 4,
+            record_deliveries: false,
+        };
+        let sim = WindowSimulator::new(ProtocolKind::RExponentialBackoff { r: 2.0 }, options);
+        let r = sim.run(1_000, 5).unwrap();
+        assert!(!r.completed);
+        assert!(r.delivered < 1_000);
+    }
+}

@@ -1,0 +1,68 @@
+//! Property-based tests for the simulation engine.
+
+use mac_protocols::ProtocolKind;
+use mac_sim::{simulate_with_options, ExactSimulator, RunOptions};
+use proptest::prelude::*;
+
+fn any_paper_protocol() -> impl Strategy<Value = ProtocolKind> {
+    (0usize..5).prop_map(|i| ProtocolKind::paper_lineup()[i].clone())
+}
+
+proptest! {
+    // Simulation is comparatively expensive; keep the case count moderate.
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn fast_simulators_always_solve_small_instances(
+        kind in any_paper_protocol(),
+        k in 0u64..=300,
+        seed in any::<u64>(),
+    ) {
+        let result = simulate_with_options(&kind, k, seed, &RunOptions::default()).unwrap();
+        prop_assert!(result.completed);
+        prop_assert_eq!(result.delivered, k);
+        prop_assert_eq!(result.k, k);
+        if k > 0 {
+            prop_assert!(result.makespan >= k, "at least one slot per message");
+        } else {
+            prop_assert_eq!(result.makespan, 0);
+        }
+    }
+
+    #[test]
+    fn recorded_delivery_slots_are_consistent_with_makespan(
+        kind in any_paper_protocol(),
+        k in 1u64..=200,
+        seed in any::<u64>(),
+    ) {
+        let result = simulate_with_options(&kind, k, seed, &RunOptions::recording_deliveries()).unwrap();
+        let slots = result.delivery_slots.clone().unwrap();
+        prop_assert_eq!(slots.len() as u64, k);
+        prop_assert!(slots.windows(2).all(|w| w[0] <= w[1]));
+        prop_assert_eq!(slots.last().copied().unwrap() + 1, result.makespan);
+    }
+
+    #[test]
+    fn simulation_is_a_pure_function_of_the_seed(
+        kind in any_paper_protocol(),
+        k in 1u64..=150,
+        seed in any::<u64>(),
+    ) {
+        let a = simulate_with_options(&kind, k, seed, &RunOptions::default()).unwrap();
+        let b = simulate_with_options(&kind, k, seed, &RunOptions::default()).unwrap();
+        prop_assert_eq!(a, b);
+    }
+
+    #[test]
+    fn exact_simulator_solves_everything_it_is_given(
+        kind in any_paper_protocol(),
+        k in 0u64..=40,
+        seed in any::<u64>(),
+    ) {
+        let result = ExactSimulator::new(kind, RunOptions::default()).run(k, seed).unwrap();
+        prop_assert!(result.completed);
+        prop_assert_eq!(result.delivered, k);
+        // The makespan decomposes into deliveries + collisions + silent slots.
+        prop_assert_eq!(result.makespan, result.delivered + result.collisions + result.silent_slots);
+    }
+}

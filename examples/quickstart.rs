@@ -1,0 +1,53 @@
+//! Quickstart: solve static k-selection with the paper's two protocols.
+//!
+//! ```bash
+//! cargo run --release --example quickstart
+//! ```
+//!
+//! A batch of `k` stations wakes up holding one message each on a shared
+//! slotted channel without collision detection. Nobody knows `k` (not even an
+//! upper bound). The example runs One-fail Adaptive and Exp Back-on/Back-off
+//! and compares the measured number of slots against the paper's analytical
+//! constants.
+
+use contention_resolution::prelude::*;
+
+fn main() {
+    let k = 10_000;
+    let seed = 2024;
+
+    println!("static k-selection, k = {k} stations, channel without collision detection\n");
+
+    let configurations = [
+        (
+            ProtocolKind::OneFailAdaptive { delta: 2.72 },
+            analysis::ofa_linear_factor(2.72).expect("paper delta is valid"),
+        ),
+        (
+            ProtocolKind::ExpBackonBackoff { delta: 0.366 },
+            analysis::ebb_linear_factor(0.366).expect("paper delta is valid"),
+        ),
+    ];
+
+    for (kind, analytical_factor) in configurations {
+        let result = simulate(&kind, k, seed).expect("paper parameters are valid");
+        assert!(result.completed, "every message must be delivered");
+        println!("{}", kind.label());
+        println!("  slots used          : {}", result.makespan);
+        println!("  slots per message   : {:.2}", result.ratio());
+        println!("  analysis (w.h.p.)   : {:.1} slots per message", analytical_factor);
+        println!(
+            "  channel utilisation : {:.1}% of slots delivered a message",
+            100.0 * result.utilisation()
+        );
+        println!(
+            "  collisions / silent : {} / {}\n",
+            result.collisions, result.silent_slots
+        );
+    }
+
+    println!(
+        "reference: no fair protocol can beat e ≈ {:.3} slots per message on average",
+        analysis::fair_protocol_optimal_ratio()
+    );
+}

@@ -1,0 +1,132 @@
+//! Integration tests for the channel model options and the dynamic-arrival
+//! extension, exercised through the public API of the facade crate.
+
+use contention_resolution::channel::{AckMode, ArrivalModel, ChannelModel};
+use contention_resolution::prelude::*;
+
+#[test]
+fn paper_channel_model_is_the_default() {
+    let model = ChannelModel::default();
+    assert!(!model.collision_detection);
+    assert_eq!(model.ack_mode, AckMode::Immediate);
+}
+
+#[test]
+fn collision_detection_does_not_change_protocol_correctness() {
+    // The paper's protocols never use the extra feedback, so enabling
+    // collision detection must not change whether they terminate.
+    for kind in [
+        ProtocolKind::OneFailAdaptive { delta: 2.72 },
+        ProtocolKind::ExpBackonBackoff { delta: 0.366 },
+    ] {
+        let plain = ExactSimulator::new(kind.clone(), RunOptions::default())
+            .run(64, 3)
+            .unwrap();
+        let with_cd = ExactSimulator::new(kind.clone(), RunOptions::default())
+            .with_model(ChannelModel::with_collision_detection())
+            .run(64, 3)
+            .unwrap();
+        assert!(plain.completed && with_cd.completed);
+        assert_eq!(
+            plain.makespan, with_cd.makespan,
+            "{}: identical seeds and identical protocol behaviour must give identical runs",
+            kind.label()
+        );
+    }
+}
+
+#[test]
+fn dynamic_poisson_load_is_eventually_drained() {
+    let report = simulate_dynamic(
+        &ProtocolKind::OneFailAdaptive { delta: 2.72 },
+        &ArrivalModel::Poisson {
+            rate: 0.10,
+            horizon: 2_000,
+        },
+        7,
+        &RunOptions::default(),
+    )
+    .unwrap();
+    assert_eq!(report.delivered, report.messages, "all messages drained");
+    assert!(report.throughput > 0.0);
+    assert!(report.mean_latency <= report.max_latency as f64);
+}
+
+#[test]
+fn bursty_arrivals_behave_like_repeated_batches_when_spaced_out() {
+    // Two bursts of 100 messages, 10,000 slots apart: each burst is an
+    // independent static instance, so the worst latency should be in the same
+    // ballpark as a single k=100 batch makespan (far below the 10,000-slot
+    // spacing).
+    let report = simulate_dynamic(
+        &ProtocolKind::ExpBackonBackoff { delta: 0.366 },
+        &ArrivalModel::Bursts {
+            bursts: vec![(0, 100), (10_000, 100)],
+        },
+        13,
+        &RunOptions::default(),
+    )
+    .unwrap();
+    assert_eq!(report.delivered, 200);
+    assert!(
+        report.max_latency < 5_000,
+        "each burst must drain well before the next one (max latency {})",
+        report.max_latency
+    );
+    assert!(report.makespan > 10_000, "second burst starts at slot 10,000");
+}
+
+#[test]
+fn batched_arrival_model_equals_direct_batched_simulation() {
+    // Running through the dynamic front-end with a batched model must measure
+    // the same process as the static entry point.
+    let kind = ProtocolKind::OneFailAdaptive { delta: 2.72 };
+    let report = simulate_dynamic(
+        &kind,
+        &ArrivalModel::batched(128),
+        21,
+        &RunOptions::default(),
+    )
+    .unwrap();
+    assert_eq!(report.messages, 128);
+    assert_eq!(report.delivered, 128);
+    assert_eq!(report.max_latency + 1, report.makespan);
+    // Ratio in the same range as the static simulation at this size.
+    let ratio = report.makespan as f64 / 128.0;
+    assert!(ratio > 2.0 && ratio < 20.0, "ratio {ratio}");
+}
+
+#[test]
+fn arrival_models_report_expected_message_counts() {
+    assert_eq!(ArrivalModel::batched(42).expected_messages(), 42.0);
+    assert_eq!(
+        ArrivalModel::Poisson {
+            rate: 0.5,
+            horizon: 100
+        }
+        .expected_messages(),
+        50.0
+    );
+    assert_eq!(
+        ArrivalModel::Bursts {
+            bursts: vec![(0, 10), (5, 20)]
+        }
+        .expected_messages(),
+        30.0
+    );
+}
+
+#[test]
+fn channel_trace_shows_contention_then_resolution() {
+    use contention_resolution::channel::{Channel, NodeId};
+
+    // Drive the channel manually to confirm the public trace API works end to
+    // end (the examples print these timelines).
+    let mut channel = Channel::new(ChannelModel::default()).with_trace(16);
+    channel.resolve_slot(&[NodeId(0), NodeId(1)]);
+    channel.resolve_slot(&[]);
+    channel.resolve_slot(&[NodeId(1)]);
+    let trace = channel.trace().unwrap();
+    assert_eq!(trace.ascii_timeline(), "x.*");
+    assert_eq!(trace.delivery_slots(), vec![2]);
+}

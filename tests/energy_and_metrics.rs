@@ -1,0 +1,99 @@
+//! Integration tests for the per-station energy (transmission-count) metrics
+//! and the latency histogram tooling — the measurements the sensor-network
+//! motivation of the paper cares about beyond raw makespan.
+
+use contention_resolution::prelude::*;
+use contention_resolution::prob::histogram::Histogram;
+use contention_resolution::channel::ArrivalSchedule;
+
+fn detailed_run(kind: ProtocolKind, k: usize, seed: u64) -> contention_resolution::sim::exact::DetailedRun {
+    ExactSimulator::new(kind, RunOptions::default())
+        .run_schedule(&ArrivalSchedule::new(vec![0; k]), seed)
+        .expect("valid parameters")
+}
+
+#[test]
+fn every_delivered_station_transmits_at_least_once() {
+    for kind in ProtocolKind::paper_lineup() {
+        let run = detailed_run(kind.clone(), 48, 7);
+        assert!(run.result.completed, "{}", kind.label());
+        for message in &run.messages {
+            assert!(message.delivered_slot.is_some());
+            assert!(
+                message.transmissions >= 1,
+                "{}: a delivery requires a transmission",
+                kind.label()
+            );
+        }
+        assert!(run.total_transmissions() >= 48);
+        assert_eq!(
+            run.max_transmissions(),
+            run.messages.iter().map(|m| m.transmissions).max().unwrap()
+        );
+    }
+}
+
+#[test]
+fn window_protocols_spend_less_energy_than_persistent_fair_probing() {
+    // A window protocol transmits once per window (a handful of times in
+    // total), whereas One-fail Adaptive probes with probability up to 1 in
+    // early BT-steps; both must stay within a small factor of the optimum
+    // (one transmission per message), which is the energy argument for this
+    // protocol family in sensor networks.
+    let ebb = detailed_run(ProtocolKind::ExpBackonBackoff { delta: 0.366 }, 64, 3);
+    let ofa = detailed_run(ProtocolKind::OneFailAdaptive { delta: 2.72 }, 64, 3);
+    let ebb_mean = ebb.mean_transmissions().unwrap();
+    let ofa_mean = ofa.mean_transmissions().unwrap();
+    assert!(ebb_mean >= 1.0 && ebb_mean < 30.0, "EBB mean energy {ebb_mean}");
+    // One-fail Adaptive probes aggressively in its early BT-steps (probability
+    // 1 while σ = 0), so its per-station energy is markedly higher — but still
+    // bounded well below one transmission per slot.
+    assert!(ofa_mean >= 1.0 && ofa_mean < 200.0, "OFA mean energy {ofa_mean}");
+    assert!(
+        ebb_mean < ofa_mean,
+        "the window protocol should be the energy-frugal one ({ebb_mean:.1} vs {ofa_mean:.1})"
+    );
+    // The window protocol transmits only once per window, so its energy per
+    // message is bounded by the number of windows elapsed — far fewer than
+    // the number of slots.
+    assert!(
+        (ebb.max_transmissions() as u64) < ebb.result.makespan,
+        "energy is measured in windows, not slots"
+    );
+}
+
+#[test]
+fn latency_histogram_summarises_a_batched_run() {
+    let run = detailed_run(ProtocolKind::ExpBackonBackoff { delta: 0.366 }, 128, 11);
+    let histogram: Histogram = run.latencies().into_iter().collect();
+    assert_eq!(histogram.count(), 128);
+    assert_eq!(histogram.max().unwrap() + 1, run.result.makespan);
+    // The histogram's quantile upper bound must dominate the exact p95.
+    let mut latencies: Vec<f64> = run.latencies().iter().map(|&l| l as f64).collect();
+    latencies.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    let exact_p95 = latencies[(0.95 * latencies.len() as f64) as usize];
+    let bound = histogram.quantile_upper_bound(0.95).unwrap() as f64;
+    assert!(
+        bound >= exact_p95,
+        "histogram bound {bound} must dominate the exact p95 {exact_p95}"
+    );
+    // The ASCII rendering has one bar per non-empty bucket and mentions the
+    // largest bucket's count.
+    let art = histogram.ascii(30);
+    assert_eq!(art.lines().count(), histogram.buckets().len());
+}
+
+#[test]
+fn energy_grows_slowly_with_instance_size_for_window_protocols() {
+    // The number of windows a station lives through grows only
+    // logarithmically with k, so the per-station energy should grow far more
+    // slowly than k.
+    let small = detailed_run(ProtocolKind::ExpBackonBackoff { delta: 0.366 }, 16, 5);
+    let large = detailed_run(ProtocolKind::ExpBackonBackoff { delta: 0.366 }, 256, 5);
+    let small_mean = small.mean_transmissions().unwrap();
+    let large_mean = large.mean_transmissions().unwrap();
+    assert!(
+        large_mean < small_mean * 8.0,
+        "energy must not scale linearly with k: {small_mean} -> {large_mean}"
+    );
+}

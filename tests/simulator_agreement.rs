@@ -1,0 +1,162 @@
+//! Integration tests validating the fast simulators against the exact
+//! per-station simulator and checking determinism / reproducibility of the
+//! experiment runner across crates.
+
+use contention_resolution::prelude::*;
+use contention_resolution::prob::stats::StreamingStats;
+
+/// Mean and standard error of the makespan over `reps` replications.
+fn makespan_stats<F: Fn(u64) -> u64>(reps: u64, run: F) -> StreamingStats {
+    let mut stats = StreamingStats::new();
+    for seed in 0..reps {
+        stats.push(run(seed) as f64);
+    }
+    stats
+}
+
+fn assert_means_agree(a: &StreamingStats, b: &StreamingStats, label: &str) {
+    // 4-sigma agreement of the means, with an absolute floor for tiny values.
+    let tolerance = (4.0 * (a.std_error() + b.std_error())).max(8.0);
+    assert!(
+        (a.mean() - b.mean()).abs() < tolerance,
+        "{label}: exact mean {:.1} vs fast mean {:.1} (tolerance {:.1})",
+        a.mean(),
+        b.mean(),
+        tolerance
+    );
+}
+
+#[test]
+fn fair_fast_path_matches_exact_simulation_for_one_fail_adaptive() {
+    let kind = ProtocolKind::OneFailAdaptive { delta: 2.72 };
+    let k = 32;
+    let reps = 60;
+    let exact = makespan_stats(reps, |seed| {
+        ExactSimulator::new(kind.clone(), RunOptions::default())
+            .run(k, seed)
+            .unwrap()
+            .makespan
+    });
+    let fast = makespan_stats(reps, |seed| {
+        simulate(&kind, k, 7_000 + seed).unwrap().makespan
+    });
+    assert_means_agree(&exact, &fast, "One-fail Adaptive, k=32");
+}
+
+#[test]
+fn fair_fast_path_matches_exact_simulation_for_log_fails_adaptive() {
+    let kind = ProtocolKind::LogFailsAdaptive {
+        xi_delta: 0.1,
+        xi_beta: 0.1,
+        xi_t: 0.5,
+    };
+    let k = 32;
+    let reps = 60;
+    let exact = makespan_stats(reps, |seed| {
+        ExactSimulator::new(kind.clone(), RunOptions::default())
+            .run(k, seed)
+            .unwrap()
+            .makespan
+    });
+    let fast = makespan_stats(reps, |seed| {
+        simulate(&kind, k, 9_000 + seed).unwrap().makespan
+    });
+    assert_means_agree(&exact, &fast, "Log-fails Adaptive, k=32");
+}
+
+#[test]
+fn window_fast_path_matches_exact_simulation_for_ebb_and_llib() {
+    for kind in [
+        ProtocolKind::ExpBackonBackoff { delta: 0.366 },
+        ProtocolKind::LoglogIteratedBackoff { r: 2.0 },
+    ] {
+        let k = 32;
+        let reps = 60;
+        let exact = makespan_stats(reps, |seed| {
+            ExactSimulator::new(kind.clone(), RunOptions::default())
+                .run(k, seed)
+                .unwrap()
+                .makespan
+        });
+        let fast = makespan_stats(reps, |seed| {
+            simulate(&kind, k, 11_000 + seed).unwrap().makespan
+        });
+        assert_means_agree(&exact, &fast, &kind.label());
+    }
+}
+
+#[test]
+fn experiment_runner_is_reproducible_and_thread_count_independent() {
+    let base = Experiment {
+        protocols: vec![
+            ProtocolKind::OneFailAdaptive { delta: 2.72 },
+            ProtocolKind::ExpBackonBackoff { delta: 0.366 },
+            ProtocolKind::LoglogIteratedBackoff { r: 2.0 },
+        ],
+        ks: vec![50, 500],
+        replications: 3,
+        master_seed: 777,
+        options: RunOptions::default(),
+        engine: EngineChoice::Fast,
+        threads: 1,
+    };
+    let single = base.run().unwrap();
+    let mut parallel = base.clone();
+    parallel.threads = 4;
+    assert_eq!(single, parallel.run().unwrap());
+}
+
+#[test]
+fn exact_engine_and_fast_engine_agree_in_the_runner() {
+    let mut experiment = Experiment {
+        protocols: vec![ProtocolKind::ExpBackonBackoff { delta: 0.366 }],
+        ks: vec![24],
+        replications: 30,
+        master_seed: 31,
+        options: RunOptions::default(),
+        engine: EngineChoice::Fast,
+        threads: 0,
+    };
+    let fast = experiment.run().unwrap();
+    experiment.engine = EngineChoice::Exact;
+    experiment.master_seed = 32;
+    let exact = experiment.run().unwrap();
+    let f = &fast.cells[0];
+    let e = &exact.cells[0];
+    let tolerance = (4.0 * (f.makespan.std_dev + e.makespan.std_dev)
+        / (f.replications as f64).sqrt())
+    .max(8.0);
+    assert!(
+        (f.makespan.mean - e.makespan.mean).abs() < tolerance,
+        "fast {} vs exact {} (tolerance {tolerance:.1})",
+        f.makespan.mean,
+        e.makespan.mean
+    );
+}
+
+#[test]
+fn reports_render_consistently_from_a_real_sweep() {
+    let results = Experiment {
+        protocols: ProtocolKind::paper_lineup(),
+        ks: vec![10, 100],
+        replications: 2,
+        master_seed: 5,
+        options: RunOptions::default(),
+        engine: EngineChoice::Fast,
+        threads: 0,
+    }
+    .run()
+    .unwrap();
+
+    let csv = to_csv(&results);
+    assert_eq!(csv.trim().lines().count(), 1 + 5 * 2);
+
+    let table = table1_markdown(&results);
+    for label in ["One-fail Adaptive", "Exp Back-on/Back-off", "Loglog-iterated Back-off"] {
+        assert!(table.contains(label), "table must contain {label}");
+    }
+    assert!(table.contains("7.4") && table.contains("14.9") && table.contains("7.8") && table.contains("4.4"));
+
+    let series = figure1_series(&results);
+    assert_eq!(series.matches("# k  mean_steps").count(), 5);
+}
