@@ -22,20 +22,16 @@ fn bench_fast_simulators(c: &mut Criterion) {
     for kind in ProtocolKind::paper_lineup() {
         for &k in &[1_000u64, 10_000, 100_000] {
             group.throughput(Throughput::Elements(k));
-            group.bench_with_input(
-                BenchmarkId::new(kind.label(), k),
-                &k,
-                |bencher, &k| {
-                    let mut seed = 0u64;
-                    bencher.iter(|| {
-                        seed = seed.wrapping_add(1);
-                        let result = simulate(black_box(&kind), black_box(k), seed)
-                            .expect("paper parameters are valid");
-                        assert!(result.completed);
-                        black_box(result.makespan)
-                    });
-                },
-            );
+            group.bench_with_input(BenchmarkId::new(kind.label(), k), &k, |bencher, &k| {
+                let mut seed = 0u64;
+                bencher.iter(|| {
+                    seed = seed.wrapping_add(1);
+                    let result = simulate(black_box(&kind), black_box(k), seed)
+                        .expect("paper parameters are valid");
+                    assert!(result.completed);
+                    black_box(result.makespan)
+                });
+            });
         }
     }
     group.finish();
@@ -52,20 +48,16 @@ fn bench_exact_simulator(c: &mut Criterion) {
     ] {
         for &k in &[100u64, 1_000] {
             group.throughput(Throughput::Elements(k));
-            group.bench_with_input(
-                BenchmarkId::new(kind.label(), k),
-                &k,
-                |bencher, &k| {
-                    let sim = ExactSimulator::new(kind.clone(), RunOptions::default());
-                    let mut seed = 0u64;
-                    bencher.iter(|| {
-                        seed = seed.wrapping_add(1);
-                        let result = sim.run(black_box(k), seed).expect("valid parameters");
-                        assert!(result.completed);
-                        black_box(result.makespan)
-                    });
-                },
-            );
+            group.bench_with_input(BenchmarkId::new(kind.label(), k), &k, |bencher, &k| {
+                let sim = ExactSimulator::new(kind.clone(), RunOptions::default());
+                let mut seed = 0u64;
+                bencher.iter(|| {
+                    seed = seed.wrapping_add(1);
+                    let result = sim.run(black_box(k), seed).expect("valid parameters");
+                    assert!(result.completed);
+                    black_box(result.makespan)
+                });
+            });
         }
     }
     group.finish();

@@ -5,10 +5,12 @@
 //! Run with `cargo bench -p mac-bench --bench sim_throughput`.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
-use mac_prob::balls::throw_balls;
+use mac_prob::balls::{occupancy_counts, throw_balls, OccupancyScratch};
 use mac_prob::outcome::sample_slot_outcome;
 use mac_prob::rng::Xoshiro256pp;
 use mac_prob::sampling::sample_binomial;
+use mac_protocols::ProtocolKind;
+use mac_sim::{RunOptions, WindowSimulator};
 use rand::SeedableRng;
 use std::hint::black_box;
 
@@ -36,7 +38,71 @@ fn bench_balls_in_bins(c: &mut Criterion) {
         group.throughput(Throughput::Elements(m));
         group.bench_with_input(BenchmarkId::new("balls", m), &m, |bencher, &m| {
             let mut rng = Xoshiro256pp::seed_from_u64(2);
-            bencher.iter(|| black_box(throw_balls(black_box(m), black_box(m), &mut rng).singletons()));
+            bencher
+                .iter(|| black_box(throw_balls(black_box(m), black_box(m), &mut rng).singletons()));
+        });
+    }
+    group.finish();
+}
+
+/// The occupancy experiment at the heart of every window-simulator step,
+/// through both engines: the naive path materialising a full
+/// [`mac_prob::balls::BinsOccupancy`] (assignments + singleton list) per
+/// window, and the counts-only path reusing an [`OccupancyScratch`]. The
+/// counts-only path is the baseline the window simulator runs on; this
+/// comparison is the perf-regression tripwire for it (expected ≥ 2× at
+/// m = 10⁶).
+fn bench_occupancy_paths(c: &mut Criterion) {
+    let mut group = c.benchmark_group("occupancy_paths");
+    group.sample_size(20);
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    for &m in &[10_000u64, 1_000_000] {
+        group.throughput(Throughput::Elements(m));
+        group.bench_with_input(
+            BenchmarkId::new("full_bins_occupancy", m),
+            &m,
+            |bencher, &m| {
+                let mut rng = Xoshiro256pp::seed_from_u64(4);
+                bencher.iter(|| {
+                    black_box(throw_balls(black_box(m), black_box(m), &mut rng).singletons())
+                });
+            },
+        );
+        group.bench_with_input(BenchmarkId::new("counts_only", m), &m, |bencher, &m| {
+            let mut rng = Xoshiro256pp::seed_from_u64(4);
+            let mut scratch = OccupancyScratch::new();
+            bencher.iter(|| {
+                black_box(
+                    occupancy_counts(black_box(m), black_box(m), &mut rng, &mut scratch).singletons,
+                )
+            });
+        });
+    }
+    group.finish();
+}
+
+/// One complete window-simulator run (Exp Back-on/Back-off) per iteration:
+/// the unit of work behind every Figure 1 data point of the window family.
+fn bench_window_simulator_run(c: &mut Criterion) {
+    let mut group = c.benchmark_group("window_simulator_run");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(3));
+    for &k in &[100_000u64, 1_000_000] {
+        group.throughput(Throughput::Elements(k));
+        group.bench_with_input(BenchmarkId::new("ebb", k), &k, |bencher, &k| {
+            let sim = WindowSimulator::new(
+                ProtocolKind::ExpBackonBackoff { delta: 0.366 },
+                RunOptions::default(),
+            );
+            let mut seed = 0u64;
+            bencher.iter(|| {
+                seed = seed.wrapping_add(1);
+                let result = sim.run(black_box(k), seed).expect("valid parameters");
+                assert!(result.completed);
+                black_box(result.makespan)
+            });
         });
     }
     group.finish();
@@ -47,17 +113,20 @@ fn bench_binomial_sampler(c: &mut Criterion) {
     group.warm_up_time(std::time::Duration::from_millis(500));
     group.measurement_time(std::time::Duration::from_secs(2));
     for &(n, p) in &[(1_000u64, 0.001f64), (1_000_000, 0.000_001)] {
-        group.bench_with_input(
-            BenchmarkId::new("n", n),
-            &(n, p),
-            |bencher, &(n, p)| {
-                let mut rng = Xoshiro256pp::seed_from_u64(3);
-                bencher.iter(|| black_box(sample_binomial(black_box(n), black_box(p), &mut rng)));
-            },
-        );
+        group.bench_with_input(BenchmarkId::new("n", n), &(n, p), |bencher, &(n, p)| {
+            let mut rng = Xoshiro256pp::seed_from_u64(3);
+            bencher.iter(|| black_box(sample_binomial(black_box(n), black_box(p), &mut rng)));
+        });
     }
     group.finish();
 }
 
-criterion_group!(benches, bench_slot_outcome, bench_balls_in_bins, bench_binomial_sampler);
+criterion_group!(
+    benches,
+    bench_slot_outcome,
+    bench_balls_in_bins,
+    bench_occupancy_paths,
+    bench_window_simulator_run,
+    bench_binomial_sampler
+);
 criterion_main!(benches);

@@ -40,18 +40,29 @@ fn main() {
     let results = experiment.run().expect("all sweep parameters are valid");
 
     println!("Ablation: monotone back-off growth factor r vs the paper's protocols");
-    println!("(ratio slots/k, mean over {} replications)\n", results.replications);
-    println!("{:<34} {:>10} {:>10} {:>10}", "protocol", "k=1e3", "k=1e4", "k=1e5");
+    println!(
+        "(ratio slots/k, mean over {} replications)\n",
+        results.replications
+    );
+    println!(
+        "{:<34} {:>10} {:>10} {:>10}",
+        "protocol", "k=1e3", "k=1e4", "k=1e5"
+    );
     for kind in &protocols {
         let label = match kind {
-            ProtocolKind::LoglogIteratedBackoff { r } => format!("Loglog-iterated Back-off (r={r})"),
+            ProtocolKind::LoglogIteratedBackoff { r } => {
+                format!("Loglog-iterated Back-off (r={r})")
+            }
             _ => kind.label(),
         };
         let row: Vec<f64> = ks
             .iter()
             .map(|&k| results.cell_for(kind, k).expect("cell exists").ratio.mean)
             .collect();
-        println!("{label:<34} {:>10.2} {:>10.2} {:>10.2}", row[0], row[1], row[2]);
+        println!(
+            "{label:<34} {:>10.2} {:>10.2} {:>10.2}",
+            row[0], row[1], row[2]
+        );
     }
 
     println!("\n--- raw per-cell statistics (CSV) ---");

@@ -42,7 +42,10 @@ fn main() {
     let results = experiment.run().expect("all sweep parameters are valid");
 
     println!("Ablation: One-fail Adaptive delta sweep (analysis factor 2(delta+1))\n");
-    println!("{:>8} {:>12} {:>12} {:>12} {:>12}", "delta", "k=1e3", "k=1e4", "k=1e5", "analysis");
+    println!(
+        "{:>8} {:>12} {:>12} {:>12} {:>12}",
+        "delta", "k=1e3", "k=1e4", "k=1e5", "analysis"
+    );
     for &delta in &ofa_deltas {
         let kind = ProtocolKind::OneFailAdaptive { delta };
         let row: Vec<f64> = ks
@@ -59,7 +62,10 @@ fn main() {
     }
 
     println!("\nAblation: Exp Back-on/Back-off delta sweep (analysis factor 4(1+1/delta))\n");
-    println!("{:>8} {:>12} {:>12} {:>12} {:>12}", "delta", "k=1e3", "k=1e4", "k=1e5", "analysis");
+    println!(
+        "{:>8} {:>12} {:>12} {:>12} {:>12}",
+        "delta", "k=1e3", "k=1e4", "k=1e5", "analysis"
+    );
     for &delta in &ebb_deltas {
         let kind = ProtocolKind::ExpBackonBackoff { delta };
         let row: Vec<f64> = ks

@@ -33,7 +33,9 @@ fn main() {
     eprintln!("sweep finished in {:.1?}", started.elapsed());
 
     println!("# Figure 1 — average steps to solve static k-selection, per number of stations k");
-    println!("# (paper: Fernandez Anta, Mosteiro, Munoz; PODC 2011. 10-run averages, log-log axes.)");
+    println!(
+        "# (paper: Fernandez Anta, Mosteiro, Munoz; PODC 2011. 10-run averages, log-log axes.)"
+    );
     println!();
     println!("{}", figure1_series(&results));
     println!("# --- raw per-cell statistics (CSV) ---");

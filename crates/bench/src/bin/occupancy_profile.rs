@@ -1,0 +1,99 @@
+//! Component-cost profile of the occupancy engine at paper scale: times each
+//! phase (RNG draw, histogram increment, clear strategy, partitioned
+//! counting) in isolation so that regressions can be attributed to a phase.
+//! Development tool; not part of the perf-tracking artefacts.
+
+use mac_prob::rng::Xoshiro256pp;
+use rand::{Rng, SeedableRng};
+use std::hint::black_box;
+use std::time::Instant;
+
+fn time<F: FnMut()>(label: &str, reps: u32, mut f: F) {
+    // Warm-up.
+    f();
+    let started = Instant::now();
+    for _ in 0..reps {
+        f();
+    }
+    println!(
+        "{label}: {:.2} ms",
+        started.elapsed().as_secs_f64() * 1e3 / f64::from(reps)
+    );
+}
+
+fn main() {
+    const M: usize = 1_000_000;
+    let w = M as u64;
+    let mut rng = Xoshiro256pp::seed_from_u64(1);
+    let mut assignments = vec![0u64; M];
+    let mut counts = vec![0u32; M];
+    let mut partitioned = vec![0u64; M];
+
+    time("draw only", 10, || {
+        let mut acc = 0u64;
+        for _ in 0..M {
+            acc ^= rng.gen_range(0..w);
+        }
+        black_box(acc);
+    });
+
+    time("draw + store", 10, || {
+        for slot in assignments.iter_mut() {
+            *slot = rng.gen_range(0..w);
+        }
+        black_box(&assignments);
+    });
+
+    time("direct histogram (random access)", 10, || {
+        for &a in &assignments {
+            counts[a as usize] += 1;
+        }
+        black_box(&counts);
+        for &a in &assignments {
+            counts[a as usize] = 0;
+        }
+    });
+
+    time("clear via memset", 10, || {
+        counts.fill(0);
+        black_box(&counts);
+    });
+
+    const BUCKET_BITS: u32 = 15;
+    let buckets = (M >> BUCKET_BITS) + 1;
+    let mut bucket_counts = vec![0usize; buckets + 1];
+    // Hoisted out of the timed region: the phase comparison must not charge
+    // the partitioned strategy for an allocation the direct one doesn't make.
+    let mut cursors = vec![0usize; buckets];
+    time("partitioned histogram", 10, || {
+        bucket_counts[..=buckets].fill(0);
+        for &a in &assignments {
+            bucket_counts[(a >> BUCKET_BITS) as usize + 1] += 1;
+        }
+        for b in 0..buckets {
+            bucket_counts[b + 1] += bucket_counts[b];
+        }
+        cursors.copy_from_slice(&bucket_counts[..buckets]);
+        for &a in &assignments {
+            let b = (a >> BUCKET_BITS) as usize;
+            partitioned[cursors[b]] = a;
+            cursors[b] += 1;
+        }
+        let mut singles = 0u64;
+        for b in 0..buckets {
+            let (lo, hi) = (bucket_counts[b], bucket_counts[b + 1]);
+            for &a in &partitioned[lo..hi] {
+                counts[a as usize] += 1;
+            }
+            for &a in &partitioned[lo..hi] {
+                if counts[a as usize] == 1 {
+                    singles += 1;
+                }
+            }
+            let base = b << BUCKET_BITS;
+            let end = (base + (1 << BUCKET_BITS)).min(M);
+            counts[base..end].fill(0);
+        }
+        black_box(singles);
+    });
+}

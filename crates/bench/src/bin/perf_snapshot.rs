@@ -1,0 +1,161 @@
+//! Perf snapshot: slots/second of each simulation engine, written to the
+//! next free `BENCH_NN.json` in the current directory (`BENCH_01.json` if
+//! none exists — committed snapshots are never overwritten). See the
+//! crate-level documentation of `mac-bench` for how `BENCH_*.json` files
+//! accumulate.
+//!
+//! ```bash
+//! # The committed BENCH_01.json was generated from the repository root with:
+//! cargo run -p mac-bench --release --bin perf_snapshot -- --max-exp 6
+//! # Options (via the shared HarnessOptions parser):
+//! #   --seed S     master seed (default 2011)
+//! #   --max-exp N  largest fast-simulator instance is 10^N (default 5)
+//! #   --reps R     timed repetitions per point, best-of (default 10, min 3)
+//! ```
+//!
+//! Three engines are measured:
+//!
+//! * **fair** — [`mac_sim::FairSimulator`] running One-fail Adaptive, at
+//!   `k = 10⁴ … 10^max_exp`;
+//! * **window** — [`mac_sim::WindowSimulator`] running Exp Back-on/Back-off,
+//!   at the same sizes;
+//! * **exact** — [`mac_sim::ExactSimulator`] (per-station reference) running
+//!   One-fail Adaptive at `k = 10², 10³`: it is O(active stations) per slot,
+//!   so paper-scale sizes are not meaningful for it.
+//!
+//! The throughput figure is `makespan / wall_time` of a complete run — slots
+//! simulated per second, best over the repetitions (the least-noise
+//! estimator for a quantity bounded above by the hardware).
+
+use mac_bench::HarnessOptions;
+use mac_protocols::ProtocolKind;
+use mac_sim::{ExactSimulator, FairSimulator, RunOptions, WindowSimulator};
+use std::fmt::Write as _;
+use std::time::Instant;
+
+/// One measured point.
+struct Point {
+    simulator: &'static str,
+    protocol: String,
+    k: u64,
+    slots: u64,
+    best_seconds: f64,
+    slots_per_sec: f64,
+}
+
+/// Runs `run` `reps` times (different seeds, so different makespans) and
+/// returns the `(slots, seconds)` pair of the highest-throughput repetition —
+/// a coherent measurement of one actual run, not a mix of the fastest wall
+/// time with the last makespan. The minimum-repetitions policy lives in
+/// `main` (which also reports it); this function trusts its input.
+fn measure<F: FnMut(u64) -> u64>(reps: u64, mut run: F) -> (u64, f64) {
+    let mut best: Option<(u64, f64)> = None;
+    for rep in 0..reps {
+        let started = Instant::now();
+        let slots = run(rep);
+        let seconds = started.elapsed().as_secs_f64().max(1e-12);
+        let throughput = slots as f64 / seconds;
+        if best.is_none_or(|(s, t)| throughput > s as f64 / t) {
+            best = Some((slots, seconds));
+        }
+    }
+    best.expect("measure requires reps >= 1")
+}
+
+fn main() {
+    let options = HarnessOptions::parse(std::env::args().skip(1));
+    let reps = options.reps.max(3);
+    let fast_ks: Vec<u64> = (4..=options.max_exp.max(4)).map(|e| 10u64.pow(e)).collect();
+    let exact_ks = [100u64, 1_000];
+
+    eprintln!(
+        "perf snapshot: fast engines at k = {fast_ks:?}, exact at k = {exact_ks:?}, \
+         best of {reps} runs (seed {})",
+        options.seed
+    );
+
+    let mut points: Vec<Point> = Vec::new();
+
+    let fair_kind = ProtocolKind::OneFailAdaptive { delta: 2.72 };
+    for &k in &fast_ks {
+        let sim = FairSimulator::new(fair_kind.clone(), RunOptions::default());
+        let (slots, secs) = measure(reps, |rep| {
+            let result = sim.run(k, options.seed.wrapping_add(rep)).expect("valid");
+            assert!(result.completed);
+            result.makespan
+        });
+        points.push(Point {
+            simulator: "fair",
+            protocol: fair_kind.label(),
+            k,
+            slots,
+            best_seconds: secs,
+            slots_per_sec: slots as f64 / secs,
+        });
+    }
+
+    let window_kind = ProtocolKind::ExpBackonBackoff { delta: 0.366 };
+    for &k in &fast_ks {
+        let sim = WindowSimulator::new(window_kind.clone(), RunOptions::default());
+        let (slots, secs) = measure(reps, |rep| {
+            let result = sim.run(k, options.seed.wrapping_add(rep)).expect("valid");
+            assert!(result.completed);
+            result.makespan
+        });
+        points.push(Point {
+            simulator: "window",
+            protocol: window_kind.label(),
+            k,
+            slots,
+            best_seconds: secs,
+            slots_per_sec: slots as f64 / secs,
+        });
+    }
+
+    for &k in &exact_ks {
+        let sim = ExactSimulator::new(fair_kind.clone(), RunOptions::default());
+        let (slots, secs) = measure(reps, |rep| {
+            let result = sim.run(k, options.seed.wrapping_add(rep)).expect("valid");
+            assert!(result.completed);
+            result.makespan
+        });
+        points.push(Point {
+            simulator: "exact",
+            protocol: fair_kind.label(),
+            k,
+            slots,
+            best_seconds: secs,
+            slots_per_sec: slots as f64 / secs,
+        });
+    }
+
+    // Hand-rolled JSON: the vendored serde stub has no serialisation backend,
+    // and the format below is stable and diff-friendly on purpose.
+    let mut json = String::from("{\n");
+    let _ = writeln!(json, "  \"schema\": \"mac-bench/perf-snapshot/v1\",");
+    let _ = writeln!(json, "  \"seed\": {},", options.seed);
+    let _ = writeln!(json, "  \"reps\": {reps},");
+    let _ = writeln!(json, "  \"unit\": \"slots_per_sec\",");
+    let _ = writeln!(json, "  \"results\": [");
+    for (i, p) in points.iter().enumerate() {
+        let comma = if i + 1 == points.len() { "" } else { "," };
+        let _ = writeln!(
+            json,
+            "    {{\"simulator\": \"{}\", \"protocol\": \"{}\", \"k\": {}, \"slots\": {}, \
+             \"best_seconds\": {:.6}, \"slots_per_sec\": {:.0}}}{comma}",
+            p.simulator, p.protocol, p.k, p.slots, p.best_seconds, p.slots_per_sec
+        );
+    }
+    let _ = writeln!(json, "  ]");
+    json.push_str("}\n");
+
+    // Never clobber an existing snapshot: pick the next free number so the
+    // committed history accumulates instead of being overwritten in place.
+    let path = (1..=99)
+        .map(|n| format!("BENCH_{n:02}.json"))
+        .find(|p| !std::path::Path::new(p).exists())
+        .expect("fewer than 99 snapshots");
+    std::fs::write(&path, &json).unwrap_or_else(|e| panic!("write {path}: {e}"));
+    println!("{json}");
+    eprintln!("wrote {path}");
+}

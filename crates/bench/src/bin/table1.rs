@@ -27,7 +27,10 @@ fn main() {
     eprintln!("sweep finished in {:.1?}", started.elapsed());
 
     println!("Table 1 — ratio steps/nodes as a function of the number of nodes k");
-    println!("(measured: mean over {} replications; Analysis: constants from the paper's theorems)", results.replications);
+    println!(
+        "(measured: mean over {} replications; Analysis: constants from the paper's theorems)",
+        results.replications
+    );
     println!();
     println!("{}", table1_markdown(&results));
     println!();

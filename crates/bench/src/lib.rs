@@ -15,9 +15,36 @@
 //!   sweep for the monotone back-off baselines (extension experiment).
 //!
 //! Criterion micro-benchmarks (`cargo bench -p mac-bench`) measure the wall
-//! time of the simulators themselves (`sim_throughput`) and of a full
-//! simulated run per protocol (`protocol_makespan`), which is what bounds how
-//! far the paper sweep can be pushed.
+//! time of the simulators themselves (`sim_throughput`, including the
+//! naive-vs-counts-only occupancy comparison) and of a full simulated run per
+//! protocol (`protocol_makespan`), which is what bounds how far the paper
+//! sweep can be pushed.
+//!
+//! # Perf tracking: the `BENCH_*.json` workflow
+//!
+//! The repository tracks simulator throughput across PRs with committed
+//! snapshot files at the repository root, one per snapshot generation:
+//! `BENCH_01.json` (this PR's baseline), `BENCH_02.json` for the next
+//! perf-relevant change, and so on. Each file records slots-simulated per
+//! second for the three engines (fair, window, exact) in a stable,
+//! diff-friendly JSON format (`mac-bench/perf-snapshot/v1`).
+//!
+//! To add a new snapshot after a perf-relevant change, run from the
+//! repository root and commit the new file:
+//!
+//! ```bash
+//! cargo run -p mac-bench --release --bin perf_snapshot -- --max-exp 6
+//! ```
+//!
+//! (The binary writes the next free `BENCH_NN.json` in the current
+//! directory — existing snapshots are never overwritten.) A change is a
+//! regression if a new snapshot's `slots_per_sec` falls well below the
+//! previous snapshot's on the same machine class; the numbers are
+//! best-of-`--reps` wall-clock measurements, so small jitter is expected but
+//! halvings are real. The `perf_snapshot` binary accepts the shared
+//! [`HarnessOptions`] flags (`--seed`, `--max-exp`, `--reps`), and the
+//! `occupancy_profile` binary breaks the occupancy engine's cost into phases
+//! when a regression needs attributing.
 //!
 //! The library part of the crate contains the small amount of shared plumbing
 //! (command-line parsing, default grids) used by the binaries.

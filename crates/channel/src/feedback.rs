@@ -43,7 +43,10 @@ impl Observation {
     /// True if the observation corresponds to some successful delivery
     /// (either the station's own or someone else's).
     pub fn is_delivery(self) -> bool {
-        matches!(self, Observation::ReceivedMessage | Observation::DeliveredOwn)
+        matches!(
+            self,
+            Observation::ReceivedMessage | Observation::DeliveredOwn
+        )
     }
 }
 

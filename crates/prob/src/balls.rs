@@ -8,18 +8,355 @@
 //! its bin deliver their message (Lemma 1 of the paper analyses precisely this
 //! process).
 //!
-//! This module provides the sampling primitive ([`throw_balls`]) and an
-//! occupancy summary ([`BinsOccupancy`]) with the counts the protocols and the
-//! analytical bounds care about: number of singleton bins, number of empty
-//! bins, number of colliding bins and the maximum load.
+//! This module provides two tiers of occupancy machinery:
 //!
-//! Two occupancy-counting strategies are used depending on density:
-//! a dense `Vec<u32>` of per-bin counts when `w` is comparable to `m`, and a
-//! sorted-assignment scan when `w ≫ m` (so that a window of four billion slots
-//! with three active stations does not allocate four billion counters).
+//! * the **counts-only fast path** — [`OccupancyScratch`] with
+//!   [`occupancy_counts`] / [`throw_balls_into`] — which streams the tallies
+//!   the simulators consume ([`OccupancyCounts`]: singletons, empty bins,
+//!   colliding bins, max load) without materialising per-ball assignments
+//!   for the caller, reusing internal buffers so that steady-state windows
+//!   perform **zero heap allocations**;
+//! * the **detailed path** — [`throw_balls`] / [`BinsOccupancy`] — a thin
+//!   allocating wrapper retained for callers that need per-ball detail (the
+//!   exact simulator, traces, tests).
+//!
+//! Both paths draw exactly `m` values from the generator in the same order,
+//! so they are interchangeable without perturbing the RNG stream, and both
+//! use the same density switch: a dense `Vec<u32>` of per-bin counts when `w`
+//! is comparable to `m`, and a sorted-assignment scan when `w ≫ m` (so that a
+//! window of four billion slots with three active stations does not allocate
+//! four billion counters).
 
 use rand::Rng;
 use serde::{Deserialize, Serialize};
+
+/// Density switch shared by every occupancy routine in this module: dense
+/// per-bin counters are used when `bins <= max(8·balls, 1024)`, a sorted
+/// assignment scan otherwise.
+#[inline]
+fn dense_limit(balls: u64) -> u64 {
+    balls.saturating_mul(8).max(1024)
+}
+
+/// Counts-only summary of one balls-in-bins experiment.
+///
+/// Produced by [`occupancy_counts`] / [`throw_balls_into`]; carries exactly
+/// the tallies the window simulator and the analytical bounds consume,
+/// without any per-ball or per-bin materialisation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct OccupancyCounts {
+    /// Number of bins in the experiment.
+    pub bins: u64,
+    /// Number of balls thrown.
+    pub balls: u64,
+    /// Number of bins containing exactly one ball.
+    pub singletons: u64,
+    /// Number of bins with no ball.
+    pub empty_bins: u64,
+    /// Number of bins with two or more balls.
+    pub colliding_bins: u64,
+    /// Largest number of balls in any single bin (0 when there are no balls).
+    pub max_load: u64,
+    /// Largest bin index containing at least one ball (`None` when empty).
+    ///
+    /// When `colliding_bins == 0` this is the position of the last delivered
+    /// message inside the window, which is what the window simulator needs to
+    /// close its final window without a singleton list.
+    pub max_occupied_bin: Option<u64>,
+}
+
+impl OccupancyCounts {
+    fn empty(bins: u64) -> Self {
+        Self {
+            bins,
+            balls: 0,
+            singletons: 0,
+            empty_bins: bins,
+            colliding_bins: 0,
+            max_load: 0,
+            max_occupied_bin: None,
+        }
+    }
+}
+
+/// Reusable buffers for the allocation-free occupancy paths.
+///
+/// A scratch owns three buffers — dense per-bin counters, the per-ball
+/// assignment list and a singleton-bin list — that grow to the high-water
+/// mark of the runs they serve and are then reused, so a long simulation
+/// performs no per-window heap allocation. Construct one per run (or per
+/// worker thread) and pass it to [`occupancy_counts`] or
+/// [`throw_balls_into`].
+///
+/// # Example
+/// ```
+/// use mac_prob::balls::{occupancy_counts, OccupancyScratch};
+/// use mac_prob::rng::Xoshiro256pp;
+/// use rand::SeedableRng;
+///
+/// let mut rng = Xoshiro256pp::seed_from_u64(3);
+/// let mut scratch = OccupancyScratch::new();
+/// let counts = occupancy_counts(10, 100, &mut rng, &mut scratch);
+/// assert_eq!(counts.balls, 10);
+/// assert_eq!(counts.singletons + counts.colliding_bins + counts.empty_bins, 100);
+/// ```
+#[derive(Debug, Default, Clone)]
+pub struct OccupancyScratch {
+    /// Dense per-bin counters; entries touched by a run are re-zeroed before
+    /// the run returns, so the buffer is always all-zero between calls.
+    counts: Vec<u32>,
+    /// Bin chosen by each ball of the most recent throw.
+    assignments: Vec<u64>,
+    /// Singleton bins of the most recent [`throw_balls_into`], ascending.
+    singleton_bins: Vec<u64>,
+}
+
+impl OccupancyScratch {
+    /// Creates an empty scratch; buffers grow on first use.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates a scratch whose per-ball buffers (assignments, singleton
+    /// list) are pre-sized for throws of up to `balls` balls — useful for
+    /// the detailed [`throw_balls_into`] path; the counts-only path does not
+    /// touch these buffers. The dense counter window always grows on first
+    /// use, since its size depends on the bin count, not the ball count.
+    pub fn with_capacity(balls: usize) -> Self {
+        Self {
+            counts: Vec::new(),
+            assignments: Vec::with_capacity(balls),
+            singleton_bins: Vec::with_capacity(balls),
+        }
+    }
+
+    /// Bins chosen by the balls of the most recent [`throw_balls_into`].
+    ///
+    /// [`occupancy_counts`] does not materialise assignments (its dense fast
+    /// path fuses drawing and counting), so this view is empty after a
+    /// counts-only throw. In the sparse regime (`w ≫ m`) the buffer is
+    /// sorted in place during counting, so the slice is **not** guaranteed
+    /// to be in ball order; callers that need ball identity should use
+    /// [`BinsOccupancy::from_assignments`] instead.
+    pub fn assignments(&self) -> &[u64] {
+        &self.assignments
+    }
+
+    /// Singleton bins (ascending) of the most recent [`throw_balls_into`].
+    ///
+    /// [`occupancy_counts`] does not maintain this list; it is only valid
+    /// after a detailed throw.
+    pub fn singleton_bins(&self) -> &[u64] {
+        &self.singleton_bins
+    }
+
+    /// Draws `m` assignments into the internal buffer, identically to
+    /// [`throw_balls`] (same number of draws, same order).
+    fn draw<R: Rng + ?Sized>(&mut self, m: u64, w: u64, rng: &mut R) {
+        self.assignments.clear();
+        self.assignments.reserve(m as usize);
+        for _ in 0..m {
+            self.assignments.push(rng.gen_range(0..w));
+        }
+    }
+
+    /// Fused draw-and-count for the dense counts-only fast path: one uniform
+    /// draw and one branch-free counter increment per ball (no assignment
+    /// materialisation), one branch-light sequential scan of the counter
+    /// window for the tallies, one sequential re-zeroing fill. This is the
+    /// window simulator's steady-state inner loop; the scan and the fill are
+    /// O(w), but in the dense regime `w ≤ 8m` they stream at memory
+    /// bandwidth, which profiling shows is far cheaper than tracking the
+    /// tallies branchily inside the random-access increment loop (or
+    /// re-zeroing by re-touching `m` random entries).
+    fn count_dense_streaming<R: Rng + ?Sized>(
+        &mut self,
+        m: u64,
+        w: u64,
+        rng: &mut R,
+    ) -> OccupancyCounts {
+        self.assignments.clear();
+        self.singleton_bins.clear();
+        if self.counts.len() < w as usize {
+            self.counts.resize(w as usize, 0);
+        }
+        let counts = &mut self.counts[..w as usize];
+        for _ in 0..m {
+            let a = rng.gen_range(0..w);
+            counts[a as usize] += 1;
+        }
+        let counted = scan_dense_window(counts, m, w, None);
+        counts.fill(0);
+        counted
+    }
+
+    /// Counts the assignments currently in the buffer, optionally collecting
+    /// singleton bins (ascending) into `self.singleton_bins`.
+    fn count_buffered(&mut self, w: u64, collect_singletons: bool) -> OccupancyCounts {
+        let m = self.assignments.len() as u64;
+        self.singleton_bins.clear();
+        if w <= dense_limit(m) {
+            if self.counts.len() < w as usize {
+                self.counts.resize(w as usize, 0);
+            }
+            let counts = &mut self.counts[..w as usize];
+            for &a in &self.assignments {
+                counts[a as usize] += 1;
+            }
+            let singles = collect_singletons.then_some(&mut self.singleton_bins);
+            let counted = scan_dense_window(counts, m, w, singles);
+            counts.fill(0);
+            counted
+        } else {
+            // Sparse path: sort the assignments in place and scan the runs.
+            self.assignments.sort_unstable();
+            let mut singletons = 0u64;
+            let mut occupied = 0u64;
+            let mut colliding = 0u64;
+            let mut max_load = 0u64;
+            let mut max_occupied_bin = None;
+            let mut i = 0usize;
+            while i < self.assignments.len() {
+                let bin = self.assignments[i];
+                let mut j = i + 1;
+                while j < self.assignments.len() && self.assignments[j] == bin {
+                    j += 1;
+                }
+                let load = (j - i) as u64;
+                occupied += 1;
+                if load == 1 {
+                    singletons += 1;
+                    if collect_singletons {
+                        self.singleton_bins.push(bin);
+                    }
+                } else {
+                    colliding += 1;
+                }
+                max_load = max_load.max(load);
+                max_occupied_bin = Some(bin);
+                i = j;
+            }
+            OccupancyCounts {
+                bins: w,
+                balls: m,
+                singletons,
+                empty_bins: w - occupied,
+                colliding_bins: colliding,
+                max_load,
+                max_occupied_bin,
+            }
+        }
+    }
+}
+
+/// Derives the occupancy tallies from a dense counter window with one
+/// sequential, mostly branch-free pass (the comparisons compile to
+/// flag-setting arithmetic the auto-vectoriser handles well). When `singles`
+/// is given, singleton bins are appended in ascending order as a side
+/// effect of the same pass.
+fn scan_dense_window(
+    counts: &[u32],
+    balls: u64,
+    bins: u64,
+    singles: Option<&mut Vec<u64>>,
+) -> OccupancyCounts {
+    let mut empty = 0u64;
+    let mut singletons = 0u64;
+    let mut max_load = 0u32;
+    let mut max_occupied_bin = usize::MAX;
+    if let Some(singles) = singles {
+        for (bin, &count) in counts.iter().enumerate() {
+            empty += u64::from(count == 0);
+            max_load = max_load.max(count);
+            if count == 1 {
+                singletons += 1;
+                singles.push(bin as u64);
+            }
+            if count > 0 {
+                max_occupied_bin = bin;
+            }
+        }
+    } else {
+        for (bin, &count) in counts.iter().enumerate() {
+            empty += u64::from(count == 0);
+            singletons += u64::from(count == 1);
+            max_load = max_load.max(count);
+            if count > 0 {
+                max_occupied_bin = bin;
+            }
+        }
+    }
+    debug_assert_eq!(counts.len() as u64, bins);
+    OccupancyCounts {
+        bins,
+        balls,
+        singletons,
+        empty_bins: empty,
+        colliding_bins: bins - empty - singletons,
+        max_load: u64::from(max_load),
+        max_occupied_bin: (max_occupied_bin != usize::MAX).then_some(max_occupied_bin as u64),
+    }
+}
+
+/// Drops `m` balls uniformly at random into `w` bins and returns the
+/// counts-only summary, reusing `scratch` so that steady-state calls perform
+/// no heap allocation.
+///
+/// Draws exactly the same RNG stream as [`throw_balls`] (`m` uniform values
+/// in ball order), so the two paths are interchangeable per seed; the
+/// property tests assert the tallies agree.
+///
+/// # Panics
+/// Panics if `w == 0` while `m > 0` (there is nowhere to put the balls).
+pub fn occupancy_counts<R: Rng + ?Sized>(
+    m: u64,
+    w: u64,
+    rng: &mut R,
+    scratch: &mut OccupancyScratch,
+) -> OccupancyCounts {
+    if m == 0 {
+        scratch.assignments.clear();
+        scratch.singleton_bins.clear();
+        return OccupancyCounts::empty(w);
+    }
+    assert!(w > 0, "cannot throw {m} balls into zero bins");
+    if w <= dense_limit(m) {
+        scratch.count_dense_streaming(m, w, rng)
+    } else {
+        scratch.draw(m, w, rng);
+        let counts = scratch.count_buffered(w, false);
+        // Keep the documented contract: counts-only throws leave no
+        // assignments visible (the sparse path needs them only internally).
+        scratch.assignments.clear();
+        counts
+    }
+}
+
+/// Like [`occupancy_counts`], additionally leaving the per-ball assignments
+/// and the ascending singleton-bin list available in `scratch`
+/// ([`OccupancyScratch::assignments`] / [`OccupancyScratch::singleton_bins`]).
+///
+/// This is the path for callers that need per-delivery detail (e.g. the
+/// window simulator when recording delivery slots) without paying
+/// [`throw_balls`]'s fresh allocations per window.
+///
+/// # Panics
+/// Panics if `w == 0` while `m > 0`.
+pub fn throw_balls_into<R: Rng + ?Sized>(
+    m: u64,
+    w: u64,
+    rng: &mut R,
+    scratch: &mut OccupancyScratch,
+) -> OccupancyCounts {
+    if m == 0 {
+        scratch.assignments.clear();
+        scratch.singleton_bins.clear();
+        return OccupancyCounts::empty(w);
+    }
+    assert!(w > 0, "cannot throw {m} balls into zero bins");
+    scratch.draw(m, w, rng);
+    scratch.count_buffered(w, true)
+}
 
 /// Result of dropping `m` balls uniformly at random into `w` bins.
 ///
@@ -50,13 +387,15 @@ impl BinsOccupancy {
     /// Panics if any assignment refers to a bin `>= bins`.
     pub fn from_assignments(bins: u64, assignments: Vec<u64>) -> Self {
         for &a in &assignments {
-            assert!(a < bins, "ball assigned to bin {a} but only {bins} bins exist");
+            assert!(
+                a < bins,
+                "ball assigned to bin {a} but only {bins} bins exist"
+            );
         }
         let m = assignments.len() as u64;
         // Dense counting when the bins array is affordable relative to the
         // number of balls; otherwise sort a copy of the assignments.
-        let dense_limit = (assignments.len() as u64).saturating_mul(8).max(1024);
-        let (singleton_bins, empty_bins, colliding_bins, max_load) = if bins <= dense_limit {
+        let (singleton_bins, empty_bins, colliding_bins, max_load) = if bins <= dense_limit(m) {
             let mut counts = vec![0u32; bins as usize];
             for &a in &assignments {
                 counts[a as usize] += 1;
@@ -273,5 +612,114 @@ mod tests {
         assert_eq!(occ.max_load, 7);
         assert_eq!(occ.colliding_bins, 1);
         assert_eq!(occ.singletons(), 0);
+    }
+
+    /// The counts a [`BinsOccupancy`] summarises, for comparison with the
+    /// counts-only path.
+    fn counts_of(occ: &BinsOccupancy) -> OccupancyCounts {
+        OccupancyCounts {
+            bins: occ.bins,
+            balls: occ.balls(),
+            singletons: occ.singletons(),
+            empty_bins: occ.empty_bins,
+            colliding_bins: occ.colliding_bins,
+            max_load: occ.max_load,
+            max_occupied_bin: occ.assignments.iter().copied().max(),
+        }
+    }
+
+    #[test]
+    fn counts_only_path_matches_full_path_on_the_same_stream() {
+        // Same seed → same draws → identical tallies, across both density
+        // regimes and the m = 0 / w = 1 edges.
+        let mut scratch = OccupancyScratch::new();
+        for &(m, w) in &[
+            (0u64, 5u64),
+            (1, 1),
+            (7, 1),
+            (5, 3),
+            (100, 100),
+            (1000, 64),
+            (3, 10_000),
+            (2, 5_000_000_000),
+        ] {
+            let mut rng_a = Xoshiro256pp::seed_from_u64(77);
+            let mut rng_b = Xoshiro256pp::seed_from_u64(77);
+            let full = throw_balls(m, w, &mut rng_a);
+            let fast = occupancy_counts(m, w, &mut rng_b, &mut scratch);
+            assert_eq!(fast, counts_of(&full), "m={m} w={w}");
+            // Both paths must also leave the generators in the same state.
+            assert_eq!(rng_a, rng_b, "m={m} w={w}: diverged RNG streams");
+            // Counts-only throws expose no assignments, in either regime.
+            assert!(scratch.assignments().is_empty(), "m={m} w={w}");
+        }
+    }
+
+    #[test]
+    fn throw_balls_into_collects_sorted_singletons() {
+        let mut scratch = OccupancyScratch::with_capacity(64);
+        for seed in 0..20 {
+            let mut rng_a = Xoshiro256pp::seed_from_u64(seed);
+            let mut rng_b = Xoshiro256pp::seed_from_u64(seed);
+            for &(m, w) in &[(40u64, 40u64), (40, 9), (6, 100_000)] {
+                let full = throw_balls(m, w, &mut rng_a);
+                let fast = throw_balls_into(m, w, &mut rng_b, &mut scratch);
+                assert_eq!(scratch.singleton_bins(), &full.singleton_bins[..]);
+                assert_eq!(fast, counts_of(&full));
+            }
+        }
+    }
+
+    #[test]
+    fn scratch_is_reusable_across_mixed_regimes() {
+        // Alternate dense and sparse windows through one scratch; the dense
+        // counters must be fully re-zeroed between calls or the second dense
+        // window would observe stale counts.
+        let mut scratch = OccupancyScratch::new();
+        let mut rng = Xoshiro256pp::seed_from_u64(5);
+        for round in 0..50u64 {
+            let (m, w) = if round % 2 == 0 {
+                (100, 64)
+            } else {
+                (4, 1 << 40)
+            };
+            let counts = occupancy_counts(m, w, &mut rng, &mut scratch);
+            assert_eq!(counts.balls, m);
+            assert_eq!(
+                counts.singletons + counts.empty_bins + counts.colliding_bins,
+                w,
+                "round {round}"
+            );
+            assert!(counts.max_load >= 1 && counts.max_load <= m);
+        }
+    }
+
+    #[test]
+    fn max_occupied_bin_is_the_last_delivery_when_collision_free() {
+        let mut scratch = OccupancyScratch::new();
+        let mut rng = Xoshiro256pp::seed_from_u64(23);
+        let mut seen_collision_free = false;
+        for _ in 0..100 {
+            let mut probe = rng.clone();
+            let counts = occupancy_counts(8, 1024, &mut probe, &mut scratch);
+            let full = throw_balls(8, 1024, &mut rng);
+            if counts.colliding_bins == 0 {
+                seen_collision_free = true;
+                assert_eq!(counts.max_occupied_bin, full.singleton_bins.last().copied());
+            }
+        }
+        assert!(seen_collision_free, "8 balls in 1024 bins collide rarely");
+    }
+
+    #[test]
+    fn empty_throw_resets_scratch_views() {
+        let mut scratch = OccupancyScratch::new();
+        let mut rng = Xoshiro256pp::seed_from_u64(9);
+        let _ = throw_balls_into(32, 32, &mut rng, &mut scratch);
+        assert!(!scratch.assignments().is_empty());
+        let counts = throw_balls_into(0, 17, &mut rng, &mut scratch);
+        assert_eq!(counts, OccupancyCounts::empty(17));
+        assert!(scratch.assignments().is_empty());
+        assert!(scratch.singleton_bins().is_empty());
     }
 }

@@ -54,7 +54,10 @@ pub mod sampling;
 pub mod special;
 pub mod stats;
 
-pub use balls::{throw_balls, BinsOccupancy};
+pub use balls::{
+    occupancy_counts, throw_balls, throw_balls_into, BinsOccupancy, OccupancyCounts,
+    OccupancyScratch,
+};
 pub use outcome::{
     sample_slot_outcome, slot_outcome_probabilities, SlotOutcome, SlotOutcomeProbabilities,
 };

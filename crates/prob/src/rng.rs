@@ -46,6 +46,9 @@ impl SplitMix64 {
     }
 
     /// Returns the next 64-bit output.
+    // The name follows the SplitMix64 reference implementation; the type is
+    // not an `Iterator` (`RngCore::next_u64` is the iterator-safe spelling).
+    #[allow(clippy::should_implement_trait)]
     #[inline]
     pub fn next(&mut self) -> u64 {
         self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
@@ -318,10 +321,7 @@ mod tests {
             let y = c.next();
             // Adjacent seeds must diverge immediately and strongly:
             // at least a quarter of the bits should differ on every output.
-            assert!(
-                (x ^ y).count_ones() >= 16,
-                "weak mixing: {x:#x} vs {y:#x}"
-            );
+            assert!((x ^ y).count_ones() >= 16, "weak mixing: {x:#x} vs {y:#x}");
         }
     }
 

@@ -127,9 +127,9 @@ mod tests {
 
     #[test]
     fn ln_factorial_small_values() {
-        let factorials = [1.0, 1.0, 2.0, 6.0, 24.0, 120.0, 720.0, 5040.0];
+        let factorials = [1.0f64, 1.0, 2.0, 6.0, 24.0, 120.0, 720.0, 5040.0];
         for (n, &f) in factorials.iter().enumerate() {
-            assert!((ln_factorial(n as u64) - (f as f64).ln()).abs() < 1e-12, "n={n}");
+            assert!((ln_factorial(n as u64) - f.ln()).abs() < 1e-12, "n={n}");
         }
     }
 

@@ -262,8 +262,14 @@ mod tests {
         let var = xs.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / (xs.len() - 1) as f64;
         assert!((s.mean() - mean).abs() < 1e-9);
         assert!((s.variance() - var).abs() < 1e-9);
-        assert_eq!(s.min(), *xs.iter().min_by(|a, b| a.partial_cmp(b).unwrap()).unwrap());
-        assert_eq!(s.max(), *xs.iter().max_by(|a, b| a.partial_cmp(b).unwrap()).unwrap());
+        assert_eq!(
+            s.min(),
+            *xs.iter().min_by(|a, b| a.partial_cmp(b).unwrap()).unwrap()
+        );
+        assert_eq!(
+            s.max(),
+            *xs.iter().max_by(|a, b| a.partial_cmp(b).unwrap()).unwrap()
+        );
     }
 
     #[test]
@@ -304,9 +310,21 @@ mod tests {
 
     #[test]
     fn interval_overlap_logic() {
-        let a = ConfidenceInterval { lo: 0.0, hi: 1.0, level: 0.95 };
-        let b = ConfidenceInterval { lo: 0.9, hi: 2.0, level: 0.95 };
-        let c = ConfidenceInterval { lo: 1.5, hi: 2.0, level: 0.95 };
+        let a = ConfidenceInterval {
+            lo: 0.0,
+            hi: 1.0,
+            level: 0.95,
+        };
+        let b = ConfidenceInterval {
+            lo: 0.9,
+            hi: 2.0,
+            level: 0.95,
+        };
+        let c = ConfidenceInterval {
+            lo: 1.5,
+            hi: 2.0,
+            level: 0.95,
+        };
         assert!(a.overlaps(&b));
         assert!(b.overlaps(&a));
         assert!(!a.overlaps(&c));

@@ -324,7 +324,10 @@ mod tests {
         let higher_beta = ebb_lemma1_min_messages(0.2, 2.0, 1000).unwrap();
         let higher_delta = ebb_lemma1_min_messages(0.3, 1.0, 1000).unwrap();
         assert!(higher_beta > base);
-        assert!(higher_delta > base, "delta closer to 1/e needs more messages");
+        assert!(
+            higher_delta > base,
+            "delta closer to 1/e needs more messages"
+        );
         assert!(ebb_lemma1_failure_probability(1000, 1.0) == 1e-3);
     }
 

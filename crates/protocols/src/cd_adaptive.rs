@@ -212,7 +212,11 @@ mod tests {
         assert!(node.has_delivered());
         assert!(!node.decide(&mut rng));
         node.observe(Observation::DetectedCollision);
-        assert_eq!(node.estimate(), 1.0, "observations after delivery are ignored");
+        assert_eq!(
+            node.estimate(),
+            1.0,
+            "observations after delivery are ignored"
+        );
     }
 
     #[test]

@@ -62,11 +62,21 @@ impl LogFailsConfig {
     /// The paper's simulation configuration for a given `ξt` and instance
     /// size `k` (i.e. `ξδ = ξβ = 0.1`, `ε = 1/(k+1)`).
     pub fn paper(xi_t: f64, k: u64) -> Self {
+        Self::for_instance(0.1, 0.1, xi_t, k)
+    }
+
+    /// Builds a configuration with the instance-size rule `ε = 1/(k+1)`
+    /// (the paper's simulation choice) — the single place that rule lives.
+    ///
+    /// An empty instance (`k = 0`) never consults the protocol, but the
+    /// configuration must still validate; `k` is clamped to 1 so that `ε`
+    /// stays strictly below 1.
+    pub fn for_instance(xi_delta: f64, xi_beta: f64, xi_t: f64, k: u64) -> Self {
         Self {
-            xi_delta: 0.1,
-            xi_beta: 0.1,
+            xi_delta,
+            xi_beta,
             xi_t,
-            epsilon: 1.0 / (k as f64 + 1.0),
+            epsilon: 1.0 / (k.max(1) as f64 + 1.0),
         }
     }
 
@@ -189,7 +199,7 @@ impl LogFailsAdaptive {
 
     /// True if the *next* step is a BT-step.
     pub fn next_step_is_bt(&self) -> bool {
-        self.step % self.bt_period == 0
+        self.step.is_multiple_of(self.bt_period)
     }
 
     /// Amount by which the estimator decreases on each delivery heard.

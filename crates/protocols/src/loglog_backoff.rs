@@ -89,7 +89,7 @@ impl WindowSchedule for RExponentialBackoff {
     }
 
     fn next_window(&mut self) -> u64 {
-        let window = self.current.floor().max(1.0).min(WINDOW_CAP);
+        let window = self.current.floor().clamp(1.0, WINDOW_CAP);
         self.current = (self.current * self.r).min(WINDOW_CAP);
         window as u64
     }
@@ -182,7 +182,7 @@ impl WindowSchedule for LoglogIteratedBackoff {
             self.repeats_left = Self::repeats_for(self.current);
         }
         self.repeats_left -= 1;
-        self.current.floor().max(1.0).min(WINDOW_CAP) as u64
+        self.current.floor().clamp(1.0, WINDOW_CAP) as u64
     }
 }
 

@@ -116,7 +116,7 @@ impl OneFailAdaptive {
 
     /// True if the *next* step is a BT-step (paper: steps ≡ 0 mod 2).
     pub fn next_step_is_bt(&self) -> bool {
-        self.step % 2 == 0
+        self.step.is_multiple_of(2)
     }
 
     fn floor(&self) -> f64 {
@@ -165,8 +165,8 @@ mod tests {
 
     #[test]
     fn paper_delta_is_admissible() {
-        assert!(PAPER_DELTA > std::f64::consts::E);
-        assert!(PAPER_DELTA <= DELTA_MAX);
+        const { assert!(PAPER_DELTA > std::f64::consts::E) };
+        const { assert!(PAPER_DELTA <= DELTA_MAX) };
         let ofa = OneFailAdaptive::with_default_delta();
         assert_eq!(ofa.delta(), PAPER_DELTA);
     }

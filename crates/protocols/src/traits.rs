@@ -144,9 +144,9 @@ impl<P: FairProtocol> Protocol for FairNode<P> {
                 self.delivered = true;
             }
             Observation::ReceivedMessage => self.state.advance(true),
-            Observation::Noise
-            | Observation::DetectedSilence
-            | Observation::DetectedCollision => self.state.advance(false),
+            Observation::Noise | Observation::DetectedSilence | Observation::DetectedCollision => {
+                self.state.advance(false)
+            }
         }
     }
 
@@ -341,12 +341,7 @@ impl ProtocolKind {
                 xi_beta,
                 xi_t,
             } => {
-                let config = LogFailsConfig {
-                    xi_delta: *xi_delta,
-                    xi_beta: *xi_beta,
-                    xi_t: *xi_t,
-                    epsilon: 1.0 / (k as f64 + 1.0),
-                };
+                let config = LogFailsConfig::for_instance(*xi_delta, *xi_beta, *xi_t, k);
                 Box::new(LogFailsAdaptive::try_new(config)?) as Box<dyn FairProtocol>
             }
             ProtocolKind::KnownKOracle => Box::new(KnownKOracle::new(k)) as Box<dyn FairProtocol>,
@@ -381,20 +376,15 @@ impl ProtocolKind {
     /// Returns a [`ParameterError`] if the parameters are invalid.
     pub fn build_node(&self, k: u64) -> Result<Box<dyn Protocol>, ParameterError> {
         match self {
-            ProtocolKind::OneFailAdaptive { delta } => Ok(Box::new(FairNode::new(
-                OneFailAdaptive::try_new(*delta)?,
-            ))),
+            ProtocolKind::OneFailAdaptive { delta } => {
+                Ok(Box::new(FairNode::new(OneFailAdaptive::try_new(*delta)?)))
+            }
             ProtocolKind::LogFailsAdaptive {
                 xi_delta,
                 xi_beta,
                 xi_t,
             } => {
-                let config = LogFailsConfig {
-                    xi_delta: *xi_delta,
-                    xi_beta: *xi_beta,
-                    xi_t: *xi_t,
-                    epsilon: 1.0 / (k as f64 + 1.0),
-                };
+                let config = LogFailsConfig::for_instance(*xi_delta, *xi_beta, *xi_t, k);
                 Ok(Box::new(FairNode::new(LogFailsAdaptive::try_new(config)?)))
             }
             ProtocolKind::KnownKOracle => Ok(Box::new(FairNode::new(KnownKOracle::new(k)))),
@@ -404,9 +394,9 @@ impl ProtocolKind {
             ProtocolKind::LoglogIteratedBackoff { r } => Ok(Box::new(WindowNode::new(
                 LoglogIteratedBackoff::try_new(*r)?,
             ))),
-            ProtocolKind::RExponentialBackoff { r } => Ok(Box::new(WindowNode::new(
-                RExponentialBackoff::try_new(*r)?,
-            ))),
+            ProtocolKind::RExponentialBackoff { r } => {
+                Ok(Box::new(WindowNode::new(RExponentialBackoff::try_new(*r)?)))
+            }
         }
     }
 }
@@ -483,7 +473,10 @@ mod tests {
         assert!(node.decide(&mut rng));
         node.observe(Observation::DeliveredOwn);
         assert!(node.has_delivered());
-        assert!(!node.decide(&mut rng), "a delivered station never transmits");
+        assert!(
+            !node.decide(&mut rng),
+            "a delivered station never transmits"
+        );
         // Further observations are ignored without panicking.
         node.observe(Observation::ReceivedMessage);
         assert_eq!(node.state().steps_elapsed(), 0);

@@ -78,7 +78,11 @@ impl DetailedRun {
 
     /// Largest number of transmissions performed by any single station.
     pub fn max_transmissions(&self) -> u64 {
-        self.messages.iter().map(|m| m.transmissions).max().unwrap_or(0)
+        self.messages
+            .iter()
+            .map(|m| m.transmissions)
+            .max()
+            .unwrap_or(0)
     }
 }
 
@@ -192,7 +196,16 @@ impl ExactSimulator {
         let mut active: Vec<usize> = Vec::new();
         let mut remaining = k;
         let mut makespan = 0u64;
-        let mut delivery_slots = self.options.record_deliveries.then(Vec::new);
+        let mut delivery_slots = self
+            .options
+            .record_deliveries
+            .then(|| Vec::with_capacity(schedule.len()));
+
+        // Per-slot decision buffers, allocated once and reused every slot:
+        // at k stations per slot, fresh Vecs here would dominate the run.
+        let mut transmitters: Vec<NodeId> = Vec::with_capacity(schedule.len());
+        let mut transmitted_flags: Vec<bool> = Vec::with_capacity(schedule.len());
+        let mut still_active: Vec<usize> = Vec::with_capacity(schedule.len());
 
         while remaining > 0 && channel.current_slot() < max_slots {
             let slot = channel.current_slot();
@@ -206,13 +219,16 @@ impl ExactSimulator {
             }
 
             // Collect decisions.
-            let mut transmitters: Vec<NodeId> = Vec::new();
-            let mut transmitted_flags = vec![false; active.len()];
-            for (pos, &idx) in active.iter().enumerate() {
-                let protocol = protocols[idx].as_mut().expect("active stations have protocols");
-                if protocol.decide(&mut rng) {
+            transmitters.clear();
+            transmitted_flags.clear();
+            for &idx in &active {
+                let protocol = protocols[idx]
+                    .as_mut()
+                    .expect("active stations have protocols");
+                let transmit = protocol.decide(&mut rng);
+                transmitted_flags.push(transmit);
+                if transmit {
                     transmitters.push(NodeId(idx as u64));
-                    transmitted_flags[pos] = true;
                     messages[idx].transmissions += 1;
                 }
             }
@@ -220,15 +236,15 @@ impl ExactSimulator {
             let resolution = channel.resolve_slot(&transmitters);
 
             // Distribute observations and retire delivered stations.
-            let mut still_active = Vec::with_capacity(active.len());
+            still_active.clear();
             for (pos, &idx) in active.iter().enumerate() {
                 let delivered_own = resolution.delivered == Some(NodeId(idx as u64));
-                let observation = self.model.observe(
-                    resolution.outcome,
-                    transmitted_flags[pos],
-                    delivered_own,
-                );
-                let protocol = protocols[idx].as_mut().expect("active stations have protocols");
+                let observation =
+                    self.model
+                        .observe(resolution.outcome, transmitted_flags[pos], delivered_own);
+                let protocol = protocols[idx]
+                    .as_mut()
+                    .expect("active stations have protocols");
                 protocol.observe(observation);
                 if delivered_own {
                     messages[idx].delivered_slot = Some(slot);
@@ -242,7 +258,7 @@ impl ExactSimulator {
                     still_active.push(idx);
                 }
             }
-            active = still_active;
+            std::mem::swap(&mut active, &mut still_active);
         }
 
         let completed = remaining == 0;
@@ -485,11 +501,14 @@ mod tests {
         // protocol receives no usable feedback, never adapts, and cannot
         // finish within a generous cap: exactly the gap the paper's
         // protocols close.
-        let blind = ExactSimulator::new(ProtocolKind::KnownKOracle, RunOptions {
-            slot_cap_per_message: 50,
-            min_slot_cap: 5_000,
-            record_deliveries: false,
-        });
+        let blind = ExactSimulator::new(
+            ProtocolKind::KnownKOracle,
+            RunOptions {
+                slot_cap_per_message: 50,
+                min_slot_cap: 5_000,
+                record_deliveries: false,
+            },
+        );
         let stuck = blind
             .run_schedule_with(
                 &|| Ok(Box::new(CdAdaptive::with_default_growth()) as Box<_>),

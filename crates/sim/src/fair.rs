@@ -21,7 +21,7 @@
 //! check it statistically, and `mac-prob`'s unit tests check the outcome
 //! probabilities against the explicit binomial.
 
-use crate::result::{RunOptions, RunResult};
+use crate::result::{RunOptions, RunResult, MAX_PREALLOC_ENTRIES};
 use mac_prob::outcome::{sample_slot_outcome, SlotOutcome};
 use mac_prob::rng::Xoshiro256pp;
 use mac_protocols::{FairProtocol, ParameterError, ProtocolKind};
@@ -95,7 +95,11 @@ pub(crate) fn run_fair(
     let mut makespan = 0;
     let mut collisions = 0;
     let mut silent = 0;
-    let mut delivery_slots = options.record_deliveries.then(Vec::new);
+    // Pre-size the only per-run buffer to its final length (one entry per
+    // delivered message) so the slot loop never reallocates.
+    let mut delivery_slots = options
+        .record_deliveries
+        .then(|| Vec::with_capacity(k.min(MAX_PREALLOC_ENTRIES) as usize));
 
     while remaining > 0 && slot < max_slots {
         let p = state.transmission_probability();

@@ -113,7 +113,10 @@ pub fn analysis_label(kind: &ProtocolKind) -> String {
             xi_delta,
             xi_beta,
             xi_t,
-        } => format!("{:.1}", analysis::lfa_analysis_factor(*xi_delta, *xi_beta, *xi_t)),
+        } => format!(
+            "{:.1}",
+            analysis::lfa_analysis_factor(*xi_delta, *xi_beta, *xi_t)
+        ),
         ProtocolKind::LoglogIteratedBackoff { .. } => "Θ(loglog k / logloglog k)".to_string(),
         ProtocolKind::RExponentialBackoff { .. } => "Θ(log_{log r} log k)".to_string(),
         ProtocolKind::KnownKOracle => format!("{:.2}", analysis::fair_protocol_optimal_ratio()),

@@ -2,6 +2,12 @@
 
 use serde::{Deserialize, Serialize};
 
+/// Cap on up-front buffer reservations sized from `k` (16M entries ≈ 128 MB
+/// of `u64`s): beyond this the simulators let buffers grow on demand instead
+/// of trusting an absurd `k` with a giant allocation. Shared by every
+/// simulator so their memory behaviour stays consistent.
+pub(crate) const MAX_PREALLOC_ENTRIES: u64 = 1 << 24;
+
 /// Options controlling a single simulated run.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct RunOptions {
@@ -124,7 +130,11 @@ mod tests {
         };
         assert!((r.ratio() - 7.4).abs() < 1e-12);
         assert!((r.utilisation() - 100.0 / 740.0).abs() < 1e-12);
-        let empty = RunResult { k: 0, makespan: 0, ..r };
+        let empty = RunResult {
+            k: 0,
+            makespan: 0,
+            ..r
+        };
         assert!(empty.ratio().is_nan());
         assert_eq!(empty.utilisation(), 0.0);
     }

@@ -13,9 +13,8 @@ use crate::{simulate_with_options, ExactSimulator};
 use mac_prob::rng::derive_seed;
 use mac_prob::stats::{StreamingStats, Summary};
 use mac_protocols::{ParameterError, ProtocolKind};
-use parking_lot::Mutex;
 use serde::{Deserialize, Serialize};
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 
 /// Which simulation engine the runner uses.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize, Default)]
@@ -102,48 +101,83 @@ impl Experiment {
         } else {
             self.threads
         };
+        // Lock-free dispatch: workers claim task indices from a shared atomic
+        // counter and collect `(index, result)` pairs into a private shard, so
+        // the hot path touches no lock. Shards are merged once at the end,
+        // indexed by task, which keeps the output bitwise independent of the
+        // thread count and of claim interleaving. A failed run raises the
+        // atomic failure flag, which every worker checks *before* claiming its
+        // next task, so an erroring sweep stops promptly instead of continuing
+        // to launch expensive runs.
         let next_task = AtomicUsize::new(0);
-        let results: Mutex<Vec<Option<RunResult>>> = Mutex::new(vec![None; tasks.len()]);
-        let failure: Mutex<Option<ParameterError>> = Mutex::new(None);
+        let failed = AtomicBool::new(false);
+        type Shard = Vec<(usize, RunResult)>;
 
-        std::thread::scope(|scope| {
-            for _ in 0..threads.max(1) {
-                scope.spawn(|| loop {
-                    let index = next_task.fetch_add(1, Ordering::Relaxed);
-                    if index >= tasks.len() || failure.lock().is_some() {
-                        break;
-                    }
-                    let task = tasks[index];
-                    let kind = &self.protocols[task.protocol_index];
-                    let k = self.ks[task.k_index];
-                    let seed = derive_seed(
-                        self.master_seed,
-                        &[
-                            task.protocol_index as u64,
-                            task.k_index as u64,
-                            task.replication,
-                        ],
-                    );
-                    let outcome = match self.engine {
-                        EngineChoice::Fast => {
-                            simulate_with_options(kind, k, seed, &self.options)
+        let (shards, mut failures): (Vec<Shard>, Vec<ParameterError>) =
+            std::thread::scope(|scope| {
+                let mut handles = Vec::with_capacity(threads.max(1));
+                for _ in 0..threads.max(1) {
+                    handles.push(scope.spawn(|| -> Result<Shard, ParameterError> {
+                        let mut shard: Shard = Vec::new();
+                        loop {
+                            if failed.load(Ordering::Acquire) {
+                                break;
+                            }
+                            let index = next_task.fetch_add(1, Ordering::Relaxed);
+                            if index >= tasks.len() {
+                                break;
+                            }
+                            let task = tasks[index];
+                            let kind = &self.protocols[task.protocol_index];
+                            let k = self.ks[task.k_index];
+                            let seed = derive_seed(
+                                self.master_seed,
+                                &[
+                                    task.protocol_index as u64,
+                                    task.k_index as u64,
+                                    task.replication,
+                                ],
+                            );
+                            let outcome = match self.engine {
+                                EngineChoice::Fast => {
+                                    simulate_with_options(kind, k, seed, &self.options)
+                                }
+                                EngineChoice::Exact => {
+                                    ExactSimulator::new(kind.clone(), self.options.clone())
+                                        .run(k, seed)
+                                }
+                            };
+                            match outcome {
+                                Ok(result) => shard.push((index, result)),
+                                Err(error) => {
+                                    failed.store(true, Ordering::Release);
+                                    return Err(error);
+                                }
+                            }
                         }
-                        EngineChoice::Exact => {
-                            ExactSimulator::new(kind.clone(), self.options.clone()).run(k, seed)
-                        }
-                    };
-                    match outcome {
-                        Ok(result) => results.lock()[index] = Some(result),
-                        Err(error) => *failure.lock() = Some(error),
+                        Ok(shard)
+                    }));
+                }
+                let mut shards = Vec::with_capacity(handles.len());
+                let mut failures = Vec::new();
+                for handle in handles {
+                    match handle.join().expect("worker threads do not panic") {
+                        Ok(shard) => shards.push(shard),
+                        Err(error) => failures.push(error),
                     }
-                });
-            }
-        });
+                }
+                (shards, failures)
+            });
 
-        if let Some(error) = failure.into_inner() {
+        if let Some(error) = failures.pop() {
             return Err(error);
         }
-        let results = results.into_inner();
+        let mut results: Vec<Option<RunResult>> = vec![None; tasks.len()];
+        for shard in shards {
+            for (index, result) in shard {
+                results[index] = Some(result);
+            }
+        }
 
         // Aggregate per cell.
         let mut cells = Vec::new();
@@ -332,7 +366,9 @@ mod tests {
     #[test]
     fn invalid_protocol_fails_before_running() {
         let mut experiment = small_experiment();
-        experiment.protocols.push(ProtocolKind::OneFailAdaptive { delta: 1.0 });
+        experiment
+            .protocols
+            .push(ProtocolKind::OneFailAdaptive { delta: 1.0 });
         assert!(experiment.run().is_err());
     }
 

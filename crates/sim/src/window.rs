@@ -14,9 +14,17 @@
 //! decisions. Within the final window the makespan is the position of the
 //! last singleton actually needed, exactly as a per-station simulation would
 //! report it.
+//!
+//! The per-window experiment runs through the counts-only occupancy path
+//! ([`mac_prob::balls::occupancy_counts`]) with a per-run
+//! [`OccupancyScratch`], so steady-state windows perform **zero heap
+//! allocations**; the detailed path ([`mac_prob::balls::throw_balls_into`])
+//! is used only when per-delivery slots are recorded, and even then through
+//! the same reused buffers. See `crates/sim/DESIGN.md` for the scratch-buffer
+//! contract and the exactness-in-distribution argument.
 
-use crate::result::{RunOptions, RunResult};
-use mac_prob::balls::throw_balls;
+use crate::result::{RunOptions, RunResult, MAX_PREALLOC_ENTRIES};
+use mac_prob::balls::{occupancy_counts, throw_balls_into, OccupancyScratch};
 use mac_prob::rng::Xoshiro256pp;
 use mac_protocols::{ParameterError, ProtocolKind, WindowSchedule};
 use rand::SeedableRng;
@@ -88,29 +96,45 @@ pub(crate) fn run_window(
     let mut makespan: u64 = 0;
     let mut collisions: u64 = 0;
     let mut silent: u64 = 0;
-    let mut delivery_slots = options.record_deliveries.then(Vec::new);
+    // All per-window state lives in buffers reused across windows. The
+    // counts-only path grows the scratch to its own high-water mark; only the
+    // detailed (recording) path uses the per-ball buffers, so only that mode
+    // pre-sizes them. The delivery list is pre-sized to its final length.
+    let mut scratch = if options.record_deliveries {
+        OccupancyScratch::with_capacity(k.min(MAX_PREALLOC_ENTRIES) as usize)
+    } else {
+        OccupancyScratch::new()
+    };
+    let mut delivery_slots = options
+        .record_deliveries
+        .then(|| Vec::with_capacity(k.min(MAX_PREALLOC_ENTRIES) as usize));
 
     while remaining > 0 && elapsed < max_slots {
         let w = schedule.next_window();
-        let occupancy = throw_balls(remaining, w, rng);
-        let singles = occupancy.singletons();
+        // The counts-only path allocates nothing in steady state; the
+        // detailed path (also scratch-backed) runs only when per-delivery
+        // slots are recorded.
+        let occupancy = if let Some(slots) = delivery_slots.as_mut() {
+            let occupancy = throw_balls_into(remaining, w, rng, &mut scratch);
+            for &bin in scratch.singleton_bins() {
+                slots.push(elapsed + bin);
+            }
+            occupancy
+        } else {
+            occupancy_counts(remaining, w, rng, &mut scratch)
+        };
+        let singles = occupancy.singletons;
         collisions += occupancy.colliding_bins;
         // Empty bins of a *fully used* window count as silent slots; for the
         // final window only the prefix up to the last needed delivery counts.
-        if let Some(slots) = delivery_slots.as_mut() {
-            for &bin in &occupancy.singleton_bins {
-                slots.push(elapsed + bin);
-            }
-        }
         remaining -= singles;
         if remaining == 0 {
             // Every ball of this window landed alone (otherwise some station
             // would still be active), so the last delivery happens at the
             // largest occupied bin; slots after it are not part of the
             // makespan, and the colliding-bin count of this window is zero.
-            let last = *occupancy
-                .singleton_bins
-                .last()
+            let last = occupancy
+                .max_occupied_bin
                 .expect("remaining hit zero, so this window delivered something");
             debug_assert_eq!(occupancy.colliding_bins, 0);
             makespan = elapsed + last + 1;

@@ -30,9 +30,7 @@ fn main() {
         threads: 0,
     };
 
-    println!(
-        "ratio slots/k, {replications} replications per cell (cf. Table 1 of the paper)\n"
-    );
+    println!("ratio slots/k, {replications} replications per cell (cf. Table 1 of the paper)\n");
     let results = experiment.run().expect("paper parameters are valid");
     println!("{}", table1_markdown(&results));
 

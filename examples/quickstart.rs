@@ -35,7 +35,10 @@ fn main() {
         println!("{}", kind.label());
         println!("  slots used          : {}", result.makespan);
         println!("  slots per message   : {:.2}", result.ratio());
-        println!("  analysis (w.h.p.)   : {:.1} slots per message", analytical_factor);
+        println!(
+            "  analysis (w.h.p.)   : {:.1} slots per message",
+            analytical_factor
+        );
         println!(
             "  channel utilisation : {:.1}% of slots delivered a message",
             100.0 * result.utilisation()

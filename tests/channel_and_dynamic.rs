@@ -28,7 +28,8 @@ fn collision_detection_does_not_change_protocol_correctness() {
             .unwrap();
         assert!(plain.completed && with_cd.completed);
         assert_eq!(
-            plain.makespan, with_cd.makespan,
+            plain.makespan,
+            with_cd.makespan,
             "{}: identical seeds and identical protocol behaviour must give identical runs",
             kind.label()
         );
@@ -73,7 +74,10 @@ fn bursty_arrivals_behave_like_repeated_batches_when_spaced_out() {
         "each burst must drain well before the next one (max latency {})",
         report.max_latency
     );
-    assert!(report.makespan > 10_000, "second burst starts at slot 10,000");
+    assert!(
+        report.makespan > 10_000,
+        "second burst starts at slot 10,000"
+    );
 }
 
 #[test]

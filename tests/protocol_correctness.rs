@@ -22,7 +22,11 @@ fn every_paper_protocol_solves_a_range_of_instance_sizes() {
             let r = simulate(&kind, k, 42 + k).expect("valid parameters");
             assert!(r.completed, "{} k={k}", kind.label());
             assert_eq!(r.delivered, k, "{} k={k}", kind.label());
-            assert!(r.makespan >= k, "{} k={k}: a slot delivers at most one message", kind.label());
+            assert!(
+                r.makespan >= k,
+                "{} k={k}: a slot delivers at most one message",
+                kind.label()
+            );
         }
     }
 }

@@ -123,9 +123,8 @@ fn exact_engine_and_fast_engine_agree_in_the_runner() {
     let exact = experiment.run().unwrap();
     let f = &fast.cells[0];
     let e = &exact.cells[0];
-    let tolerance = (4.0 * (f.makespan.std_dev + e.makespan.std_dev)
-        / (f.replications as f64).sqrt())
-    .max(8.0);
+    let tolerance =
+        (4.0 * (f.makespan.std_dev + e.makespan.std_dev) / (f.replications as f64).sqrt()).max(8.0);
     assert!(
         (f.makespan.mean - e.makespan.mean).abs() < tolerance,
         "fast {} vs exact {} (tolerance {tolerance:.1})",
@@ -152,10 +151,19 @@ fn reports_render_consistently_from_a_real_sweep() {
     assert_eq!(csv.trim().lines().count(), 1 + 5 * 2);
 
     let table = table1_markdown(&results);
-    for label in ["One-fail Adaptive", "Exp Back-on/Back-off", "Loglog-iterated Back-off"] {
+    for label in [
+        "One-fail Adaptive",
+        "Exp Back-on/Back-off",
+        "Loglog-iterated Back-off",
+    ] {
         assert!(table.contains(label), "table must contain {label}");
     }
-    assert!(table.contains("7.4") && table.contains("14.9") && table.contains("7.8") && table.contains("4.4"));
+    assert!(
+        table.contains("7.4")
+            && table.contains("14.9")
+            && table.contains("7.8")
+            && table.contains("4.4")
+    );
 
     let series = figure1_series(&results);
     assert_eq!(series.matches("# k  mean_steps").count(), 5);

@@ -1,0 +1,311 @@
+//! Offline, API-compatible subset of the
+//! [`criterion`](https://crates.io/crates/criterion) benchmarking crate,
+//! vendored so the workspace builds without network access.
+//!
+//! The subset implements the same bench-registration API (`criterion_group!`,
+//! `criterion_main!`, [`Criterion::benchmark_group`], [`Bencher::iter`]) with
+//! a much simpler measurement core: a calibrated warm-up followed by batched
+//! wall-clock timing. It reports mean time per iteration and the configured
+//! [`Throughput`], without statistical outlier analysis or HTML reports.
+//! Numbers from this harness are comparable run-to-run on the same machine,
+//! which is all the workspace's perf-tracking workflow needs.
+
+#![forbid(unsafe_code)]
+
+use std::fmt;
+use std::hint::black_box;
+use std::time::{Duration, Instant};
+
+/// Identifier of one benchmark within a group: a function name plus an
+/// optional parameter (e.g. the instance size).
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    function: String,
+    parameter: Option<String>,
+}
+
+impl BenchmarkId {
+    /// Creates an id from a function name and a parameter value.
+    pub fn new<S: Into<String>, P: fmt::Display>(function: S, parameter: P) -> Self {
+        Self {
+            function: function.into(),
+            parameter: Some(parameter.to_string()),
+        }
+    }
+
+    /// Creates an id from a function name only.
+    pub fn from_parameter<P: fmt::Display>(parameter: P) -> Self {
+        Self {
+            function: String::new(),
+            parameter: Some(parameter.to_string()),
+        }
+    }
+}
+
+impl fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match &self.parameter {
+            Some(p) if self.function.is_empty() => write!(f, "{p}"),
+            Some(p) => write!(f, "{}/{p}", self.function),
+            None => write!(f, "{}", self.function),
+        }
+    }
+}
+
+/// Units processed per iteration, used to derive a throughput figure.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Throughput {
+    /// Elements (e.g. balls, slots) processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// Drives the timed routine of one benchmark.
+#[derive(Debug)]
+pub struct Bencher {
+    warm_up: Duration,
+    measurement: Duration,
+    ns_per_iter: f64,
+}
+
+impl Bencher {
+    /// Times `routine`, storing the mean wall-clock nanoseconds per call.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        // Calibration: run for the warm-up period to estimate per-call cost.
+        let warm_start = Instant::now();
+        let mut warm_iters: u64 = 0;
+        loop {
+            black_box(routine());
+            warm_iters += 1;
+            if warm_start.elapsed() >= self.warm_up {
+                break;
+            }
+        }
+        let estimate_ns = (warm_start.elapsed().as_nanos() as f64 / warm_iters as f64).max(0.5);
+        // Batch so that the timer is consulted roughly every 5 ms, keeping
+        // `Instant::now` overhead negligible even for nanosecond routines.
+        let batch = ((5_000_000.0 / estimate_ns).ceil() as u64).max(1);
+
+        let start = Instant::now();
+        let mut iters: u64 = 0;
+        loop {
+            for _ in 0..batch {
+                black_box(routine());
+            }
+            iters += batch;
+            if start.elapsed() >= self.measurement {
+                break;
+            }
+        }
+        self.ns_per_iter = start.elapsed().as_nanos() as f64 / iters as f64;
+    }
+}
+
+/// A group of related benchmarks sharing measurement settings.
+#[derive(Debug)]
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    warm_up: Duration,
+    measurement: Duration,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of samples (accepted for API compatibility; the stub
+    /// measures one averaged sample).
+    pub fn sample_size(&mut self, _samples: usize) -> &mut Self {
+        self
+    }
+
+    /// Sets the warm-up (calibration) duration.
+    pub fn warm_up_time(&mut self, duration: Duration) -> &mut Self {
+        self.warm_up = duration;
+        self
+    }
+
+    /// Sets the measurement duration.
+    pub fn measurement_time(&mut self, duration: Duration) -> &mut Self {
+        self.measurement = duration;
+        self
+    }
+
+    /// Sets the per-iteration throughput used for reporting.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Runs one benchmark with an input value.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let mut bencher = Bencher {
+            warm_up: self.warm_up,
+            measurement: self.measurement,
+            ns_per_iter: f64::NAN,
+        };
+        f(&mut bencher, input);
+        self.report(&id.to_string(), bencher.ns_per_iter);
+        self
+    }
+
+    /// Runs one benchmark without an input value.
+    pub fn bench_function<F>(&mut self, id: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut bencher = Bencher {
+            warm_up: self.warm_up,
+            measurement: self.measurement,
+            ns_per_iter: f64::NAN,
+        };
+        f(&mut bencher);
+        self.report(id, bencher.ns_per_iter);
+        self
+    }
+
+    fn report(&mut self, id: &str, ns_per_iter: f64) {
+        let mut line = format!("{}/{}: {} per iter", self.name, id, format_ns(ns_per_iter));
+        if let Some(throughput) = self.throughput {
+            let (units, suffix) = match throughput {
+                Throughput::Elements(n) => (n, "elem/s"),
+                Throughput::Bytes(n) => (n, "B/s"),
+            };
+            let rate = units as f64 / (ns_per_iter * 1e-9);
+            line.push_str(&format!(", {} {suffix}", format_rate(rate)));
+        }
+        println!("{line}");
+        self.criterion.measurements.push(Measurement {
+            group: self.name.clone(),
+            id: id.to_string(),
+            ns_per_iter,
+        });
+    }
+
+    /// Ends the group (accepted for API compatibility).
+    pub fn finish(&mut self) {}
+}
+
+/// One recorded measurement, exposed so callers can post-process results.
+#[derive(Debug, Clone)]
+pub struct Measurement {
+    /// Group name.
+    pub group: String,
+    /// Benchmark id within the group.
+    pub id: String,
+    /// Mean wall-clock nanoseconds per iteration.
+    pub ns_per_iter: f64,
+}
+
+/// Top-level benchmark driver.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    measurements: Vec<Measurement>,
+}
+
+impl Criterion {
+    /// Accepted for API compatibility; the stub has no CLI options.
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+
+    /// Opens a named benchmark group.
+    pub fn benchmark_group<S: Into<String>>(&mut self, name: S) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            warm_up: Duration::from_millis(500),
+            measurement: Duration::from_secs(2),
+            throughput: None,
+            criterion: self,
+        }
+    }
+
+    /// All measurements recorded so far.
+    pub fn measurements(&self) -> &[Measurement] {
+        &self.measurements
+    }
+}
+
+fn format_ns(ns: f64) -> String {
+    if ns < 1_000.0 {
+        format!("{ns:.1} ns")
+    } else if ns < 1_000_000.0 {
+        format!("{:.2} µs", ns / 1_000.0)
+    } else if ns < 1_000_000_000.0 {
+        format!("{:.2} ms", ns / 1_000_000.0)
+    } else {
+        format!("{:.3} s", ns / 1_000_000_000.0)
+    }
+}
+
+fn format_rate(rate: f64) -> String {
+    if rate >= 1e9 {
+        format!("{:.2} G", rate / 1e9)
+    } else if rate >= 1e6 {
+        format!("{:.2} M", rate / 1e6)
+    } else if rate >= 1e3 {
+        format!("{:.2} K", rate / 1e3)
+    } else {
+        format!("{rate:.1} ")
+    }
+}
+
+/// Declares a group function running the listed benchmark functions.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default().configure_from_args();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declares `main` running the listed group functions.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_measures_a_cheap_routine() {
+        let mut criterion = Criterion::default();
+        {
+            let mut group = criterion.benchmark_group("test");
+            group.warm_up_time(Duration::from_millis(5));
+            group.measurement_time(Duration::from_millis(20));
+            group.throughput(Throughput::Elements(1));
+            group.bench_with_input(BenchmarkId::new("add", 1), &1u64, |b, &x| {
+                b.iter(|| x.wrapping_add(1));
+            });
+            group.finish();
+        }
+        let ms = criterion.measurements();
+        assert_eq!(ms.len(), 1);
+        assert!(ms[0].ns_per_iter.is_finite() && ms[0].ns_per_iter > 0.0);
+    }
+
+    #[test]
+    fn formatting_picks_sensible_units() {
+        assert!(format_ns(12.3).contains("ns"));
+        assert!(format_ns(12_300.0).contains("µs"));
+        assert!(format_ns(12_300_000.0).contains("ms"));
+        assert!(format_rate(2.5e6).starts_with("2.50 M"));
+    }
+}

@@ -1,0 +1,349 @@
+//! Offline, API-compatible subset of the [`rand`](https://crates.io/crates/rand)
+//! crate (0.8 line), vendored so the workspace builds without network access.
+//!
+//! Only the surface actually used by this workspace is provided:
+//!
+//! * [`RngCore`] / [`SeedableRng`] — implemented by the workspace's own
+//!   generators (`mac_prob::rng`);
+//! * [`Rng`] — the extension trait providing `gen::<f64>()`, `gen_range`
+//!   and `gen_bool`;
+//! * [`Error`] — the error type referenced by `RngCore::try_fill_bytes`.
+//!
+//! The uniform-range sampler uses Lemire's widening-multiply rejection
+//! method, and `f64` generation uses the standard 53-bit mantissa-fill, so
+//! the statistical behaviour matches the upstream crate. Streams are *not*
+//! bit-identical to upstream `rand`; every simulator in this workspace seeds
+//! its own generator, so reproducibility is defined entirely by this
+//! workspace.
+
+#![forbid(unsafe_code)]
+
+use std::fmt;
+
+/// Error type reported by fallible RNG operations.
+///
+/// The generators in this workspace are infallible; the type exists so that
+/// `RngCore::try_fill_bytes` has the upstream signature.
+#[derive(Debug)]
+pub struct Error;
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("random number generator error")
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// The core of a random number generator: a source of `u32`/`u64` words.
+pub trait RngCore {
+    /// Returns the next random `u32`.
+    fn next_u32(&mut self) -> u32;
+    /// Returns the next random `u64`.
+    fn next_u64(&mut self) -> u64;
+    /// Fills `dest` with random bytes.
+    fn fill_bytes(&mut self, dest: &mut [u8]);
+    /// Fills `dest` with random bytes, reporting failure as an [`Error`].
+    fn try_fill_bytes(&mut self, dest: &mut [u8]) -> Result<(), Error>;
+}
+
+impl<R: RngCore + ?Sized> RngCore for &mut R {
+    fn next_u32(&mut self) -> u32 {
+        (**self).next_u32()
+    }
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        (**self).fill_bytes(dest)
+    }
+    fn try_fill_bytes(&mut self, dest: &mut [u8]) -> Result<(), Error> {
+        (**self).try_fill_bytes(dest)
+    }
+}
+
+impl<R: RngCore + ?Sized> RngCore for Box<R> {
+    fn next_u32(&mut self) -> u32 {
+        (**self).next_u32()
+    }
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        (**self).fill_bytes(dest)
+    }
+    fn try_fill_bytes(&mut self, dest: &mut [u8]) -> Result<(), Error> {
+        (**self).try_fill_bytes(dest)
+    }
+}
+
+/// A generator that can be instantiated from a fixed seed.
+pub trait SeedableRng: Sized {
+    /// Seed material accepted by [`SeedableRng::from_seed`].
+    type Seed: Sized + Default + AsMut<[u8]>;
+
+    /// Creates a generator from seed material.
+    fn from_seed(seed: Self::Seed) -> Self;
+
+    /// Creates a generator from a `u64`, expanding it through SplitMix64 as
+    /// recommended for the xoshiro family.
+    fn seed_from_u64(mut state: u64) -> Self {
+        let mut seed = Self::Seed::default();
+        for chunk in seed.as_mut().chunks_mut(8) {
+            state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^= z >> 31;
+            let bytes = z.to_le_bytes();
+            let n = chunk.len();
+            chunk.copy_from_slice(&bytes[..n]);
+        }
+        Self::from_seed(seed)
+    }
+}
+
+/// Distributions for [`Rng::gen`] and uniform-range sampling.
+pub mod distributions {
+    use super::RngCore;
+
+    /// The "natural" distribution of a type: uniform over its range for
+    /// integers, uniform in `[0, 1)` for floats.
+    #[derive(Debug, Clone, Copy, Default)]
+    pub struct Standard;
+
+    /// Types that can be sampled from a distribution.
+    pub trait Distribution<T> {
+        /// Draws one value.
+        fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> T;
+    }
+
+    impl Distribution<f64> for Standard {
+        #[inline]
+        fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> f64 {
+            // 53 random mantissa bits: uniform in [0, 1).
+            (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+        }
+    }
+
+    impl Distribution<f32> for Standard {
+        #[inline]
+        fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> f32 {
+            (rng.next_u32() >> 8) as f32 * (1.0 / (1u32 << 24) as f32)
+        }
+    }
+
+    impl Distribution<u64> for Standard {
+        #[inline]
+        fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> u64 {
+            rng.next_u64()
+        }
+    }
+
+    impl Distribution<u32> for Standard {
+        #[inline]
+        fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> u32 {
+            rng.next_u32()
+        }
+    }
+
+    impl Distribution<bool> for Standard {
+        #[inline]
+        fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> bool {
+            rng.next_u64() & 1 == 1
+        }
+    }
+
+    /// Uniformly samples one integer in `[0, span)` with Lemire's
+    /// widening-multiply rejection method (unbiased).
+    #[inline]
+    pub(crate) fn uniform_u64_below<R: RngCore + ?Sized>(span: u64, rng: &mut R) -> u64 {
+        debug_assert!(span > 0);
+        let mut m = u128::from(rng.next_u64()) * u128::from(span);
+        let mut lo = m as u64;
+        if lo < span {
+            let threshold = span.wrapping_neg() % span;
+            while lo < threshold {
+                m = u128::from(rng.next_u64()) * u128::from(span);
+                lo = m as u64;
+            }
+        }
+        (m >> 64) as u64
+    }
+
+    /// Ranges usable with [`super::Rng::gen_range`].
+    pub trait SampleRange<T> {
+        /// Draws one value uniformly from the range.
+        fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+    }
+
+    macro_rules! impl_int_sample_range {
+        ($($t:ty),*) => {$(
+            impl SampleRange<$t> for core::ops::Range<$t> {
+                #[inline]
+                fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                    assert!(self.start < self.end, "cannot sample empty range");
+                    let span = (self.end as u64).wrapping_sub(self.start as u64);
+                    self.start + uniform_u64_below(span, rng) as $t
+                }
+            }
+
+            impl SampleRange<$t> for core::ops::RangeInclusive<$t> {
+                #[inline]
+                fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                    let (start, end) = (*self.start(), *self.end());
+                    assert!(start <= end, "cannot sample empty range");
+                    let span = (end as u64).wrapping_sub(start as u64).wrapping_add(1);
+                    if span == 0 {
+                        // Full u64 domain: every word is valid.
+                        return rng.next_u64() as $t;
+                    }
+                    start + uniform_u64_below(span, rng) as $t
+                }
+            }
+        )*};
+    }
+
+    impl_int_sample_range!(u64, u32, usize);
+
+    impl SampleRange<f64> for core::ops::Range<f64> {
+        #[inline]
+        fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> f64 {
+            assert!(self.start < self.end, "cannot sample empty range");
+            let u: f64 = Standard.sample(rng);
+            self.start + u * (self.end - self.start)
+        }
+    }
+
+    impl SampleRange<f64> for core::ops::RangeInclusive<f64> {
+        #[inline]
+        fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> f64 {
+            let (start, end) = (*self.start(), *self.end());
+            assert!(start <= end, "cannot sample empty range");
+            let u: f64 = Standard.sample(rng);
+            start + u * (end - start)
+        }
+    }
+}
+
+/// Extension trait with convenient sampling methods, implemented for every
+/// [`RngCore`].
+pub trait Rng: RngCore {
+    /// Samples a value from its [`distributions::Standard`] distribution.
+    #[inline]
+    fn gen<T>(&mut self) -> T
+    where
+        distributions::Standard: distributions::Distribution<T>,
+    {
+        use distributions::Distribution;
+        distributions::Standard.sample(self)
+    }
+
+    /// Samples a value uniformly from `range`.
+    #[inline]
+    fn gen_range<T, S>(&mut self, range: S) -> T
+    where
+        S: distributions::SampleRange<T>,
+    {
+        range.sample_single(self)
+    }
+
+    /// Returns `true` with probability `p`.
+    #[inline]
+    fn gen_bool(&mut self, p: f64) -> bool {
+        debug_assert!((0.0..=1.0).contains(&p), "probability out of range: {p}");
+        self.gen::<f64>() < p
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+#[cfg(test)]
+mod tests {
+    use super::distributions::uniform_u64_below;
+    use super::*;
+
+    struct Counter(u64);
+
+    impl RngCore for Counter {
+        fn next_u32(&mut self) -> u32 {
+            (self.next_u64() >> 32) as u32
+        }
+        fn next_u64(&mut self) -> u64 {
+            // SplitMix64 so range rejection terminates.
+            self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.0;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+        fn fill_bytes(&mut self, dest: &mut [u8]) {
+            for b in dest {
+                *b = self.next_u64() as u8;
+            }
+        }
+        fn try_fill_bytes(&mut self, dest: &mut [u8]) -> Result<(), Error> {
+            self.fill_bytes(dest);
+            Ok(())
+        }
+    }
+
+    #[test]
+    fn gen_f64_is_in_unit_interval() {
+        let mut rng = Counter(1);
+        for _ in 0..10_000 {
+            let x: f64 = rng.gen();
+            assert!((0.0..1.0).contains(&x));
+        }
+    }
+
+    #[test]
+    fn gen_range_respects_bounds() {
+        let mut rng = Counter(2);
+        for _ in 0..10_000 {
+            let x = rng.gen_range(10u64..17);
+            assert!((10..17).contains(&x));
+            let y = rng.gen_range(0usize..=3);
+            assert!(y <= 3);
+        }
+    }
+
+    #[test]
+    fn uniform_below_covers_all_residues() {
+        let mut rng = Counter(3);
+        let mut seen = [false; 7];
+        for _ in 0..1_000 {
+            seen[uniform_u64_below(7, &mut rng) as usize] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn seed_from_u64_is_deterministic() {
+        struct ArrSeeded([u8; 16]);
+        impl RngCore for ArrSeeded {
+            fn next_u32(&mut self) -> u32 {
+                0
+            }
+            fn next_u64(&mut self) -> u64 {
+                0
+            }
+            fn fill_bytes(&mut self, _: &mut [u8]) {}
+            fn try_fill_bytes(&mut self, _: &mut [u8]) -> Result<(), Error> {
+                Ok(())
+            }
+        }
+        impl SeedableRng for ArrSeeded {
+            type Seed = [u8; 16];
+            fn from_seed(seed: Self::Seed) -> Self {
+                Self(seed)
+            }
+        }
+        let a = ArrSeeded::seed_from_u64(42);
+        let b = ArrSeeded::seed_from_u64(42);
+        let c = ArrSeeded::seed_from_u64(43);
+        assert_eq!(a.0, b.0);
+        assert_ne!(a.0, c.0);
+        assert_ne!(a.0, [0u8; 16]);
+    }
+}

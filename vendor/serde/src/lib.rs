@@ -1,0 +1,20 @@
+//! Offline, API-compatible subset of the [`serde`](https://serde.rs) crate,
+//! vendored so the workspace builds without network access.
+//!
+//! The workspace uses serde only to mark configuration and result types as
+//! serialisable (`#[derive(Serialize, Deserialize)]`); nothing serialises
+//! through the serde data model yet (JSON artefacts are written by hand in
+//! `mac-bench`). The derive macros here therefore expand to nothing, and the
+//! traits carry no methods. When a real serialisation backend is needed,
+//! replace this stub with the upstream crate — every annotated type already
+//! compiles against the upstream derive.
+
+#![forbid(unsafe_code)]
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker trait mirroring `serde::Serialize` (no methods in this stub).
+pub trait Serialize {}
+
+/// Marker trait mirroring `serde::Deserialize` (no methods in this stub).
+pub trait Deserialize<'de>: Sized {}

@@ -1,0 +1,20 @@
+//! No-op `Serialize`/`Deserialize` derive macros for the vendored serde stub.
+//!
+//! The workspace never serialises through the serde data model (see the stub
+//! `serde` crate's documentation), so the derives expand to nothing. The
+//! `serde` helper attribute is registered so that field attributes like
+//! `#[serde(default)]` would not break compilation if introduced.
+
+use proc_macro::TokenStream;
+
+/// Expands to nothing; accepts `#[serde(...)]` helper attributes.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// Expands to nothing; accepts `#[serde(...)]` helper attributes.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
