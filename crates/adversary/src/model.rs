@@ -1,0 +1,541 @@
+//! Adversary configurations: jamming models and feedback faults.
+//!
+//! A configuration is pure data — serialisable, comparable, and parsable
+//! from a compact config string (see [`AdversaryModel::parse`]) — and is
+//! turned into a runtime [`crate::AdversaryState`] by
+//! [`AdversaryScenario::state`] with a dedicated RNG stream, so that an
+//! adversary never perturbs the protocol randomness of a seeded run.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::str::FromStr;
+
+/// What a budgeted reactive jammer reacts to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum JamTrigger {
+    /// Jam slots in which exactly one station transmits (would-be
+    /// deliveries). This is the strongest per-unit-budget attack: every jam
+    /// destroys a delivery.
+    NearSuccess,
+    /// Jam slots in which two or more stations transmit. Such slots are
+    /// already collisions, so this trigger wastes the budget — included to
+    /// demonstrate experimentally that *what* a reactive jammer targets
+    /// matters as much as how much energy it has.
+    Contended,
+}
+
+impl JamTrigger {
+    fn as_str(self) -> &'static str {
+        match self {
+            JamTrigger::NearSuccess => "near-success",
+            JamTrigger::Contended => "contended",
+        }
+    }
+}
+
+/// A model of channel jamming.
+///
+/// Jamming operates on the *channel truth* of a slot: a jammed slot in which
+/// at least one station transmits becomes a [`mac_prob::outcome::SlotOutcome::Collision`]
+/// (the jam signal garbles the transmission), so a jammed would-be delivery
+/// is destroyed and the transmitting station stays active. Jamming an empty
+/// slot has no observable effect in this model — the jam signal alone
+/// carries no message and is indistinguishable from background noise — so
+/// adversaries are only ever consulted about busy slots.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize, Default)]
+pub enum AdversaryModel {
+    /// No jamming: the ideal channel of the paper.
+    #[default]
+    None,
+    /// Each slot is independently corrupted into a collision with
+    /// probability `p` (stochastic noise, cf. the noisy-channel models of
+    /// Bender et al., "Contention Resolution Without Collision Detection").
+    StochasticNoise {
+        /// Per-slot corruption probability, in `[0, 1]`.
+        p: f64,
+    },
+    /// An oblivious periodic jammer: slot `t` is jammed iff
+    /// `(t + phase) % period < burst`.
+    PeriodicJam {
+        /// Length of the repeating pattern (≥ 1).
+        period: u64,
+        /// Number of jammed slots at the start of each period (≤ `period`).
+        burst: u64,
+        /// Offset of the pattern against the slot clock.
+        phase: u64,
+    },
+    /// An oblivious jammer following an explicit schedule of
+    /// `(start_slot, length)` intervals. Intervals may be given unsorted and
+    /// overlapping; they are normalised (sorted and merged) before use.
+    ScheduledJam {
+        /// The jam intervals as `(start_slot, length)` pairs.
+        bursts: Vec<(u64, u64)>,
+    },
+    /// A reactive jammer with a finite energy budget: it jams every slot
+    /// matching `trigger` until `budget` jams have been spent (cf. the
+    /// resource-bounded adversaries of the jamming literature).
+    BudgetedReactiveJam {
+        /// Total number of slots the adversary can jam.
+        budget: u64,
+        /// Which slots the adversary reacts to.
+        trigger: JamTrigger,
+    },
+}
+
+impl AdversaryModel {
+    /// True for the ideal (non-jamming) channel.
+    pub fn is_none(&self) -> bool {
+        matches!(self, AdversaryModel::None)
+    }
+
+    /// Validates the model parameters.
+    ///
+    /// # Errors
+    /// Returns a human-readable description of the first invalid parameter.
+    pub fn validate(&self) -> Result<(), String> {
+        match self {
+            AdversaryModel::None => Ok(()),
+            AdversaryModel::StochasticNoise { p } => {
+                if p.is_finite() && (0.0..=1.0).contains(p) {
+                    Ok(())
+                } else {
+                    Err(format!("noise probability must be in [0,1], got {p}"))
+                }
+            }
+            AdversaryModel::PeriodicJam { period, burst, .. } => {
+                if *period == 0 {
+                    Err("jam period must be at least 1".to_string())
+                } else if burst > period {
+                    Err(format!("jam burst {burst} exceeds period {period}"))
+                } else {
+                    Ok(())
+                }
+            }
+            AdversaryModel::ScheduledJam { .. } | AdversaryModel::BudgetedReactiveJam { .. } => {
+                Ok(())
+            }
+        }
+    }
+
+    /// Returns the model in canonical form: scheduled jam intervals sorted
+    /// by start slot, with empty intervals dropped and overlapping or
+    /// adjacent intervals merged. All other models are already canonical.
+    pub fn normalised(&self) -> AdversaryModel {
+        match self {
+            AdversaryModel::ScheduledJam { bursts } => AdversaryModel::ScheduledJam {
+                bursts: normalise_intervals(bursts),
+            },
+            other => other.clone(),
+        }
+    }
+
+    /// A short human-readable label for tables and reports.
+    pub fn label(&self) -> String {
+        match self {
+            AdversaryModel::None => "clean channel".to_string(),
+            AdversaryModel::StochasticNoise { p } => format!("noise p={p}"),
+            AdversaryModel::PeriodicJam { period, burst, .. } => {
+                format!("periodic {burst}/{period}")
+            }
+            AdversaryModel::ScheduledJam { bursts } => {
+                format!("scheduled ({} bursts)", normalise_intervals(bursts).len())
+            }
+            AdversaryModel::BudgetedReactiveJam { budget, trigger } => {
+                format!("reactive {} b={budget}", trigger.as_str())
+            }
+        }
+    }
+
+    /// Parses a model from its compact config-string form (the format
+    /// produced by the [`fmt::Display`] impl):
+    ///
+    /// * `none`
+    /// * `noise:P` — stochastic noise with probability `P`
+    /// * `periodic:PERIOD:BURST:PHASE`
+    /// * `scheduled:S+L,S+L,...` — intervals of `L` slots starting at `S`
+    /// * `reactive:BUDGET:near-success` / `reactive:BUDGET:contended`
+    ///
+    /// # Errors
+    /// Returns a description of the malformed component.
+    pub fn parse(text: &str) -> Result<AdversaryModel, String> {
+        text.parse()
+    }
+}
+
+/// Sorts intervals by start, drops empty ones and merges overlaps.
+fn normalise_intervals(bursts: &[(u64, u64)]) -> Vec<(u64, u64)> {
+    let mut sorted: Vec<(u64, u64)> = bursts.iter().copied().filter(|&(_, len)| len > 0).collect();
+    sorted.sort_unstable();
+    let mut merged: Vec<(u64, u64)> = Vec::with_capacity(sorted.len());
+    for (start, len) in sorted {
+        match merged.last_mut() {
+            Some((last_start, last_len)) if start <= last_start.saturating_add(*last_len) => {
+                // Saturating ends: an interval reaching past u64::MAX jams
+                // every slot from its start onwards.
+                let end = start
+                    .saturating_add(len)
+                    .max(last_start.saturating_add(*last_len));
+                *last_len = end - *last_start;
+            }
+            _ => merged.push((start, len)),
+        }
+    }
+    merged
+}
+
+impl fmt::Display for AdversaryModel {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AdversaryModel::None => write!(f, "none"),
+            AdversaryModel::StochasticNoise { p } => write!(f, "noise:{p}"),
+            AdversaryModel::PeriodicJam {
+                period,
+                burst,
+                phase,
+            } => write!(f, "periodic:{period}:{burst}:{phase}"),
+            AdversaryModel::ScheduledJam { bursts } => {
+                write!(f, "scheduled:")?;
+                for (i, (start, len)) in normalise_intervals(bursts).iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ",")?;
+                    }
+                    write!(f, "{start}+{len}")?;
+                }
+                Ok(())
+            }
+            AdversaryModel::BudgetedReactiveJam { budget, trigger } => {
+                write!(f, "reactive:{budget}:{}", trigger.as_str())
+            }
+        }
+    }
+}
+
+impl FromStr for AdversaryModel {
+    type Err = String;
+
+    fn from_str(text: &str) -> Result<Self, Self::Err> {
+        let (head, rest) = match text.split_once(':') {
+            Some((head, rest)) => (head, rest),
+            None => (text, ""),
+        };
+        let parse_u64 = |part: &str, what: &str| -> Result<u64, String> {
+            part.parse::<u64>()
+                .map_err(|_| format!("invalid {what} `{part}` in adversary config `{text}`"))
+        };
+        let model = match head {
+            "none" => AdversaryModel::None,
+            "noise" => AdversaryModel::StochasticNoise {
+                p: rest
+                    .parse::<f64>()
+                    .map_err(|_| format!("invalid noise probability `{rest}`"))?,
+            },
+            "periodic" => {
+                let mut parts = rest.split(':');
+                let mut next = |what: &str| {
+                    parts
+                        .next()
+                        .ok_or_else(|| format!("periodic jam is missing its {what}"))
+                };
+                let model = AdversaryModel::PeriodicJam {
+                    period: parse_u64(next("period")?, "period")?,
+                    burst: parse_u64(next("burst")?, "burst")?,
+                    phase: parse_u64(next("phase")?, "phase")?,
+                };
+                if parts.next().is_some() {
+                    return Err(format!("trailing components in `{text}`"));
+                }
+                model
+            }
+            "scheduled" => {
+                let mut bursts = Vec::new();
+                for pair in rest.split(',').filter(|p| !p.is_empty()) {
+                    let (start, len) = pair
+                        .split_once('+')
+                        .ok_or_else(|| format!("interval `{pair}` is not of the form S+L"))?;
+                    bursts.push((
+                        parse_u64(start, "interval start")?,
+                        parse_u64(len, "interval length")?,
+                    ));
+                }
+                AdversaryModel::ScheduledJam { bursts }
+            }
+            "reactive" => {
+                let (budget, trigger) = rest
+                    .split_once(':')
+                    .ok_or_else(|| format!("reactive jam `{text}` needs BUDGET:TRIGGER"))?;
+                let trigger = match trigger {
+                    "near-success" => JamTrigger::NearSuccess,
+                    "contended" => JamTrigger::Contended,
+                    other => return Err(format!("unknown jam trigger `{other}`")),
+                };
+                AdversaryModel::BudgetedReactiveJam {
+                    budget: parse_u64(budget, "budget")?,
+                    trigger,
+                }
+            }
+            other => return Err(format!("unknown adversary model `{other}`")),
+        };
+        model.validate()?;
+        Ok(model)
+    }
+}
+
+/// A model of degraded channel feedback: the slot is resolved correctly, but
+/// what the *stations* are told about it is corrupted.
+///
+/// Both faults are channel-level (every listening station receives the same
+/// degraded feedback in a slot, modelling a noisy broadcast feedback path),
+/// which is what keeps the common-state invariant of fair protocols — and
+/// with it the O(1)-per-slot fair simulator — intact. Acknowledgements are
+/// reliable: the station whose message was delivered always learns it.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize, Default)]
+pub struct FeedbackFault {
+    /// Probability that a silent slot is reported as a collision and vice
+    /// versa. Models receivers without dependable collision detection: the
+    /// paper's protocols ignore the distinction and are immune, while
+    /// collision-detection baselines (e.g. `CdAdaptive`) are not.
+    pub confuse_collision_empty: f64,
+    /// Probability that a delivered message is received garbled by everyone
+    /// except its (acknowledged) sender, i.e. the delivery is reported to
+    /// the other stations as a collision.
+    pub miss_delivery: f64,
+}
+
+impl FeedbackFault {
+    /// Perfectly reliable feedback.
+    pub fn clean() -> Self {
+        Self::default()
+    }
+
+    /// True if the feedback path is perfectly reliable.
+    pub fn is_clean(&self) -> bool {
+        self.confuse_collision_empty == 0.0 && self.miss_delivery == 0.0
+    }
+
+    /// Validates the fault probabilities.
+    ///
+    /// # Errors
+    /// Returns a human-readable description of the first invalid parameter.
+    pub fn validate(&self) -> Result<(), String> {
+        for (name, p) in [
+            ("confuse_collision_empty", self.confuse_collision_empty),
+            ("miss_delivery", self.miss_delivery),
+        ] {
+            if !(p.is_finite() && (0.0..=1.0).contains(&p)) {
+                return Err(format!("{name} must be in [0,1], got {p}"));
+            }
+        }
+        Ok(())
+    }
+}
+
+/// A complete adversarial scenario: a jamming model plus a feedback fault.
+///
+/// This is the unit of configuration the simulators accept (via
+/// `RunOptions` in `mac-sim`); the default scenario is the paper's ideal
+/// channel, under which every simulator is bit-identical to a run with no
+/// adversary support at all.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize, Default)]
+pub struct AdversaryScenario {
+    /// The jamming model.
+    pub jamming: AdversaryModel,
+    /// The feedback-degradation model.
+    pub feedback: FeedbackFault,
+}
+
+impl AdversaryScenario {
+    /// The ideal channel: no jamming, reliable feedback.
+    pub fn clean() -> Self {
+        Self::default()
+    }
+
+    /// A jamming-only scenario with reliable feedback.
+    pub fn jamming(model: AdversaryModel) -> Self {
+        Self {
+            jamming: model,
+            feedback: FeedbackFault::clean(),
+        }
+    }
+
+    /// A feedback-fault-only scenario on an otherwise ideal channel.
+    pub fn faulty_feedback(fault: FeedbackFault) -> Self {
+        Self {
+            jamming: AdversaryModel::None,
+            feedback: fault,
+        }
+    }
+
+    /// True if the scenario is exactly the ideal channel. Simulators use
+    /// this to stay on their pristine (pre-adversary) fast paths.
+    pub fn is_clean(&self) -> bool {
+        self.jamming.is_none() && self.feedback.is_clean()
+    }
+
+    /// Validates both components.
+    ///
+    /// # Errors
+    /// Returns a human-readable description of the first invalid parameter.
+    pub fn validate(&self) -> Result<(), String> {
+        self.jamming.validate()?;
+        self.feedback.validate()
+    }
+
+    /// Instantiates the runtime adversary with its own RNG stream.
+    ///
+    /// `seed` must be derived from the run seed on a dedicated path (the
+    /// simulators use `derive_seed(run_seed, &[ADVERSARY_STREAM])`) so the
+    /// adversary's randomness never perturbs the protocol stream.
+    ///
+    /// # Panics
+    /// Panics if the scenario fails [`AdversaryScenario::validate`].
+    pub fn state(&self, seed: u64) -> crate::AdversaryState {
+        crate::AdversaryState::new(self.clone(), seed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_clean() {
+        assert!(AdversaryScenario::default().is_clean());
+        assert!(AdversaryModel::default().is_none());
+        assert!(FeedbackFault::default().is_clean());
+    }
+
+    #[test]
+    fn validation_catches_bad_parameters() {
+        assert!(AdversaryModel::StochasticNoise { p: 1.5 }
+            .validate()
+            .is_err());
+        assert!(AdversaryModel::StochasticNoise { p: f64::NAN }
+            .validate()
+            .is_err());
+        assert!(AdversaryModel::PeriodicJam {
+            period: 0,
+            burst: 0,
+            phase: 0
+        }
+        .validate()
+        .is_err());
+        assert!(AdversaryModel::PeriodicJam {
+            period: 3,
+            burst: 4,
+            phase: 0
+        }
+        .validate()
+        .is_err());
+        assert!(FeedbackFault {
+            confuse_collision_empty: -0.1,
+            miss_delivery: 0.0
+        }
+        .validate()
+        .is_err());
+        assert!(AdversaryModel::StochasticNoise { p: 0.5 }
+            .validate()
+            .is_ok());
+    }
+
+    #[test]
+    fn scheduled_intervals_are_normalised() {
+        let model = AdversaryModel::ScheduledJam {
+            bursts: vec![(10, 5), (0, 3), (12, 4), (3, 0), (20, 1)],
+        };
+        assert_eq!(
+            model.normalised(),
+            AdversaryModel::ScheduledJam {
+                bursts: vec![(0, 3), (10, 6), (20, 1)],
+            }
+        );
+    }
+
+    #[test]
+    fn normalisation_saturates_instead_of_overflowing() {
+        let model = AdversaryModel::ScheduledJam {
+            bursts: vec![(u64::MAX - 1, 5), (u64::MAX - 1, 2)],
+        };
+        assert_eq!(
+            model.normalised(),
+            AdversaryModel::ScheduledJam {
+                bursts: vec![(u64::MAX - 1, 1)],
+            }
+        );
+    }
+
+    #[test]
+    fn adjacent_intervals_merge() {
+        let model = AdversaryModel::ScheduledJam {
+            bursts: vec![(0, 5), (5, 5)],
+        };
+        assert_eq!(
+            model.normalised(),
+            AdversaryModel::ScheduledJam {
+                bursts: vec![(0, 10)],
+            }
+        );
+    }
+
+    #[test]
+    fn config_strings_round_trip() {
+        let models = [
+            AdversaryModel::None,
+            AdversaryModel::StochasticNoise { p: 0.125 },
+            AdversaryModel::PeriodicJam {
+                period: 7,
+                burst: 2,
+                phase: 3,
+            },
+            AdversaryModel::ScheduledJam {
+                bursts: vec![(0, 10), (100, 5)],
+            },
+            AdversaryModel::ScheduledJam { bursts: vec![] },
+            AdversaryModel::BudgetedReactiveJam {
+                budget: 42,
+                trigger: JamTrigger::NearSuccess,
+            },
+            AdversaryModel::BudgetedReactiveJam {
+                budget: 0,
+                trigger: JamTrigger::Contended,
+            },
+        ];
+        for model in models {
+            let text = model.to_string();
+            let parsed = AdversaryModel::parse(&text).unwrap();
+            assert_eq!(parsed, model.normalised(), "config `{text}`");
+        }
+    }
+
+    #[test]
+    fn malformed_configs_are_rejected() {
+        for bad in [
+            "bogus",
+            "noise:abc",
+            "noise:1.5",
+            "periodic:0:0:0",
+            "periodic:3",
+            "periodic:3:1:0:9",
+            "scheduled:5",
+            "scheduled:a+b",
+            "reactive:10",
+            "reactive:x:contended",
+            "reactive:10:sometimes",
+        ] {
+            assert!(AdversaryModel::parse(bad).is_err(), "accepted `{bad}`");
+        }
+    }
+
+    #[test]
+    fn labels_are_informative() {
+        assert_eq!(AdversaryModel::None.label(), "clean channel");
+        assert!(AdversaryModel::StochasticNoise { p: 0.1 }
+            .label()
+            .contains("0.1"));
+        assert!(AdversaryModel::BudgetedReactiveJam {
+            budget: 9,
+            trigger: JamTrigger::Contended
+        }
+        .label()
+        .contains("contended"));
+    }
+}

@@ -6,10 +6,18 @@
 //! the stations. The channel also keeps aggregate statistics
 //! ([`ChannelStats`]) and, optionally, a bounded per-slot trace
 //! ([`crate::trace::Trace`]).
+//!
+//! A channel may carry an adversary ([`Channel::with_adversary`]): a jammer
+//! that can convert busy slots into collisions and a feedback fault that
+//! degrades what the stations are told about each slot (see
+//! `mac-adversary`). The default channel is the paper's ideal one, and its
+//! behaviour — including its consumption of any caller-provided RNG — is
+//! bit-identical to a channel with no adversary support at all.
 
 use crate::feedback::ChannelModel;
 use crate::node::NodeId;
 use crate::trace::{Trace, TraceEntry};
+use mac_adversary::{AdversaryState, SlotClass};
 use mac_prob::outcome::SlotOutcome;
 use serde::{Deserialize, Serialize};
 
@@ -27,6 +35,12 @@ pub struct ChannelStats {
     /// Total number of individual transmissions attempted (sum over slots of
     /// the number of transmitters).
     pub transmissions: u64,
+    /// Slots in which exactly one station transmitted but an adversary
+    /// jammed the slot, destroying the delivery (such slots are counted
+    /// under [`ChannelStats::collisions`], not
+    /// [`ChannelStats::deliveries`]).
+    #[serde(default)]
+    pub jammed_deliveries: u64,
 }
 
 impl ChannelStats {
@@ -61,6 +75,13 @@ pub struct SlotResolution {
     pub delivered: Option<NodeId>,
     /// Number of stations that transmitted in the slot.
     pub transmitters: u64,
+    /// True if an adversary jammed the slot (only possible for busy slots;
+    /// implies `outcome == SlotOutcome::Collision`).
+    pub jammed: bool,
+    /// The outcome as reported to the listening stations after any feedback
+    /// fault. Equal to `outcome` on a channel with reliable feedback. The
+    /// acknowledged transmitter of a delivery always sees the true outcome.
+    pub perceived: SlotOutcome,
 }
 
 /// The shared slotted channel.
@@ -79,16 +100,19 @@ pub struct Channel {
     stats: ChannelStats,
     next_slot: u64,
     trace: Option<Trace>,
+    adversary: AdversaryState,
 }
 
 impl Channel {
-    /// Creates a channel with the given capability model and no tracing.
+    /// Creates a channel with the given capability model, no tracing and no
+    /// adversary (the paper's ideal channel).
     pub fn new(model: ChannelModel) -> Self {
         Self {
             model,
             stats: ChannelStats::default(),
             next_slot: 0,
             trace: None,
+            adversary: AdversaryState::inactive(),
         }
     }
 
@@ -97,6 +121,14 @@ impl Channel {
     /// slots).
     pub fn with_trace(mut self, capacity: usize) -> Self {
         self.trace = Some(Trace::with_capacity(capacity));
+        self
+    }
+
+    /// Installs an adversary (jamming and/or feedback faults) on the
+    /// channel. The adversary carries its own RNG stream, so installing an
+    /// inactive one leaves the channel's behaviour bit-identical.
+    pub fn with_adversary(mut self, adversary: AdversaryState) -> Self {
+        self.adversary = adversary;
         self
     }
 
@@ -137,14 +169,56 @@ impl Channel {
                 "a station transmitted twice in the same slot"
             );
         }
+        let count = transmitters.len() as u64;
+        let single = if count == 1 {
+            Some(transmitters[0])
+        } else {
+            None
+        };
+        self.resolve_counted(count, single)
+    }
+
+    /// Resolves a slot for which only the *number* of transmitters is known
+    /// (used by the fast simulators, which never materialise station
+    /// identities). When the count is exactly 1, the caller supplies the
+    /// identity of the transmitter via `single`.
+    pub fn resolve_slot_by_count(
+        &mut self,
+        transmitters: u64,
+        single: Option<NodeId>,
+    ) -> SlotResolution {
+        self.resolve_counted(transmitters, single)
+    }
+
+    /// Shared slot-resolution core: applies the adversary, updates counters
+    /// and the trace, and advances the slot clock.
+    fn resolve_counted(&mut self, count: u64, single: Option<NodeId>) -> SlotResolution {
         let slot = self.next_slot;
         self.next_slot += 1;
-        let count = transmitters.len() as u64;
-        let (outcome, delivered) = match count {
+        let (mut outcome, mut delivered) = match count {
             0 => (SlotOutcome::Silence, None),
-            1 => (SlotOutcome::Delivery, Some(transmitters[0])),
+            1 => (SlotOutcome::Delivery, single),
             _ => (SlotOutcome::Collision, None),
         };
+        // Jamming is only observable on busy slots: a jam signal on an
+        // empty slot carries no message and reads as background noise.
+        let mut jammed = false;
+        if count >= 1 {
+            let class = if count == 1 {
+                SlotClass::Single
+            } else {
+                SlotClass::Contended
+            };
+            if self.adversary.jams_slot(slot, class) {
+                jammed = true;
+                if outcome == SlotOutcome::Delivery {
+                    self.stats.jammed_deliveries += 1;
+                }
+                outcome = SlotOutcome::Collision;
+                delivered = None;
+            }
+        }
+        let perceived = self.adversary.perceive(outcome);
         self.stats.slots += 1;
         self.stats.transmissions += count;
         match outcome {
@@ -158,6 +232,7 @@ impl Channel {
                 outcome,
                 transmitters: count,
                 delivered,
+                jammed,
             });
         }
         SlotResolution {
@@ -165,45 +240,8 @@ impl Channel {
             outcome,
             delivered,
             transmitters: count,
-        }
-    }
-
-    /// Resolves a slot for which only the *number* of transmitters is known
-    /// (used by the fast simulators, which never materialise station
-    /// identities). When the count is exactly 1, the caller supplies the
-    /// identity of the transmitter via `single`.
-    pub fn resolve_slot_by_count(
-        &mut self,
-        transmitters: u64,
-        single: Option<NodeId>,
-    ) -> SlotResolution {
-        let slot = self.next_slot;
-        self.next_slot += 1;
-        let (outcome, delivered) = match transmitters {
-            0 => (SlotOutcome::Silence, None),
-            1 => (SlotOutcome::Delivery, single),
-            _ => (SlotOutcome::Collision, None),
-        };
-        self.stats.slots += 1;
-        self.stats.transmissions += transmitters;
-        match outcome {
-            SlotOutcome::Silence => self.stats.silent_slots += 1,
-            SlotOutcome::Delivery => self.stats.deliveries += 1,
-            SlotOutcome::Collision => self.stats.collisions += 1,
-        }
-        if let Some(trace) = &mut self.trace {
-            trace.record(TraceEntry {
-                slot,
-                outcome,
-                transmitters,
-                delivered,
-            });
-        }
-        SlotResolution {
-            slot,
-            outcome,
-            delivered,
-            transmitters,
+            jammed,
+            perceived,
         }
     }
 
@@ -320,5 +358,69 @@ mod tests {
     fn duplicate_transmitter_is_rejected_in_debug() {
         let mut ch = Channel::new(ChannelModel::default());
         ch.resolve_slot(&[NodeId(1), NodeId(1)]);
+    }
+
+    #[test]
+    fn jammed_delivery_becomes_a_collision() {
+        use mac_adversary::{AdversaryModel, AdversaryScenario};
+        // Jam every slot: a lone transmitter never gets through.
+        let adversary = AdversaryScenario::jamming(AdversaryModel::PeriodicJam {
+            period: 1,
+            burst: 1,
+            phase: 0,
+        })
+        .state(0);
+        let mut ch = Channel::new(ChannelModel::default()).with_adversary(adversary);
+        let r = ch.resolve_slot(&[NodeId(5)]);
+        assert_eq!(r.outcome, SlotOutcome::Collision);
+        assert_eq!(r.delivered, None);
+        assert!(r.jammed);
+        assert_eq!(r.perceived, SlotOutcome::Collision);
+        assert_eq!(ch.stats().jammed_deliveries, 1);
+        assert_eq!(ch.stats().collisions, 1);
+        assert_eq!(ch.stats().deliveries, 0);
+        // Empty slots are never offered to the adversary: still silence.
+        let r = ch.resolve_slot(&[]);
+        assert_eq!(r.outcome, SlotOutcome::Silence);
+        assert!(!r.jammed);
+        assert_eq!(ch.stats().silent_slots, 1);
+    }
+
+    #[test]
+    fn feedback_fault_degrades_perceived_outcome_only() {
+        use mac_adversary::{AdversaryScenario, FeedbackFault};
+        let adversary = AdversaryScenario::faulty_feedback(FeedbackFault {
+            confuse_collision_empty: 1.0,
+            miss_delivery: 1.0,
+        })
+        .state(0);
+        let mut ch = Channel::new(ChannelModel::default()).with_adversary(adversary);
+        let r = ch.resolve_slot(&[NodeId(1)]);
+        // The slot truly delivered (stats and `delivered` are unaffected)…
+        assert_eq!(r.outcome, SlotOutcome::Delivery);
+        assert_eq!(r.delivered, Some(NodeId(1)));
+        assert_eq!(ch.stats().deliveries, 1);
+        // …but the listeners are told it was a collision.
+        assert_eq!(r.perceived, SlotOutcome::Collision);
+        let r = ch.resolve_slot(&[]);
+        assert_eq!(r.outcome, SlotOutcome::Silence);
+        assert_eq!(r.perceived, SlotOutcome::Collision);
+        let r = ch.resolve_slot(&[NodeId(1), NodeId(2)]);
+        assert_eq!(r.outcome, SlotOutcome::Collision);
+        assert_eq!(r.perceived, SlotOutcome::Silence);
+    }
+
+    #[test]
+    fn inactive_adversary_matches_plain_channel() {
+        use mac_adversary::AdversaryState;
+        let mut plain = Channel::new(ChannelModel::default());
+        let mut armed =
+            Channel::new(ChannelModel::default()).with_adversary(AdversaryState::inactive());
+        for transmitters in [vec![], vec![NodeId(1)], vec![NodeId(1), NodeId(2)]] {
+            let a = plain.resolve_slot(&transmitters);
+            let b = armed.resolve_slot(&transmitters);
+            assert_eq!(a, b);
+        }
+        assert_eq!(plain.stats(), armed.stats());
     }
 }

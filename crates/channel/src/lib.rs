@@ -25,7 +25,10 @@
 //! Which stations are *active* in the first place is governed by an arrival
 //! model ([`arrivals`]): the paper's static (batched) arrivals, plus Poisson
 //! and adversarial bursty arrivals for the dynamic extension discussed in the
-//! paper's conclusions.
+//! paper's conclusions. The channel can additionally carry an adversary
+//! ([`Channel::with_adversary`], re-exported from `mac-adversary`): jamming
+//! models that destroy deliveries and feedback faults that degrade what the
+//! stations are told about each slot.
 //!
 //! ```
 //! use mac_channel::{Channel, ChannelModel, NodeId, SlotOutcome};
@@ -54,6 +57,11 @@ pub use arrivals::{ArrivalModel, ArrivalSchedule};
 pub use channel::{Channel, ChannelStats, SlotResolution};
 pub use feedback::{AckMode, ChannelModel, Observation};
 pub use node::{Message, NodeId, NodeState};
+
+/// Re-export of the adversarial channel models (`mac-adversary`) so that a
+/// channel and its adversary can be configured from one import path.
+pub use mac_adversary as adversary;
+pub use mac_adversary::{AdversaryModel, AdversaryScenario, AdversaryState, FeedbackFault};
 
 /// Re-export of the channel-level slot outcome defined in `mac-prob` so that
 /// downstream crates need only one import path.

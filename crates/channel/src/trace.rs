@@ -21,6 +21,10 @@ pub struct TraceEntry {
     pub transmitters: u64,
     /// Station whose message was delivered, if any.
     pub delivered: Option<NodeId>,
+    /// True if an adversary jammed the slot (see `mac-adversary`); a jammed
+    /// busy slot always has [`SlotOutcome::Collision`] as its outcome.
+    #[serde(default)]
+    pub jammed: bool,
 }
 
 /// A bounded ring of the most recent [`TraceEntry`] values.
@@ -90,15 +94,16 @@ impl Trace {
     }
 
     /// Renders the retained entries as a compact one-character-per-slot
-    /// string: `.` silence, `*` delivery, `x` collision. Useful in examples
-    /// and debugging output.
+    /// string: `.` silence, `*` delivery, `x` collision, `!` jammed slot.
+    /// Useful in examples and debugging output.
     pub fn ascii_timeline(&self) -> String {
         self.entries
             .iter()
-            .map(|e| match e.outcome {
-                SlotOutcome::Silence => '.',
-                SlotOutcome::Delivery => '*',
-                SlotOutcome::Collision => 'x',
+            .map(|e| match (e.jammed, e.outcome) {
+                (true, _) => '!',
+                (false, SlotOutcome::Silence) => '.',
+                (false, SlotOutcome::Delivery) => '*',
+                (false, SlotOutcome::Collision) => 'x',
             })
             .collect()
     }
@@ -122,6 +127,7 @@ mod tests {
             } else {
                 None
             },
+            jammed: false,
         }
     }
 
@@ -166,6 +172,17 @@ mod tests {
         t.record(entry(1, SlotOutcome::Delivery));
         t.record(entry(2, SlotOutcome::Collision));
         assert_eq!(t.ascii_timeline(), ".*x");
+    }
+
+    #[test]
+    fn ascii_timeline_marks_jammed_slots() {
+        let mut t = Trace::with_capacity(10);
+        t.record(entry(0, SlotOutcome::Delivery));
+        t.record(TraceEntry {
+            jammed: true,
+            ..entry(1, SlotOutcome::Collision)
+        });
+        assert_eq!(t.ascii_timeline(), "*!");
     }
 
     #[test]

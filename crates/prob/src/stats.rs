@@ -230,12 +230,33 @@ pub struct Summary {
 /// assert_eq!(percentile(&[], 50.0), None);
 /// ```
 pub fn percentile(values: &[f64], q: f64) -> Option<f64> {
-    if values.is_empty() {
+    let mut sorted: Vec<f64> = values.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("NaN in percentile input"));
+    percentile_sorted(&sorted, q)
+}
+
+/// Nearest-rank percentile of an **already sorted** slice.
+///
+/// Callers that need several percentiles of the same data should sort once
+/// and use this directly instead of paying one sort per [`percentile`]
+/// call. Returns `None` for an empty slice.
+///
+/// # Example
+/// ```
+/// use mac_prob::stats::percentile_sorted;
+/// let xs = [1.0, 2.0, 3.0, 4.0, 5.0];
+/// assert_eq!(percentile_sorted(&xs, 50.0), Some(3.0));
+/// assert_eq!(percentile_sorted(&xs, 95.0), Some(5.0));
+/// ```
+pub fn percentile_sorted(sorted: &[f64], q: f64) -> Option<f64> {
+    if sorted.is_empty() {
         return None;
     }
     assert!((0.0..=100.0).contains(&q), "percentile must be in [0,100]");
-    let mut sorted: Vec<f64> = values.to_vec();
-    sorted.sort_by(|a, b| a.partial_cmp(b).expect("NaN in percentile input"));
+    debug_assert!(
+        sorted.windows(2).all(|w| w[0] <= w[1]),
+        "percentile_sorted requires sorted input"
+    );
     let rank = ((q / 100.0) * sorted.len() as f64).ceil() as usize;
     Some(sorted[rank.saturating_sub(1).min(sorted.len() - 1)])
 }

@@ -1,5 +1,6 @@
 //! Error types for protocol construction.
 
+use std::borrow::Cow;
 use std::error::Error;
 use std::fmt;
 
@@ -14,16 +15,22 @@ use std::fmt;
 pub struct ParameterError {
     parameter: &'static str,
     value: f64,
-    requirement: &'static str,
+    requirement: Cow<'static, str>,
 }
 
 impl ParameterError {
-    /// Creates a new parameter error.
-    pub fn new(parameter: &'static str, value: f64, requirement: &'static str) -> Self {
+    /// Creates a new parameter error. The requirement is usually a static
+    /// string, but computed messages (e.g. adversary-configuration
+    /// diagnostics) can pass an owned `String`.
+    pub fn new(
+        parameter: &'static str,
+        value: f64,
+        requirement: impl Into<Cow<'static, str>>,
+    ) -> Self {
         Self {
             parameter,
             value,
-            requirement,
+            requirement: requirement.into(),
         }
     }
 
@@ -38,8 +45,8 @@ impl ParameterError {
     }
 
     /// Human-readable statement of the valid range.
-    pub fn requirement(&self) -> &'static str {
-        self.requirement
+    pub fn requirement(&self) -> &str {
+        &self.requirement
     }
 }
 

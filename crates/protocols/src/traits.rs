@@ -293,6 +293,21 @@ impl ProtocolKind {
         ]
     }
 
+    /// The line-up used by the robustness (adversarial-channel) sweeps: one
+    /// fair adaptive protocol, both back-off families, and the known-k
+    /// oracle as the fair-protocol reference point. Log-fails Adaptive is
+    /// deliberately excluded: its failure-counting estimator is calibrated
+    /// for the ideal channel and a jammed run says nothing about the paper's
+    /// claims.
+    pub fn robust_lineup() -> Vec<ProtocolKind> {
+        vec![
+            ProtocolKind::OneFailAdaptive { delta: 2.72 },
+            ProtocolKind::ExpBackonBackoff { delta: 0.366 },
+            ProtocolKind::LoglogIteratedBackoff { r: 2.0 },
+            ProtocolKind::KnownKOracle,
+        ]
+    }
+
     /// A short label including the distinguishing parameter, suitable for
     /// table headers and CSV columns.
     pub fn label(&self) -> String {
@@ -521,6 +536,17 @@ mod tests {
         assert_eq!(lineup[2].label(), "One-fail Adaptive");
         assert_eq!(lineup[3].label(), "Exp Back-on/Back-off");
         assert_eq!(lineup[4].label(), "Loglog-iterated Back-off");
+    }
+
+    #[test]
+    fn robust_lineup_builds_and_spans_both_families() {
+        let lineup = ProtocolKind::robust_lineup();
+        assert_eq!(lineup.len(), 4);
+        assert!(lineup.iter().any(|k| k.family() == ProtocolFamily::Fair));
+        assert!(lineup.iter().any(|k| k.family() == ProtocolFamily::Window));
+        for kind in lineup {
+            assert!(kind.build_node(16).is_ok(), "{}", kind.label());
+        }
     }
 
     #[test]

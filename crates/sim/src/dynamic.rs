@@ -12,7 +12,7 @@ use crate::exact::{DetailedRun, ExactSimulator};
 use crate::result::RunOptions;
 use mac_channel::ArrivalModel;
 use mac_prob::rng::{derive_seed, Xoshiro256pp};
-use mac_prob::stats::percentile;
+use mac_prob::stats::percentile_sorted;
 use mac_protocols::{ParameterError, ProtocolKind};
 use rand::SeedableRng;
 use serde::{Deserialize, Serialize};
@@ -39,31 +39,44 @@ pub struct DynamicReport {
     pub max_latency: u64,
     /// Delivered messages per slot over the whole run.
     pub throughput: f64,
+    /// Number of would-be deliveries destroyed by jamming (zero on the
+    /// ideal channel).
+    #[serde(default)]
+    pub jammed_deliveries: u64,
 }
 
 impl DynamicReport {
     /// Builds the report from a detailed exact-simulator run.
     pub fn from_run(run: &DetailedRun) -> Self {
-        let latencies: Vec<f64> = run.latencies().iter().map(|&l| l as f64).collect();
-        let mean = if latencies.is_empty() {
-            0.0
+        // Sort once and read every latency statistic off the sorted vector;
+        // a run with zero deliveries reports all-zero latency stats.
+        let mut latencies: Vec<f64> = run.latencies().iter().map(|&l| l as f64).collect();
+        latencies.sort_by(|a, b| a.partial_cmp(b).expect("latencies are finite"));
+        let (mean_latency, p50_latency, p95_latency, max_latency) = if latencies.is_empty() {
+            (0.0, 0.0, 0.0, 0)
         } else {
-            latencies.iter().sum::<f64>() / latencies.len() as f64
+            (
+                latencies.iter().sum::<f64>() / latencies.len() as f64,
+                percentile_sorted(&latencies, 50.0).expect("non-empty"),
+                percentile_sorted(&latencies, 95.0).expect("non-empty"),
+                *latencies.last().expect("non-empty") as u64,
+            )
         };
         Self {
             protocol: run.result.protocol.clone(),
             messages: run.result.k,
             delivered: run.result.delivered,
             makespan: run.result.makespan,
-            mean_latency: mean,
-            p50_latency: percentile(&latencies, 50.0).unwrap_or(0.0),
-            p95_latency: percentile(&latencies, 95.0).unwrap_or(0.0),
-            max_latency: run.latencies().into_iter().max().unwrap_or(0),
+            mean_latency,
+            p50_latency,
+            p95_latency,
+            max_latency,
             throughput: if run.result.makespan == 0 {
                 0.0
             } else {
                 run.result.delivered as f64 / run.result.makespan as f64
             },
+            jammed_deliveries: run.result.jammed_deliveries,
         }
     }
 }
@@ -154,6 +167,40 @@ mod tests {
         )
         .unwrap();
         assert_eq!(a.messages, b.messages, "identical arrival pattern");
+    }
+
+    #[test]
+    fn zero_deliveries_produce_zero_valued_stats() {
+        use mac_adversary::{AdversaryModel, AdversaryScenario};
+        // A permanently jammed channel delivers nothing: every latency
+        // statistic must be an explicit zero (not NaN, not a fallback).
+        let options = RunOptions {
+            slot_cap_per_message: 5,
+            min_slot_cap: 100,
+            adversary: AdversaryScenario::jamming(AdversaryModel::PeriodicJam {
+                period: 1,
+                burst: 1,
+                phase: 0,
+            }),
+            ..RunOptions::default()
+        };
+        let report = simulate_dynamic(
+            &ProtocolKind::OneFailAdaptive { delta: 2.72 },
+            &ArrivalModel::batched(4),
+            3,
+            &options,
+        )
+        .unwrap();
+        assert_eq!(report.delivered, 0);
+        assert_eq!(report.mean_latency, 0.0);
+        assert_eq!(report.p50_latency, 0.0);
+        assert_eq!(report.p95_latency, 0.0);
+        assert_eq!(report.max_latency, 0);
+        assert_eq!(report.throughput, 0.0);
+        assert!(
+            report.jammed_deliveries > 0,
+            "the jammer must have destroyed at least one would-be delivery"
+        );
     }
 
     #[test]

@@ -15,8 +15,10 @@
 //!   metrics.
 
 use crate::result::{RunOptions, RunResult};
+use mac_adversary::ADVERSARY_STREAM;
+use mac_channel::trace::Trace;
 use mac_channel::{ArrivalSchedule, Channel, ChannelModel, NodeId};
-use mac_prob::rng::Xoshiro256pp;
+use mac_prob::rng::{derive_seed, Xoshiro256pp};
 use mac_protocols::{ParameterError, Protocol, ProtocolKind};
 use rand::SeedableRng;
 use serde::{Deserialize, Serialize};
@@ -52,6 +54,9 @@ pub struct DetailedRun {
     pub result: RunResult,
     /// Per-message arrival/delivery detail, indexed by station.
     pub messages: Vec<MessageOutcome>,
+    /// Bounded per-slot trace of channel activity, recorded when the
+    /// simulator was built with [`ExactSimulator::with_trace`].
+    pub trace: Option<Trace>,
 }
 
 impl DetailedRun {
@@ -103,6 +108,7 @@ pub struct ExactSimulator {
     kind: ProtocolKind,
     options: RunOptions,
     model: ChannelModel,
+    trace_capacity: Option<usize>,
 }
 
 impl ExactSimulator {
@@ -113,6 +119,7 @@ impl ExactSimulator {
             kind,
             options,
             model: ChannelModel::without_collision_detection(),
+            trace_capacity: None,
         }
     }
 
@@ -120,6 +127,14 @@ impl ExactSimulator {
     /// collision detection).
     pub fn with_model(mut self, model: ChannelModel) -> Self {
         self.model = model;
+        self
+    }
+
+    /// Records a bounded per-slot trace (the most recent `capacity` slots)
+    /// into [`DetailedRun::trace`] — jammed slots are flagged, which is how
+    /// the examples make adversary activity visible.
+    pub fn with_trace(mut self, capacity: usize) -> Self {
+        self.trace_capacity = Some(capacity);
         self
     }
 
@@ -166,9 +181,21 @@ impl ExactSimulator {
         schedule: &ArrivalSchedule,
         seed: u64,
     ) -> Result<DetailedRun, ParameterError> {
+        self.options.validate_adversary()?;
         let k = schedule.len() as u64;
         let mut rng = Xoshiro256pp::seed_from_u64(seed);
-        let mut channel = Channel::new(self.model);
+        // The adversary lives inside the channel and draws from its own
+        // derived stream; with a clean scenario the channel — and the
+        // protocol RNG consumption — is bit-identical to the pre-adversary
+        // simulator.
+        let mut channel = Channel::new(self.model).with_adversary(
+            self.options
+                .adversary
+                .state(derive_seed(seed, &[ADVERSARY_STREAM])),
+        );
+        if let Some(capacity) = self.trace_capacity {
+            channel = channel.with_trace(capacity);
+        }
         let max_slots = self
             .options
             .max_slots(k)
@@ -235,13 +262,21 @@ impl ExactSimulator {
 
             let resolution = channel.resolve_slot(&transmitters);
 
-            // Distribute observations and retire delivered stations.
+            // Distribute observations and retire delivered stations. The
+            // acknowledged transmitter sees the true outcome (ACKs are
+            // reliable); everyone else sees the possibly fault-degraded
+            // `perceived` outcome.
             still_active.clear();
             for (pos, &idx) in active.iter().enumerate() {
                 let delivered_own = resolution.delivered == Some(NodeId(idx as u64));
+                let outcome_seen = if delivered_own {
+                    resolution.outcome
+                } else {
+                    resolution.perceived
+                };
                 let observation =
                     self.model
-                        .observe(resolution.outcome, transmitted_flags[pos], delivered_own);
+                        .observe(outcome_seen, transmitted_flags[pos], delivered_own);
                 let protocol = protocols[idx]
                     .as_mut()
                     .expect("active stations have protocols");
@@ -276,9 +311,14 @@ impl ExactSimulator {
             delivered: k - remaining,
             collisions: stats.collisions,
             silent_slots: stats.silent_slots,
+            jammed_deliveries: stats.jammed_deliveries,
             delivery_slots,
         };
-        Ok(DetailedRun { result, messages })
+        Ok(DetailedRun {
+            result,
+            messages,
+            trace: channel.trace().cloned(),
+        })
     }
 }
 
@@ -506,7 +546,7 @@ mod tests {
             RunOptions {
                 slot_cap_per_message: 50,
                 min_slot_cap: 5_000,
-                record_deliveries: false,
+                ..RunOptions::default()
             },
         );
         let stuck = blind

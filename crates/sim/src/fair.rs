@@ -22,8 +22,9 @@
 //! probabilities against the explicit binomial.
 
 use crate::result::{RunOptions, RunResult, MAX_PREALLOC_ENTRIES};
+use mac_adversary::{SlotClass, ADVERSARY_STREAM};
 use mac_prob::outcome::{sample_slot_outcome, SlotOutcome};
-use mac_prob::rng::Xoshiro256pp;
+use mac_prob::rng::{derive_seed, Xoshiro256pp};
 use mac_protocols::{FairProtocol, ParameterError, ProtocolKind};
 use rand::SeedableRng;
 
@@ -61,6 +62,7 @@ impl FairSimulator {
     /// Returns a [`ParameterError`] if the protocol parameters are invalid or
     /// the kind is not a fair protocol.
     pub fn run(&self, k: u64, seed: u64) -> Result<RunResult, ParameterError> {
+        self.options.validate_adversary()?;
         let state = self.kind.build_fair(k)?.ok_or_else(|| {
             ParameterError::new(
                 "protocol",
@@ -95,6 +97,14 @@ pub(crate) fn run_fair(
     let mut makespan = 0;
     let mut collisions = 0;
     let mut silent = 0;
+    let mut jammed_deliveries = 0;
+    // The adversary draws from its own derived stream, so the protocol RNG
+    // is consumed identically whether or not an adversary is configured;
+    // with a clean scenario the loop below is the pre-adversary loop.
+    let mut adversary = options
+        .adversary
+        .state(derive_seed(seed, &[ADVERSARY_STREAM]));
+    let adversarial = adversary.is_active();
     // Pre-size the only per-run buffer to its final length (one entry per
     // delivered message) so the slot loop never reallocates.
     let mut delivery_slots = options
@@ -105,18 +115,40 @@ pub(crate) fn run_fair(
         let p = state.transmission_probability();
         debug_assert!((0.0..=1.0).contains(&p), "invalid probability {p}");
         let outcome = sample_slot_outcome(remaining, p, rng);
+        // `delivered` is the public feedback the shared state advances on:
+        // false when the slot was jammed (nobody received anything) or when
+        // the feedback fault hid the delivery from the listening stations.
+        let mut delivered = false;
         match outcome {
             SlotOutcome::Delivery => {
-                remaining -= 1;
-                makespan = slot + 1;
-                if let Some(slots) = delivery_slots.as_mut() {
-                    slots.push(slot);
+                if adversarial && adversary.jams_slot(slot, SlotClass::Single) {
+                    // The jam destroys the delivery: the transmitter stays
+                    // active and the slot reads as a collision.
+                    collisions += 1;
+                    jammed_deliveries += 1;
+                } else {
+                    remaining -= 1;
+                    makespan = slot + 1;
+                    if let Some(slots) = delivery_slots.as_mut() {
+                        slots.push(slot);
+                    }
+                    // Acknowledgements are reliable (the delivered station
+                    // retires either way); only the broadcast feedback to
+                    // the remaining stations can be lost.
+                    delivered = !(adversarial && adversary.misses_delivery());
                 }
             }
-            SlotOutcome::Collision => collisions += 1,
+            SlotOutcome::Collision => {
+                if adversarial {
+                    // Jamming an already-contended slot changes nothing but
+                    // a reactive jammer's budget.
+                    adversary.jams_slot(slot, SlotClass::Contended);
+                }
+                collisions += 1;
+            }
             SlotOutcome::Silence => silent += 1,
         }
-        state.advance(outcome == SlotOutcome::Delivery);
+        state.advance(delivered);
         slot += 1;
     }
 
@@ -130,6 +162,7 @@ pub(crate) fn run_fair(
         delivered: k - remaining,
         collisions,
         silent_slots: silent,
+        jammed_deliveries,
         delivery_slots,
     }
 }
@@ -269,7 +302,7 @@ mod tests {
         let options = RunOptions {
             slot_cap_per_message: 1,
             min_slot_cap: 10,
-            record_deliveries: false,
+            ..RunOptions::default()
         };
         let sim = FairSimulator::new(ProtocolKind::OneFailAdaptive { delta: 2.72 }, options);
         let r = sim.run(1_000, 5).unwrap();

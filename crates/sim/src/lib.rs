@@ -27,6 +27,14 @@
 //! * [`dynamic`] — latency-oriented measurements for the dynamic-arrival
 //!   extension discussed in the paper's conclusions.
 //!
+//! Every simulator additionally accepts an adversarial scenario
+//! ([`RunOptions::adversary`], types re-exported from `mac-adversary` under
+//! [`adversary`]): jamming models that destroy deliveries and feedback
+//! faults that degrade what the stations observe. With the default (clean)
+//! scenario, results and RNG streams are bit-identical to the
+//! pre-adversary simulators; see `DESIGN.md` §4 for the integration
+//! contract that keeps the fast paths exact in distribution under jamming.
+//!
 //! # Example: one run of each protocol at k = 1000
 //!
 //! ```
@@ -60,6 +68,11 @@ pub use fair::FairSimulator;
 pub use result::{RunOptions, RunResult};
 pub use runner::{EngineChoice, Experiment, ExperimentCell, ExperimentResults};
 pub use window::WindowSimulator;
+
+/// Re-export of the adversarial channel models (`mac-adversary`) so that
+/// simulation options can be configured from this crate alone.
+pub use mac_adversary as adversary;
+pub use mac_adversary::{AdversaryModel, AdversaryScenario, FeedbackFault, JamTrigger};
 
 use mac_protocols::{ParameterError, ProtocolFamily, ProtocolKind};
 

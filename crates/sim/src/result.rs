@@ -1,5 +1,7 @@
 //! Run options and per-run results.
 
+use mac_adversary::AdversaryScenario;
+use mac_protocols::ParameterError;
 use serde::{Deserialize, Serialize};
 
 /// Cap on up-front buffer reservations sized from `k` (16M entries ≈ 128 MB
@@ -24,6 +26,12 @@ pub struct RunOptions {
     /// If `true`, the slot index of every delivery is recorded in
     /// [`RunResult::delivery_slots`] (costs O(k) memory; off by default).
     pub record_deliveries: bool,
+    /// The adversarial scenario (jamming and feedback faults) the run is
+    /// subjected to. Defaults to the ideal channel, under which every
+    /// simulator behaves bit-identically — results *and* RNG streams — to
+    /// a run with no adversary support at all.
+    #[serde(default)]
+    pub adversary: AdversaryScenario,
 }
 
 impl Default for RunOptions {
@@ -32,6 +40,7 @@ impl Default for RunOptions {
             slot_cap_per_message: 1_000,
             min_slot_cap: 1_000_000,
             record_deliveries: false,
+            adversary: AdversaryScenario::clean(),
         }
     }
 }
@@ -43,6 +52,28 @@ impl RunOptions {
             record_deliveries: true,
             ..Self::default()
         }
+    }
+
+    /// Returns default options running under the given adversarial
+    /// scenario.
+    pub fn adversarial(scenario: AdversaryScenario) -> Self {
+        Self {
+            adversary: scenario,
+            ..Self::default()
+        }
+    }
+
+    /// Validates the adversarial scenario, mapping a bad configuration onto
+    /// the same error type every other invalid parameter uses. Every
+    /// simulator calls this before instantiating the adversary, so
+    /// configuration errors surface as `Err`, not as a panic mid-run.
+    ///
+    /// # Errors
+    /// Returns a [`ParameterError`] describing the first invalid component.
+    pub fn validate_adversary(&self) -> Result<(), ParameterError> {
+        self.adversary
+            .validate()
+            .map_err(|message| ParameterError::new("adversary", f64::NAN, message))
     }
 
     /// The effective slot cap for an instance with `k` messages.
@@ -68,10 +99,15 @@ pub struct RunResult {
     pub completed: bool,
     /// Number of messages delivered (equals `k` iff `completed`).
     pub delivered: u64,
-    /// Number of slots with a collision.
+    /// Number of slots with a collision (including slots in which a lone
+    /// transmission was destroyed by jamming).
     pub collisions: u64,
     /// Number of slots with no transmission.
     pub silent_slots: u64,
+    /// Number of would-be deliveries (slots with exactly one transmitter)
+    /// destroyed by the adversary's jamming. Zero on the ideal channel.
+    #[serde(default)]
+    pub jammed_deliveries: u64,
     /// Slot index (0-based) of every delivery, in delivery order; only
     /// populated when [`RunOptions::record_deliveries`] is set.
     pub delivery_slots: Option<Vec<u64>>,
@@ -126,6 +162,7 @@ mod tests {
             delivered: 100,
             collisions: 200,
             silent_slots: 440,
+            jammed_deliveries: 0,
             delivery_slots: None,
         };
         assert!((r.ratio() - 7.4).abs() < 1e-12);

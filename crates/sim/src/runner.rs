@@ -74,6 +74,7 @@ impl Experiment {
         for kind in &self.protocols {
             kind.build_node(1)?;
         }
+        self.options.validate_adversary()?;
 
         #[derive(Clone, Copy)]
         struct Task {
@@ -370,6 +371,35 @@ mod tests {
             .protocols
             .push(ProtocolKind::OneFailAdaptive { delta: 1.0 });
         assert!(experiment.run().is_err());
+    }
+
+    #[test]
+    fn adversarial_sweeps_run_deterministically_and_hurt_makespan() {
+        use mac_adversary::{AdversaryModel, AdversaryScenario};
+        let clean = small_experiment().run().unwrap();
+        let mut jammed_experiment = small_experiment();
+        jammed_experiment.options =
+            RunOptions::adversarial(AdversaryScenario::jamming(AdversaryModel::PeriodicJam {
+                period: 3,
+                burst: 1,
+                phase: 0,
+            }));
+        let jammed = jammed_experiment.run().unwrap();
+        assert_eq!(jammed, jammed_experiment.run().unwrap(), "deterministic");
+        for (c, j) in clean.cells.iter().zip(&jammed.cells) {
+            assert!(
+                j.all_completed,
+                "mild jamming must not stall {}",
+                j.protocol
+            );
+            assert!(
+                j.makespan.mean >= c.makespan.mean,
+                "{}: jammed mean {} < clean mean {}",
+                j.protocol,
+                j.makespan.mean,
+                c.makespan.mean
+            );
+        }
     }
 
     #[test]

@@ -19,13 +19,18 @@
 //! ([`mac_prob::balls::occupancy_counts`]) with a per-run
 //! [`OccupancyScratch`], so steady-state windows perform **zero heap
 //! allocations**; the detailed path ([`mac_prob::balls::throw_balls_into`])
-//! is used only when per-delivery slots are recorded, and even then through
-//! the same reused buffers. See `crates/sim/DESIGN.md` for the scratch-buffer
-//! contract and the exactness-in-distribution argument.
+//! — RNG-stream-identical and backed by the same reused buffers — is used
+//! only when per-delivery slots are recorded or an adversary is active
+//! (jamming needs the singleton positions: a jammed singleton is a forced
+//! zero-delivery slot whose station stays in the game). See
+//! `crates/sim/DESIGN.md` for the scratch-buffer contract, the
+//! exactness-in-distribution argument, and the adversary integration
+//! contract (§4).
 
 use crate::result::{RunOptions, RunResult, MAX_PREALLOC_ENTRIES};
+use mac_adversary::{SlotClass, ADVERSARY_STREAM};
 use mac_prob::balls::{occupancy_counts, throw_balls_into, OccupancyScratch};
-use mac_prob::rng::Xoshiro256pp;
+use mac_prob::rng::{derive_seed, Xoshiro256pp};
 use mac_protocols::{ParameterError, ProtocolKind, WindowSchedule};
 use rand::SeedableRng;
 
@@ -63,6 +68,7 @@ impl WindowSimulator {
     /// Returns a [`ParameterError`] if the protocol parameters are invalid or
     /// the kind is not a window protocol.
     pub fn run(&self, k: u64, seed: u64) -> Result<RunResult, ParameterError> {
+        self.options.validate_adversary()?;
         let schedule = self.kind.build_window()?.ok_or_else(|| {
             ParameterError::new(
                 "protocol",
@@ -96,11 +102,26 @@ pub(crate) fn run_window(
     let mut makespan: u64 = 0;
     let mut collisions: u64 = 0;
     let mut silent: u64 = 0;
+    let mut jammed_deliveries: u64 = 0;
+    // The adversary draws from its own derived stream and the detailed
+    // occupancy path consumes the protocol RNG identically to the
+    // counts-only one, so a clean scenario leaves the run bit-identical to
+    // the pre-adversary simulator.
+    let mut adversary = options
+        .adversary
+        .state(derive_seed(seed, &[ADVERSARY_STREAM]));
+    // Only *jamming* can touch a window protocol: stations react to nothing
+    // but their own (reliable) acknowledgement, so feedback faults are a
+    // strict no-op here and must not push the run off the counts-only fast
+    // path.
+    let adversarial = !options.adversary.jamming.is_none();
     // All per-window state lives in buffers reused across windows. The
-    // counts-only path grows the scratch to its own high-water mark; only the
-    // detailed (recording) path uses the per-ball buffers, so only that mode
-    // pre-sizes them. The delivery list is pre-sized to its final length.
-    let mut scratch = if options.record_deliveries {
+    // counts-only path grows the scratch to its own high-water mark; only
+    // the detailed path — taken when per-delivery slots are recorded or an
+    // adversary needs the singleton positions — uses the per-ball buffers,
+    // so only those modes pre-size them. The delivery list is pre-sized to
+    // its final length.
+    let mut scratch = if options.record_deliveries || adversarial {
         OccupancyScratch::with_capacity(k.min(MAX_PREALLOC_ENTRIES) as usize)
     } else {
         OccupancyScratch::new()
@@ -112,33 +133,56 @@ pub(crate) fn run_window(
     while remaining > 0 && elapsed < max_slots {
         let w = schedule.next_window();
         // The counts-only path allocates nothing in steady state; the
-        // detailed path (also scratch-backed) runs only when per-delivery
-        // slots are recorded.
-        let occupancy = if let Some(slots) = delivery_slots.as_mut() {
-            let occupancy = throw_balls_into(remaining, w, rng, &mut scratch);
-            for &bin in scratch.singleton_bins() {
-                slots.push(elapsed + bin);
-            }
-            occupancy
-        } else {
-            occupancy_counts(remaining, w, rng, &mut scratch)
-        };
-        let singles = occupancy.singletons;
+        // detailed path (also scratch-backed, RNG-stream-identical) runs
+        // only when per-delivery slots are recorded or an adversary is
+        // active (jamming needs the singleton *positions*: a jammed
+        // singleton is a forced zero-delivery slot).
+        let (delivered_in_window, last_delivered, occupancy) =
+            if adversarial || delivery_slots.is_some() {
+                let occupancy = throw_balls_into(remaining, w, rng, &mut scratch);
+                let mut delivered: u64 = 0;
+                let mut last: Option<u64> = None;
+                let mut jammed_singletons: u64 = 0;
+                // Singleton bins are ascending, satisfying the adversary's
+                // slot-order contract.
+                for &bin in scratch.singleton_bins() {
+                    if adversarial && adversary.jams_slot(elapsed + bin, SlotClass::Single) {
+                        jammed_singletons += 1;
+                    } else {
+                        delivered += 1;
+                        last = Some(bin);
+                        if let Some(slots) = delivery_slots.as_mut() {
+                            slots.push(elapsed + bin);
+                        }
+                    }
+                }
+                if adversarial {
+                    // Already-contended slots: only a reactive jammer's
+                    // budget can change, never the outcome.
+                    adversary.jam_contended_bulk(occupancy.colliding_bins);
+                }
+                collisions += jammed_singletons;
+                jammed_deliveries += jammed_singletons;
+                (delivered, last, occupancy)
+            } else {
+                let occupancy = occupancy_counts(remaining, w, rng, &mut scratch);
+                (occupancy.singletons, occupancy.max_occupied_bin, occupancy)
+            };
         collisions += occupancy.colliding_bins;
         // Empty bins of a *fully used* window count as silent slots; for the
         // final window only the prefix up to the last needed delivery counts.
-        remaining -= singles;
+        remaining -= delivered_in_window;
         if remaining == 0 {
-            // Every ball of this window landed alone (otherwise some station
-            // would still be active), so the last delivery happens at the
-            // largest occupied bin; slots after it are not part of the
-            // makespan, and the colliding-bin count of this window is zero.
-            let last = occupancy
-                .max_occupied_bin
-                .expect("remaining hit zero, so this window delivered something");
+            // Every ball of this window landed alone and unjammed (a
+            // collision or a jammed singleton would leave its station
+            // active), so the last delivery happens at the largest occupied
+            // bin; slots after it are not part of the makespan.
+            let last =
+                last_delivered.expect("remaining hit zero, so this window delivered something");
             debug_assert_eq!(occupancy.colliding_bins, 0);
+            debug_assert_eq!(occupancy.max_occupied_bin, Some(last));
             makespan = elapsed + last + 1;
-            silent += (last + 1) - singles;
+            silent += (last + 1) - delivered_in_window;
             elapsed = makespan;
         } else {
             silent += occupancy.empty_bins;
@@ -161,6 +205,7 @@ pub(crate) fn run_window(
         delivered: k - remaining,
         collisions,
         silent_slots: silent,
+        jammed_deliveries,
         delivery_slots,
     }
 }
@@ -276,7 +321,7 @@ mod tests {
         let options = RunOptions {
             slot_cap_per_message: 1,
             min_slot_cap: 4,
-            record_deliveries: false,
+            ..RunOptions::default()
         };
         let sim = WindowSimulator::new(ProtocolKind::RExponentialBackoff { r: 2.0 }, options);
         let r = sim.run(1_000, 5).unwrap();

@@ -7,11 +7,14 @@
 //! stations share a slotted channel **without collision detection**, each
 //! delivering one message, in time linear in the number of contenders.
 //!
-//! This facade crate re-exports the four workspace crates under stable module
+//! This facade crate re-exports the workspace crates under stable module
 //! names and provides a [`prelude`]:
 //!
 //! * [`prob`] (`mac-prob`) — probability toolkit: slot-outcome sampling,
 //!   balls-in-bins, statistics, deterministic RNG streams;
+//! * [`adversary`] (`mac-adversary`) — adversarial channel models: jamming
+//!   schedules, stochastic noise, budgeted reactive jammers, and degraded
+//!   feedback for robustness experiments;
 //! * [`channel`] (`mac-channel`) — the slotted multiple-access channel model:
 //!   collision semantics, observations, arrival models, traces;
 //! * [`protocols`] (`mac-protocols`) — One-fail Adaptive, Exp
@@ -40,6 +43,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub use mac_adversary as adversary;
 pub use mac_channel as channel;
 pub use mac_prob as prob;
 pub use mac_protocols as protocols;
@@ -47,6 +51,7 @@ pub use mac_sim as sim;
 
 /// The most commonly used items, importable with a single `use`.
 pub mod prelude {
+    pub use crate::adversary::{AdversaryModel, AdversaryScenario, FeedbackFault, JamTrigger};
     pub use crate::channel::{ArrivalModel, ArrivalSchedule, Channel, ChannelModel, Observation};
     pub use crate::protocols::{
         analysis, ExpBackonBackoff, FairProtocol, KnownKOracle, LogFailsAdaptive, LogFailsConfig,
