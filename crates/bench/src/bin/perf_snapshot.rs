@@ -5,12 +5,16 @@
 //! accumulate.
 //!
 //! ```bash
-//! # The committed BENCH_01.json was generated from the repository root with:
+//! # The committed snapshots were generated from the repository root with:
 //! cargo run -p mac-bench --release --bin perf_snapshot -- --max-exp 6
 //! # Options (via the shared HarnessOptions parser):
 //! #   --seed S     master seed (default 2011)
 //! #   --max-exp N  largest fast-simulator instance is 10^N (default 5)
 //! #   --reps R     timed repetitions per point, best-of (default 10, min 3)
+//! # Regression gate (used by CI against the committed baseline):
+//! #   --check BENCH_NN.json   compare instead of writing a new snapshot;
+//! #                           exit non-zero if any row regresses more than
+//! #   --check-tolerance X     a factor of X (default 3) below the baseline
 //! ```
 //!
 //! Three engines are measured:
@@ -20,7 +24,7 @@
 //! * **window** — [`mac_sim::WindowSimulator`] running Exp Back-on/Back-off,
 //!   at the same sizes;
 //! * **exact** — [`mac_sim::ExactSimulator`] (per-station reference) running
-//!   One-fail Adaptive at `k = 10², 10³`: it is O(active stations) per slot,
+//!   One-fail Adaptive at `k = 10³, 10⁴`: it is O(active stations) per slot,
 //!   so paper-scale sizes are not meaningful for it.
 //!
 //! The throughput figure is `makespan / wall_time` of a complete run — slots
@@ -62,11 +66,88 @@ fn measure<F: FnMut(u64) -> u64>(reps: u64, mut run: F) -> (u64, f64) {
     best.expect("measure requires reps >= 1")
 }
 
+/// Extracts one `"key": value` number from a snapshot result line.
+fn field_u64(line: &str, key: &str) -> Option<u64> {
+    let tag = format!("\"{key}\": ");
+    let start = line.find(&tag)? + tag.len();
+    let rest = &line[start..];
+    let end = rest
+        .find(|c: char| !c.is_ascii_digit())
+        .unwrap_or(rest.len());
+    rest[..end].parse().ok()
+}
+
+/// Extracts one `"key": "value"` string from a snapshot result line.
+fn field_str<'a>(line: &'a str, key: &str) -> Option<&'a str> {
+    let tag = format!("\"{key}\": \"");
+    let start = line.find(&tag)? + tag.len();
+    let rest = &line[start..];
+    Some(&rest[..rest.find('"')?])
+}
+
+/// Compares measured points against a committed baseline snapshot; returns
+/// the number of rows that regressed by more than `tolerance`.
+fn check_against_baseline(points: &[Point], baseline_path: &str, tolerance: f64) -> usize {
+    let baseline = std::fs::read_to_string(baseline_path)
+        .unwrap_or_else(|e| panic!("read baseline {baseline_path}: {e}"));
+    let mut regressions = 0usize;
+    let mut compared = 0usize;
+    for line in baseline.lines() {
+        let (Some(simulator), Some(k)) = (field_str(line, "simulator"), field_u64(line, "k"))
+        else {
+            continue;
+        };
+        let Some(rate) = field_u64(line, "slots_per_sec") else {
+            continue;
+        };
+        let Some(point) = points.iter().find(|p| p.simulator == simulator && p.k == k) else {
+            continue;
+        };
+        compared += 1;
+        let floor = rate as f64 / tolerance;
+        let status = if point.slots_per_sec < floor {
+            regressions += 1;
+            "REGRESSED"
+        } else {
+            "ok"
+        };
+        eprintln!(
+            "{simulator:>6} k={k:<8} baseline {rate:>12} now {:>12.0}  [{status}]",
+            point.slots_per_sec
+        );
+    }
+    assert!(
+        compared > 0,
+        "no comparable rows between this run and {baseline_path}"
+    );
+    regressions
+}
+
 fn main() {
-    let options = HarnessOptions::parse(std::env::args().skip(1));
+    // Split the regression-gate flags off before the shared parser sees the
+    // rest (it rejects unknown flags by design).
+    let mut check_path: Option<String> = None;
+    let mut tolerance = 3.0f64;
+    let mut passthrough: Vec<String> = Vec::new();
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--check" => {
+                check_path = Some(args.next().expect("--check requires a baseline path"));
+            }
+            "--check-tolerance" => {
+                tolerance = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .expect("--check-tolerance requires a number");
+            }
+            _ => passthrough.push(arg),
+        }
+    }
+    let options = HarnessOptions::parse(passthrough);
     let reps = options.reps.max(3);
     let fast_ks: Vec<u64> = (4..=options.max_exp.max(4)).map(|e| 10u64.pow(e)).collect();
-    let exact_ks = [100u64, 1_000];
+    let exact_ks = [1_000u64, 10_000];
 
     eprintln!(
         "perf snapshot: fast engines at k = {fast_ks:?}, exact at k = {exact_ks:?}, \
@@ -127,6 +208,16 @@ fn main() {
             best_seconds: secs,
             slots_per_sec: slots as f64 / secs,
         });
+    }
+
+    if let Some(baseline) = check_path {
+        let regressions = check_against_baseline(&points, &baseline, tolerance);
+        if regressions > 0 {
+            eprintln!("{regressions} row(s) regressed more than {tolerance}x vs {baseline}");
+            std::process::exit(1);
+        }
+        eprintln!("all rows within {tolerance}x of {baseline}");
+        return;
     }
 
     // Hand-rolled JSON: the vendored serde stub has no serialisation backend,

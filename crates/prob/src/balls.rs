@@ -27,6 +27,8 @@
 //! window of four billion slots with three active stations does not allocate
 //! four billion counters).
 
+use crate::binomial::{sample_binomial_fast, SlotKernel};
+use crate::outcome::SlotOutcome;
 use rand::Rng;
 use serde::{Deserialize, Serialize};
 
@@ -503,6 +505,269 @@ pub fn throw_balls<R: Rng + ?Sized>(m: u64, w: u64, rng: &mut R) -> BinsOccupanc
     BinsOccupancy::from_assignments(w, assignments)
 }
 
+/// Counts-only summary of one window resolved slot-by-slot by
+/// [`walk_window`] (conditional binomial sampling).
+///
+/// Unlike [`OccupancyCounts`] there is no `max_load` field: the aggregate
+/// walk does not track individual bin loads beyond the 0/1/≥2 trichotomy
+/// (and the certain-collision shortcut never samples them at all).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SlotOccupancy {
+    /// Number of bins (slots) in the window.
+    pub bins: u64,
+    /// Number of balls (stations) thrown.
+    pub balls: u64,
+    /// Bins holding exactly one ball.
+    pub singletons: u64,
+    /// Bins holding no ball.
+    pub empty_bins: u64,
+    /// Bins holding two or more balls.
+    pub colliding_bins: u64,
+    /// Largest occupied bin index (`None` when `balls == 0`).
+    pub max_occupied_bin: Option<u64>,
+}
+
+/// Reusable buffers for [`walk_window`]: the ascending singleton-bin list of
+/// the most recent walk, plus an [`OccupancyScratch`] for the sparse per-ball
+/// tail regime.
+#[derive(Debug, Clone)]
+pub struct WalkScratch {
+    singles: Vec<u64>,
+    occupancy: OccupancyScratch,
+    /// `recip[t] = 1/t` for the CDF-continuation pmf recurrence: keeps the
+    /// per-term cost at two multiplies instead of a latency-chained divide.
+    recip: [f64; WALK_RECIP_N],
+}
+
+/// Reciprocal-table size for the CDF continuation; terms beyond it (deep
+/// upper tail of a ≤ 32-mean binomial) fall back to division.
+const WALK_RECIP_N: usize = 64;
+
+impl Default for WalkScratch {
+    fn default() -> Self {
+        let mut recip = [0.0; WALK_RECIP_N];
+        for (t, r) in recip.iter_mut().enumerate().skip(1) {
+            *r = 1.0 / t as f64;
+        }
+        Self {
+            singles: Vec::new(),
+            occupancy: OccupancyScratch::new(),
+            recip,
+        }
+    }
+}
+
+impl WalkScratch {
+    /// Creates an empty scratch; buffers grow on first use.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Singleton bins (ascending) of the most recent [`walk_window`] call.
+    pub fn singleton_bins(&self) -> &[u64] {
+        &self.singles
+    }
+}
+
+/// Collision slots whose transmitter count exceeds this `m·p` are resolved by
+/// rejection from the unconditioned sampler instead of term-by-term CDF
+/// continuation.
+const WALK_INVERSION_LAMBDA_MAX: f64 = 32.0;
+
+/// Log-probability bound below which a window is resolved as all-collisions
+/// without sampling (see [`walk_window`]): with the union bound on *any* bin
+/// holding ≤ 1 ball below `e^{-100} ≈ 10^{-44}`, the total-variation
+/// distance the shortcut introduces is far below the `f64` rounding noise
+/// the sampled path accumulates anyway (every per-slot probability carries
+/// ~1e-16 relative rounding, over millions of slots), and no statistical
+/// test at any feasible sample size can tell the difference.
+const ALL_COLLIDE_LOG_BOUND: f64 = -100.0;
+
+/// Drops `m` balls uniformly at random into `w` bins, resolving the bins
+/// **slot by slot** with conditional binomial draws: bin `i` receives
+/// `T_i ~ Binomial(m_left, 1/w_left)` given the balls and bins still in
+/// play. Cost is O(w) draws instead of O(m + w) per-ball work, which is the
+/// difference between O(m) and O(1) per *slot* for the early back-off
+/// windows where `m ≫ w`.
+///
+/// Three regimes, dispatched per call and per slot:
+///
+/// * **Certain collision** — when the union bound
+///   `w·(1-1/w)^{m-1}·(1 + (m-1)/w)` on the probability of *any* bin holding
+///   ≤ 1 ball is below `e^{-100}` ([`ALL_COLLIDE_LOG_BOUND`]), the window is
+///   resolved as `w` colliding bins without consuming any randomness. This
+///   is the only place the aggregate path deviates from the exact
+///   distribution, by a total variation distance `< e^{-100} ≈ 10^{-44}`
+///   (documented in `crates/sim/DESIGN.md` §5).
+/// * **Walk** — one classification draw per slot against incrementally
+///   maintained thresholds ([`SlotKernel`]); collision slots additionally
+///   sample the transmitter count (CDF continuation for small `m·p`,
+///   rejection from [`sample_binomial_fast`] otherwise) to keep the
+///   conditional chain exact.
+/// * **Sparse tail** — once `w_left` exceeds [`dense_limit`]`(m_left)` the
+///   few remaining balls are thrown per-ball into the remaining bins (the
+///   conditional distribution of the remaining balls is exactly uniform on
+///   the remaining bins).
+///
+/// The ascending singleton-bin list is left in `scratch`
+/// ([`WalkScratch::singleton_bins`]). The RNG consumption differs from
+/// [`throw_balls`] / [`occupancy_counts`]; equivalence is distributional,
+/// not per-stream (property-tested).
+///
+/// # Panics
+/// Panics if `w == 0` while `m > 0`.
+pub fn walk_window<R: Rng + ?Sized>(
+    m: u64,
+    w: u64,
+    rng: &mut R,
+    scratch: &mut WalkScratch,
+) -> SlotOccupancy {
+    scratch.singles.clear();
+    if m == 0 {
+        return SlotOccupancy {
+            bins: w,
+            balls: 0,
+            singletons: 0,
+            empty_bins: w,
+            colliding_bins: 0,
+            max_occupied_bin: None,
+        };
+    }
+    assert!(w > 0, "cannot throw {m} balls into zero bins");
+    if m == 1 {
+        let bin = rng.gen_range(0..w);
+        scratch.singles.push(bin);
+        return SlotOccupancy {
+            bins: w,
+            balls: 1,
+            singletons: 1,
+            empty_bins: w - 1,
+            colliding_bins: 0,
+            max_occupied_bin: Some(bin),
+        };
+    }
+    // Certain-collision shortcut: union bound on any bin holding <= 1 ball.
+    let mf = m as f64;
+    let wf = w as f64;
+    let ln_bound = wf.ln() + (mf - 1.0) * (-1.0 / wf).ln_1p() + ((mf - 1.0) / wf).ln_1p();
+    if ln_bound < ALL_COLLIDE_LOG_BOUND {
+        return SlotOccupancy {
+            bins: w,
+            balls: m,
+            singletons: 0,
+            empty_bins: 0,
+            colliding_bins: w,
+            max_occupied_bin: Some(w - 1),
+        };
+    }
+
+    let mut m_left = m;
+    let mut singletons = 0u64;
+    let mut empty = 0u64;
+    let mut colliding = 0u64;
+    let mut max_occupied: Option<u64> = None;
+    let mut kernel = SlotKernel::new(m, 1.0 / wf);
+    let mut i = 0u64;
+    while i < w {
+        if m_left == 0 {
+            empty += w - i;
+            break;
+        }
+        let w_left = w - i;
+        if w_left > dense_limit(m_left) {
+            // Sparse tail: the remaining balls are uniform on the remaining
+            // bins; finish with the per-ball machinery.
+            let tail = throw_balls_into(m_left, w_left, rng, &mut scratch.occupancy);
+            for &bin in scratch.occupancy.singleton_bins() {
+                scratch.singles.push(i + bin);
+            }
+            singletons += tail.singletons;
+            empty += tail.empty_bins;
+            colliding += tail.colliding_bins;
+            if let Some(bin) = tail.max_occupied_bin {
+                max_occupied = Some(i + bin);
+            }
+            m_left = 0;
+            break;
+        }
+        let p = 1.0 / w_left as f64;
+        let m_f = m_left as f64;
+        kernel.update(m_f, p);
+        let taken = if kernel.is_dead() {
+            // Certain collision, but the ball count still shapes the rest of
+            // the window: sample it unconditioned (the conditioning event
+            // T >= 2 has probability 1 at f64 resolution).
+            let t = sample_binomial_fast(m_left, p, rng).max(2);
+            colliding += 1;
+            max_occupied = Some(i);
+            t
+        } else {
+            let thresholds = kernel.thresholds();
+            let u = rng.gen::<f64>();
+            match thresholds.classify(u) {
+                SlotOutcome::Silence => {
+                    empty += 1;
+                    0
+                }
+                SlotOutcome::Delivery => {
+                    singletons += 1;
+                    scratch.singles.push(i);
+                    max_occupied = Some(i);
+                    1
+                }
+                SlotOutcome::Collision => {
+                    colliding += 1;
+                    max_occupied = Some(i);
+                    if m_f * p <= WALK_INVERSION_LAMBDA_MAX {
+                        // Continue the CDF inversion the classification
+                        // started: u >= t1, so walk the pmf terms upward
+                        // (table-based reciprocals keep the recurrence free
+                        // of a latency-chained divide).
+                        let s = p / (1.0 - p);
+                        let mut t = 1u64;
+                        let mut term = thresholds.t1 - thresholds.t0; // P(T = 1)
+                        let mut cum = thresholds.t1;
+                        loop {
+                            t += 1;
+                            let inv_t = if (t as usize) < WALK_RECIP_N {
+                                scratch.recip[t as usize]
+                            } else {
+                                1.0 / t as f64
+                            };
+                            term *= s * (m_f - (t as f64 - 1.0)) * inv_t;
+                            cum += term;
+                            if u < cum || t >= m_left {
+                                break;
+                            }
+                        }
+                        t
+                    } else {
+                        // Rejection from the unconditioned sampler: the
+                        // acceptance probability is 1 - P(T <= 1) ~ 1 here.
+                        loop {
+                            let t = sample_binomial_fast(m_left, p, rng);
+                            if t >= 2 {
+                                break t;
+                            }
+                        }
+                    }
+                }
+            }
+        };
+        m_left -= taken;
+        i += 1;
+    }
+    debug_assert_eq!(m_left, 0, "every ball lands in some bin");
+    SlotOccupancy {
+        bins: w,
+        balls: m,
+        singletons,
+        empty_bins: empty,
+        colliding_bins: colliding,
+        max_occupied_bin: max_occupied,
+    }
+}
+
 /// Expected fraction of balls that land alone when `m` balls are thrown into
 /// `w` bins: `(1 - 1/w)^(m-1)`.
 ///
@@ -709,6 +974,116 @@ mod tests {
             }
         }
         assert!(seen_collision_free, "8 balls in 1024 bins collide rarely");
+    }
+
+    #[test]
+    fn walk_window_partitions_bins_and_conserves_balls() {
+        let mut rng = Xoshiro256pp::seed_from_u64(31);
+        let mut scratch = WalkScratch::new();
+        for &(m, w) in &[
+            (0u64, 7u64),
+            (1, 5),
+            (2, 2),
+            (7, 1),
+            (50, 10),
+            (100, 100),
+            (1000, 64),
+            (5000, 4000),
+            (12, 100_000),
+        ] {
+            for _ in 0..20 {
+                let occ = walk_window(m, w, &mut rng, &mut scratch);
+                assert_eq!(occ.balls, m, "m={m} w={w}");
+                assert_eq!(occ.bins, w);
+                assert_eq!(
+                    occ.singletons + occ.empty_bins + occ.colliding_bins,
+                    w,
+                    "m={m} w={w}: categories must partition the bins"
+                );
+                assert_eq!(scratch.singleton_bins().len() as u64, occ.singletons);
+                assert!(
+                    scratch.singleton_bins().windows(2).all(|p| p[0] < p[1]),
+                    "singleton bins must be ascending"
+                );
+                assert!(scratch.singleton_bins().iter().all(|&b| b < w));
+                // At least ceil(m/max-possible) bins must be occupied and the
+                // occupied bins can't exceed the balls.
+                assert!(occ.singletons + occ.colliding_bins <= m.min(w));
+                if m > 0 {
+                    let last = occ.max_occupied_bin.expect("balls were thrown");
+                    assert!(last < w);
+                    if let Some(&s) = scratch.singleton_bins().last() {
+                        assert!(last >= s);
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn walk_window_certain_collision_shortcut_consumes_no_randomness() {
+        let mut rng_a = Xoshiro256pp::seed_from_u64(5);
+        let rng_b = rng_a.clone();
+        let mut scratch = WalkScratch::new();
+        let occ = walk_window(1_000_000, 4, &mut rng_a, &mut scratch);
+        assert_eq!(occ.colliding_bins, 4);
+        assert_eq!(occ.singletons, 0);
+        assert_eq!(occ.empty_bins, 0);
+        assert_eq!(occ.max_occupied_bin, Some(3));
+        assert_eq!(rng_a, rng_b, "shortcut must not consume the RNG");
+    }
+
+    #[test]
+    fn walk_window_matches_per_ball_distribution() {
+        // Statistical cross-check: mean singleton count of the walk vs the
+        // per-ball reference, across density regimes (including the dead-slot
+        // and inversion-continuation branches).
+        for &(m, w) in &[(12u64, 12u64), (64, 16), (40, 120), (3000, 64)] {
+            let reps = 4000;
+            let mut rng = Xoshiro256pp::seed_from_u64(1000 + m + w);
+            let mut scratch = WalkScratch::new();
+            let mut walk_singles = 0u64;
+            let mut walk_empty = 0u64;
+            for _ in 0..reps {
+                let occ = walk_window(m, w, &mut rng, &mut scratch);
+                walk_singles += occ.singletons;
+                walk_empty += occ.empty_bins;
+            }
+            let mut ball_singles = 0u64;
+            let mut ball_empty = 0u64;
+            for _ in 0..reps {
+                let occ = throw_balls(m, w, &mut rng);
+                ball_singles += occ.singletons();
+                ball_empty += occ.empty_bins;
+            }
+            let n = reps as f64;
+            // Singleton counts are in [0, min(m, w)]; 5-sigma-ish tolerance
+            // from the binomial-scale spread.
+            let tol = 5.0 * (w as f64).sqrt() * n.sqrt();
+            assert!(
+                ((walk_singles as f64) - (ball_singles as f64)).abs() < tol,
+                "m={m} w={w}: walk {walk_singles} vs per-ball {ball_singles}"
+            );
+            assert!(
+                ((walk_empty as f64) - (ball_empty as f64)).abs() < tol,
+                "m={m} w={w}: walk empty {walk_empty} vs per-ball {ball_empty}"
+            );
+        }
+    }
+
+    #[test]
+    fn walk_window_single_ball_is_a_uniform_singleton() {
+        let mut rng = Xoshiro256pp::seed_from_u64(8);
+        let mut scratch = WalkScratch::new();
+        let mut sum = 0u64;
+        let reps = 20_000;
+        for _ in 0..reps {
+            let occ = walk_window(1, 10, &mut rng, &mut scratch);
+            assert_eq!(occ.singletons, 1);
+            sum += scratch.singleton_bins()[0];
+        }
+        let mean = sum as f64 / reps as f64;
+        assert!((mean - 4.5).abs() < 0.1, "uniform over 0..10, mean {mean}");
     }
 
     #[test]

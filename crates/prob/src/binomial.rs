@@ -1,0 +1,713 @@
+//! Exact binomial sampling and O(1) aggregate slot resolution.
+//!
+//! When all `m` active stations of a slot transmit independently with the
+//! same probability `p`, the number of transmitters is `T ~ Binomial(m, p)`
+//! and the channel outcome depends only on whether `T` is 0, 1 or ≥ 2. This
+//! module provides the machinery to resolve such *homogeneous* slots in O(1)
+//! — and, on the hot path, in a handful of arithmetic operations with **no
+//! per-slot transcendentals**:
+//!
+//! * [`sample_binomial_fast`] — an exact `Binomial(n, p)` sampler: CDF
+//!   inversion for small means, the BTPE rejection method of
+//!   Kachitvichyanukul & Schmeiser for `n·min(p, 1-p) ≥ 10`. Expected O(1)
+//!   for any `(n, p)`, unlike the geometric-skip sampler in
+//!   [`crate::sampling`] (kept as the independent reference implementation
+//!   the property tests cross-check against).
+//! * [`SlotThresholds`] — the first two steps of binomial CDF inversion,
+//!   `P(T = 0)` and `P(T ≤ 1)`, which classify a slot's trichotomy from one
+//!   uniform draw: `u < P(T=0)` is silence, `u < P(T≤1)` is a delivery,
+//!   anything else a collision.
+//! * [`SlotKernel`] — incremental maintenance of [`SlotThresholds`] along a
+//!   *slowly drifting* `(m, p)` sequence, the access pattern of the fair
+//!   protocols (the probability changes by `O(p/κ)` per slot between
+//!   deliveries). Between exact re-anchorings the kernel updates the
+//!   thresholds with short Taylor polynomials whose truncation error is
+//!   below `1e-12` relative, so a simulator pays `exp`/`ln` only a few times
+//!   per *delivery* instead of several times per *slot*.
+//!
+//! ## Dead slots
+//!
+//! When `P(T ≤ 1)` evaluates to exactly `0.0` in `f64` (e.g. `m = 10⁶`
+//! stations at `p = 1/21`: `P(T ≤ 1) < e^{-47000}`), no uniform draw can fall
+//! below the threshold and the slot is a *certain collision at `f64`
+//! resolution*: the kernel reports it via [`SlotKernel::is_dead`] /
+//! [`SlotThresholds::is_dead`] and a simulator may skip the draw entirely.
+//! This changes the RNG stream but not the distribution of any outcome —
+//! the distributional-equivalence contract of `crates/sim/DESIGN.md` §5.
+
+use crate::outcome::{slot_outcome_probabilities, SlotOutcome};
+use crate::special::ln_gamma;
+use rand::Rng;
+
+/// Largest `n·min(p, 1-p)` handled by CDF inversion; above it BTPE applies.
+const INVERSION_MEAN_MAX: f64 = 10.0;
+
+/// `ln P(T ≤ 1)` below which the slot is certainly dead: `e^{-780}·(1+λ)`
+/// with `λ ≤ 780` is below `2^{-1074}` (the smallest positive `f64`), so the
+/// exact `f64` evaluation would round to `0.0` as well.
+const DEAD_LOG: f64 = -780.0;
+
+/// Largest exponent offset the incremental `exp` polynomial accepts
+/// (`2^-4`; degree 7, truncation error below `1.5e-15` relative).
+const MAX_EXP_OFFSET: f64 = 1.0 / 16.0;
+
+/// Largest `ε` the incremental `ln1p` polynomial accepts (`2^-10`;
+/// truncation error below `2e-13` relative).
+const MAX_LN_EPS: f64 = 1.0 / 1024.0;
+
+/// Largest `p` for which `1/(1-p)` is evaluated by series instead of division.
+const SERIES_P_MAX: f64 = 1.0 / 1024.0;
+
+/// Incremental updates between forced exact re-anchorings (bounds the
+/// accumulated rounding drift of the maintained `ln(1-p)` to a few ulps).
+const REBASE_PERIOD: u32 = 4096;
+
+/// `exp(d)` for `|d| ≤ 1/16` by a degree-7 Taylor polynomial (truncation
+/// error below `1.5e-15` relative).
+#[inline]
+fn exp_small(d: f64) -> f64 {
+    debug_assert!(d.abs() <= MAX_EXP_OFFSET * 1.0001);
+    1.0 + d
+        * (1.0
+            + d * (1.0 / 2.0
+                + d * (1.0 / 6.0
+                    + d * (1.0 / 24.0
+                        + d * (1.0 / 120.0 + d * (1.0 / 720.0 + d * (1.0 / 5040.0)))))))
+}
+
+/// `ln(1 + e)` for `|e| ≤ 2^-16` by a degree-4 Taylor polynomial (truncation
+/// error below `e⁴/5 ≈ 1e-20` relative).
+#[inline]
+fn ln1p_small(e: f64) -> f64 {
+    debug_assert!(e.abs() <= MAX_LN_EPS * 1.0001);
+    e * (1.0 - e * (1.0 / 2.0 - e * (1.0 / 3.0 - e * (1.0 / 4.0))))
+}
+
+/// `1/(1 - p)` — by geometric series for tiny `p` (the fair protocols'
+/// common case, where the division's latency would sit on the hot loop's
+/// critical path), by actual division otherwise.
+#[inline]
+fn inv_q(p: f64) -> f64 {
+    if p.abs() <= SERIES_P_MAX {
+        // Truncation error p⁷ ≈ 2^-70 relative.
+        1.0 + p * (1.0 + p * (1.0 + p * (1.0 + p * (1.0 + p * (1.0 + p)))))
+    } else {
+        1.0 / (1.0 - p)
+    }
+}
+
+/// The first two binomial CDF values of a homogeneous slot: `t0 = P(T = 0)`
+/// and `t1 = P(T ≤ 1)` for `T ~ Binomial(m, p)`.
+///
+/// One uniform draw against these thresholds resolves the slot trichotomy —
+/// exactly the first two steps of sampling `T` by CDF inversion, stopped as
+/// soon as the outcome class (`T = 0`, `T = 1`, `T ≥ 2`) is known.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SlotThresholds {
+    /// `P(T = 0)` — the probability of a silent slot.
+    pub t0: f64,
+    /// `P(T ≤ 1)` — silence plus a single (delivering) transmitter.
+    pub t1: f64,
+}
+
+impl SlotThresholds {
+    /// Computes the thresholds exactly (up to `f64` rounding), using the same
+    /// log-space evaluation as [`slot_outcome_probabilities`].
+    pub fn exact(m: u64, p: f64) -> Self {
+        let pr = slot_outcome_probabilities(m, p);
+        Self {
+            t0: pr.silence,
+            t1: pr.silence + pr.delivery,
+        }
+    }
+
+    /// `true` when no uniform draw in `[0, 1)` can produce silence or a
+    /// delivery: the slot is a certain collision at `f64` resolution.
+    #[inline]
+    pub fn is_dead(&self) -> bool {
+        self.t1 <= 0.0
+    }
+
+    /// Classifies a uniform draw `u ∈ [0, 1)` into the slot trichotomy.
+    #[inline]
+    pub fn classify(&self, u: f64) -> SlotOutcome {
+        if u >= self.t1 {
+            SlotOutcome::Collision
+        } else if u >= self.t0 {
+            SlotOutcome::Delivery
+        } else {
+            SlotOutcome::Silence
+        }
+    }
+}
+
+/// Resolves one homogeneous slot (`m` stations at probability `p`) from a
+/// single binomial classification draw.
+///
+/// Distribution-identical to [`crate::outcome::sample_slot_outcome`]; this
+/// entry point exists as the self-describing aggregate form (`T = 0` empty,
+/// `T = 1` delivery, `T ≥ 2` collision) and as the uncached reference for
+/// [`SlotKernel`].
+pub fn sample_slot_class<R: Rng + ?Sized>(m: u64, p: f64, rng: &mut R) -> SlotOutcome {
+    let thresholds = SlotThresholds::exact(m, p);
+    if thresholds.is_dead() {
+        return SlotOutcome::Collision;
+    }
+    thresholds.classify(rng.gen::<f64>())
+}
+
+/// Largest `p` admitted by the short-polynomial hot path of
+/// [`SlotKernel::update`] (`2^-14`): below it, dropped series terms are at
+/// relative `p³ < 2.3e-13`.
+const HOT_P_MAX: f64 = 6.103_515_625e-5;
+
+/// Largest relative probability move `|Δp|/p` the hot path accepts (`2^-13`
+/// — covers both the fair protocols' estimator drift, `|Δp|/p ≈ p/κ̃`, and
+/// the window walk's `1/w → 1/(w-1)` steps for `w ≥ 2^14`).
+const HOT_MOVE_MAX: f64 = 1.220_703_125e-4;
+
+/// Largest exponent offset the hot path's cubic `exp` accepts (`2^-10`,
+/// truncation error `d⁴/24 < 4e-14` relative).
+const HOT_OFFSET_MAX: f64 = 9.765_625e-4;
+
+/// Incrementally maintained [`SlotThresholds`] for a drifting `(m, p)`
+/// sequence.
+///
+/// The kernel anchors an exact evaluation (`t0_base = exp(L_base)`,
+/// `L = m·ln(1-p)`) and follows small moves of `m` and `p` with Taylor
+/// updates of `ln(1-p)` and of the exponent offset `L − L_base`; it re-anchors
+/// exactly whenever the move is too large, the offset outgrows the
+/// polynomial, or [`REBASE_PERIOD`] incremental steps have accumulated.
+/// Tiny probabilities with tiny moves (the fair protocols' steady state)
+/// take a short-polynomial hot path tuned for the simulator's inner loop;
+/// larger ones take a general cold path. Relative error against
+/// [`SlotThresholds::exact`] stays below `~1e-11` (property-tested).
+#[derive(Debug, Clone, Copy)]
+pub struct SlotKernel {
+    m: f64,
+    p: f64,
+    /// `ln(1 - p)`, maintained incrementally.
+    lnq: f64,
+    /// `L = m·ln(1-p)` at the last exact anchoring.
+    ell_base: f64,
+    /// `exp(ell_base)`.
+    t0_base: f64,
+    thresholds: SlotThresholds,
+    dead: bool,
+    updates_since_rebase: u32,
+}
+
+impl SlotKernel {
+    /// Creates a kernel anchored at `(m, p)`.
+    pub fn new(m: u64, p: f64) -> Self {
+        let mut kernel = Self {
+            m: 0.0,
+            p: -1.0,
+            lnq: 0.0,
+            ell_base: 0.0,
+            t0_base: 1.0,
+            thresholds: SlotThresholds { t0: 1.0, t1: 1.0 },
+            dead: false,
+            updates_since_rebase: 0,
+        };
+        kernel.rebase(m as f64, p);
+        kernel
+    }
+
+    /// The `m` the thresholds currently describe.
+    #[inline]
+    pub fn m(&self) -> f64 {
+        self.m
+    }
+
+    /// The `p` the thresholds currently describe.
+    #[inline]
+    pub fn p(&self) -> f64 {
+        self.p
+    }
+
+    /// Current thresholds.
+    #[inline]
+    pub fn thresholds(&self) -> SlotThresholds {
+        self.thresholds
+    }
+
+    /// `true` when the current slot is a certain collision at `f64`
+    /// resolution (no draw needed).
+    #[inline]
+    pub fn is_dead(&self) -> bool {
+        self.dead
+    }
+
+    /// Classifies a uniform draw against the current thresholds.
+    #[inline]
+    pub fn classify(&self, u: f64) -> SlotOutcome {
+        self.thresholds.classify(u)
+    }
+
+    /// Moves the kernel to `(m, p)`, incrementally when the move is small.
+    ///
+    /// `m` is passed as `f64` because callers track it that way in their hot
+    /// loops; it must be a non-negative integer value.
+    #[inline]
+    pub fn update(&mut self, m: f64, p: f64) {
+        if m == self.m && p == self.p {
+            return;
+        }
+        // Hot path: tiny probability, tiny relative move — short polynomials
+        // with no division, tuned for the aggregate simulator's inner loop.
+        let po = self.p;
+        let x = po - p;
+        if po > 0.0
+            && po <= HOT_P_MAX
+            && x.abs() <= po * HOT_MOVE_MAX
+            && self.updates_since_rebase < REBASE_PERIOD
+        {
+            // ln((1-p)/(1-po)) = ln1p(x/(1-po))
+            //                  = x·(1 + po + po²) − x²/2 + O(x·po³).
+            let lnq = self.lnq + (x - 0.5 * x * x) + x * (po + po * po);
+            let ell = m * lnq;
+            self.m = m;
+            self.p = p;
+            self.lnq = lnq;
+            self.updates_since_rebase += 1;
+            if ell <= DEAD_LOG {
+                self.thresholds = SlotThresholds { t0: 0.0, t1: 0.0 };
+                self.dead = true;
+                return;
+            }
+            let d = ell - self.ell_base;
+            if d.abs() <= HOT_OFFSET_MAX {
+                // exp(d) cubic; 1/(1-p) ≈ 1 + p + p² (error p³ relative).
+                let t0 = self.t0_base * (1.0 + d * (1.0 + d * (0.5 + d * (1.0 / 6.0))));
+                let t1 = t0 + t0 * (m * p) * (1.0 + p + p * p);
+                self.thresholds = SlotThresholds { t0, t1 };
+                self.dead = false;
+                return;
+            }
+            if d.abs() <= MAX_EXP_OFFSET {
+                // Larger drift (the window walk's shrinking windows): the
+                // wider degree-7 polynomial still avoids a re-anchor.
+                let t0 = self.t0_base * exp_small(d);
+                let t1 = t0 + t0 * (m * p) * (1.0 + p + p * p);
+                self.thresholds = SlotThresholds { t0, t1 };
+                self.dead = false;
+                return;
+            }
+            self.rebase(m, p);
+            return;
+        }
+        self.update_cold(m, p);
+    }
+
+    #[cold]
+    fn update_cold(&mut self, m: f64, p: f64) {
+        // General incremental path: any probabilities with a well-conditioned
+        // ε and log-space moves small enough for the wider Taylor kernels.
+        if p > 0.0 && p < 1.0 && self.p > 0.0 && self.p < 1.0 && m >= 1.0 {
+            let eps = (self.p - p) * inv_q(self.p);
+            if eps.abs() <= MAX_LN_EPS && self.updates_since_rebase < REBASE_PERIOD {
+                let lnq = self.lnq + ln1p_small(eps);
+                let ell = m * lnq;
+                self.m = m;
+                self.p = p;
+                self.lnq = lnq;
+                self.updates_since_rebase += 1;
+                if ell <= DEAD_LOG {
+                    // Certain collision: exp would underflow to zero anyway.
+                    self.thresholds = SlotThresholds { t0: 0.0, t1: 0.0 };
+                    self.dead = true;
+                    return;
+                }
+                let offset = ell - self.ell_base;
+                if offset.abs() <= MAX_EXP_OFFSET {
+                    let t0 = self.t0_base * exp_small(offset);
+                    let t1 = t0 + t0 * (m * p) * inv_q(p);
+                    self.thresholds = SlotThresholds {
+                        t0,
+                        t1: t1.min(1.0),
+                    };
+                    self.dead = t1 <= 0.0;
+                    return;
+                }
+                // Offset outgrew the polynomial: fall through to re-anchor
+                // (the state above is already consistent; rebase overwrites).
+            }
+        }
+        self.rebase(m, p);
+    }
+
+    /// Exact re-anchoring at `(m, p)`.
+    #[cold]
+    fn rebase(&mut self, m: f64, p: f64) {
+        debug_assert!(m >= 0.0 && (0.0..=1.0).contains(&p), "m={m} p={p}");
+        let thresholds = SlotThresholds::exact(m as u64, p);
+        self.m = m;
+        self.p = p;
+        self.lnq = if p < 1.0 {
+            (-p).ln_1p()
+        } else {
+            f64::NEG_INFINITY
+        };
+        self.ell_base = m * self.lnq;
+        self.t0_base = thresholds.t0;
+        self.thresholds = thresholds;
+        self.dead = thresholds.is_dead();
+        self.updates_since_rebase = 0;
+    }
+}
+
+/// Samples `T ~ Binomial(n, p)` exactly, in expected O(1) time for any
+/// `(n, p)`.
+///
+/// Dispatch: degenerate parameters are returned directly; `p > 1/2` samples
+/// the complement; small means (`n·min(p,1-p) < 10`) use CDF inversion with
+/// the multiplicative pmf recurrence; larger means use the BTPE rejection
+/// algorithm (Kachitvichyanukul & Schmeiser, *ACM TOMS* 14(1), 1988) with
+/// the final acceptance test evaluated through [`ln_gamma`].
+///
+/// Exactness is property-tested (chi-square goodness of fit against the
+/// independent geometric-skip sampler [`crate::sampling::sample_binomial`]
+/// and against per-trial Bernoulli counting) in `tests/properties.rs`.
+///
+/// # Panics
+/// Panics if `p` is not in `[0, 1]`.
+///
+/// # Example
+/// ```
+/// use mac_prob::binomial::sample_binomial_fast;
+/// use mac_prob::rng::Xoshiro256pp;
+/// use rand::SeedableRng;
+/// let mut rng = Xoshiro256pp::seed_from_u64(1);
+/// let t = sample_binomial_fast(1_000_000, 0.25, &mut rng);
+/// assert!((t as f64 - 250_000.0).abs() < 5_000.0);
+/// ```
+pub fn sample_binomial_fast<R: Rng + ?Sized>(n: u64, p: f64, rng: &mut R) -> u64 {
+    assert!(
+        (0.0..=1.0).contains(&p),
+        "Binomial parameter must be in [0,1], got {p}"
+    );
+    if n == 0 || p == 0.0 {
+        return 0;
+    }
+    if p == 1.0 {
+        return n;
+    }
+    let (pp, flipped) = if p > 0.5 { (1.0 - p, true) } else { (p, false) };
+    let x = if n as f64 * pp < INVERSION_MEAN_MAX {
+        binomial_inversion(n, pp, rng)
+    } else {
+        binomial_btpe(n, pp, rng)
+    };
+    if flipped {
+        n - x
+    } else {
+        x
+    }
+}
+
+/// CDF inversion with the multiplicative pmf recurrence; requires
+/// `n·p` small enough that `(1-p)^n` does not underflow (guaranteed by the
+/// dispatch bound [`INVERSION_MEAN_MAX`]).
+fn binomial_inversion<R: Rng + ?Sized>(n: u64, p: f64, rng: &mut R) -> u64 {
+    let nf = n as f64;
+    let s = p / (1.0 - p);
+    let mut f = (nf * (-p).ln_1p()).exp(); // (1-p)^n = P(T = 0)
+    let mut u = rng.gen::<f64>();
+    let mut x = 0u64;
+    loop {
+        if u < f || x >= n {
+            // The x >= n guard absorbs the f64 rounding leftovers of the CDF.
+            return x;
+        }
+        u -= f;
+        x += 1;
+        // f(x) = f(x-1) · (n - x + 1)/x · p/(1-p)
+        f *= s * (nf - (x as f64 - 1.0)) / x as f64;
+    }
+}
+
+/// BTPE: triangle/parallelogram/exponential-tail envelope with squeeze
+/// acceptance. Requires `p ≤ 1/2` and `n·p ≥ 10`.
+fn binomial_btpe<R: Rng + ?Sized>(n: u64, p: f64, rng: &mut R) -> u64 {
+    let nf = n as f64;
+    let q = 1.0 - p;
+    let npq = nf * p * q;
+    // Mode and envelope geometry.
+    let f_mode = nf * p + p;
+    let mode = f_mode.floor();
+    let p1 = (2.195 * npq.sqrt() - 4.6 * q).floor() + 0.5;
+    let xm = mode + 0.5;
+    let xl = xm - p1;
+    let xr = xm + p1;
+    let c = 0.134 + 20.5 / (15.3 + mode);
+    let mut a = (f_mode - xl) / (f_mode - xl * p);
+    let lambda_l = a * (1.0 + 0.5 * a);
+    a = (xr - f_mode) / (xr * q);
+    let lambda_r = a * (1.0 + 0.5 * a);
+    let p2 = p1 * (1.0 + 2.0 * c);
+    let p3 = p2 + c / lambda_l;
+    let p4 = p3 + c / lambda_r;
+
+    loop {
+        let u = rng.gen::<f64>() * p4;
+        let mut v = rng.gen::<f64>();
+        let y: f64;
+        if u <= p1 {
+            // Triangular central region: always accepted.
+            return (xm - p1 * v + u).floor() as u64;
+        } else if u <= p2 {
+            // Parallelogram.
+            let x = xl + (u - p1) / c;
+            v = v * c + 1.0 - (x - xm).abs() / p1;
+            if v > 1.0 || v <= 0.0 {
+                continue;
+            }
+            y = x.floor();
+        } else if u <= p3 {
+            // Left exponential tail.
+            y = (xl + v.ln() / lambda_l).floor();
+            if y < 0.0 {
+                continue;
+            }
+            v *= (u - p2) * lambda_l;
+        } else {
+            // Right exponential tail.
+            y = (xr - v.ln() / lambda_r).floor();
+            if y > nf {
+                continue;
+            }
+            v *= (u - p3) * lambda_r;
+        }
+
+        // Accept y iff v ≤ f(y)/f(mode).
+        let k = (y - mode).abs();
+        if k <= 20.0 || k >= npq / 2.0 - 1.0 {
+            // Cheap explicit evaluation by the pmf recurrence.
+            let s = p / q;
+            let aa = s * (nf + 1.0);
+            let mut f = 1.0;
+            let mode_i = mode as i64;
+            let y_i = y as i64;
+            if mode_i < y_i {
+                for i in (mode_i + 1)..=y_i {
+                    f *= aa / i as f64 - s;
+                }
+            } else {
+                for i in (y_i + 1)..=mode_i {
+                    f /= aa / i as f64 - s;
+                }
+            }
+            if v <= f {
+                return y as u64;
+            }
+        } else {
+            // Squeeze around the normal-scale log-acceptance ratio.
+            let rho = (k / npq) * ((k * (k / 3.0 + 0.625) + 1.0 / 6.0) / npq + 0.5);
+            let t = -k * k / (2.0 * npq);
+            let alv = v.ln();
+            if alv < t - rho {
+                return y as u64;
+            }
+            if alv <= t + rho {
+                // Final test: ln(f(y)/f(mode)) through O(1) log-gammas.
+                let lf = ln_gamma(mode + 1.0) + ln_gamma(nf - mode + 1.0)
+                    - ln_gamma(y + 1.0)
+                    - ln_gamma(nf - y + 1.0)
+                    + (y - mode) * (p / q).ln();
+                if alv <= lf {
+                    return y as u64;
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::Xoshiro256pp;
+    use crate::stats::StreamingStats;
+    use rand::SeedableRng;
+
+    fn assert_rel_close(a: f64, b: f64, tol: f64, label: &str) {
+        let scale = a.abs().max(b.abs()).max(1e-300);
+        assert!(
+            (a - b).abs() / scale < tol || (a - b).abs() < 1e-300,
+            "{label}: {a} vs {b}"
+        );
+    }
+
+    #[test]
+    fn thresholds_match_outcome_probabilities() {
+        for &(m, p) in &[
+            (1u64, 0.3f64),
+            (2, 0.5),
+            (10, 0.07),
+            (1_000, 1e-3),
+            (1_000_000, 2.3e-6),
+            (5, 0.0),
+            (5, 1.0),
+            (1, 1.0),
+            (0, 0.4),
+        ] {
+            let t = SlotThresholds::exact(m, p);
+            let pr = slot_outcome_probabilities(m, p);
+            assert_rel_close(t.t0, pr.silence, 1e-14, "t0");
+            assert_rel_close(t.t1, pr.silence + pr.delivery, 1e-14, "t1");
+        }
+    }
+
+    #[test]
+    fn classify_matches_the_trichotomy_boundaries() {
+        let t = SlotThresholds { t0: 0.25, t1: 0.75 };
+        assert_eq!(t.classify(0.0), SlotOutcome::Silence);
+        assert_eq!(t.classify(0.2499), SlotOutcome::Silence);
+        assert_eq!(t.classify(0.25), SlotOutcome::Delivery);
+        assert_eq!(t.classify(0.7499), SlotOutcome::Delivery);
+        assert_eq!(t.classify(0.75), SlotOutcome::Collision);
+        assert_eq!(t.classify(0.9999), SlotOutcome::Collision);
+    }
+
+    #[test]
+    fn dead_slot_is_reported_for_underflowing_probabilities() {
+        // 10^6 stations at p = 1/21: P(T <= 1) ~ e^{-47000}.
+        let t = SlotThresholds::exact(1_000_000, 1.0 / 21.0);
+        assert!(t.is_dead());
+        assert_eq!(t.t0, 0.0);
+        assert_eq!(t.t1, 0.0);
+        // A representable case is not dead.
+        assert!(!SlotThresholds::exact(100, 0.01).is_dead());
+    }
+
+    /// Drives a kernel along a One-fail-Adaptive-shaped drift and checks it
+    /// against fresh exact evaluations at every step.
+    #[test]
+    fn kernel_tracks_a_drifting_schedule_to_high_precision() {
+        let mut m = 1_000_000u64;
+        let mut kappa = 420_000.0f64;
+        let mut kernel = SlotKernel::new(m, 1.0 / kappa);
+        for step in 0..200_000u64 {
+            // AT-style drift: kappa grows by one per step; every ~7th step a
+            // delivery removes a station and pulls kappa back.
+            kappa += 1.0;
+            if step % 7 == 3 {
+                m -= 1;
+                kappa = (kappa - 3.72).max(3.72);
+            }
+            let p = 1.0 / kappa;
+            kernel.update(m as f64, p);
+            let exact = SlotThresholds::exact(m, p);
+            assert_rel_close(kernel.thresholds().t0, exact.t0, 1e-11, "t0");
+            assert_rel_close(kernel.thresholds().t1, exact.t1, 1e-11, "t1");
+            assert_eq!(kernel.is_dead(), exact.is_dead(), "step {step}");
+        }
+    }
+
+    #[test]
+    fn kernel_handles_alternating_large_and_small_probabilities() {
+        // BT-style line: large p, m walking down through the dead boundary.
+        let p = 1.0 / 21.0;
+        let mut kernel = SlotKernel::new(2_000_000, p);
+        assert!(kernel.is_dead());
+        for m in (2..=40_000u64).rev().step_by(7) {
+            kernel.update(m as f64, p);
+            let exact = SlotThresholds::exact(m, p);
+            assert_eq!(kernel.is_dead(), exact.is_dead(), "m={m}");
+            if !exact.is_dead() {
+                assert_rel_close(kernel.thresholds().t0, exact.t0, 1e-11, "t0");
+                assert_rel_close(kernel.thresholds().t1, exact.t1, 1e-11, "t1");
+            }
+        }
+    }
+
+    #[test]
+    fn kernel_handles_degenerate_probabilities() {
+        let mut kernel = SlotKernel::new(10, 0.0);
+        assert!(!kernel.is_dead());
+        assert_eq!(kernel.classify(0.9999), SlotOutcome::Silence);
+        kernel.update(10.0, 1.0);
+        assert!(kernel.is_dead(), "10 stations at p=1 always collide");
+        kernel.update(1.0, 1.0);
+        assert!(!kernel.is_dead());
+        assert_eq!(kernel.classify(0.5), SlotOutcome::Delivery);
+        kernel.update(1.0, 0.25);
+        assert_eq!(kernel.classify(0.5), SlotOutcome::Silence);
+        assert_eq!(kernel.classify(0.8), SlotOutcome::Delivery);
+    }
+
+    #[test]
+    fn sample_slot_class_agrees_with_reference_sampler_statistically() {
+        let mut rng = Xoshiro256pp::seed_from_u64(99);
+        let m = 50u64;
+        let p = 0.03;
+        let pr = slot_outcome_probabilities(m, p);
+        let n = 100_000;
+        let mut counts = [0u64; 3];
+        for _ in 0..n {
+            match sample_slot_class(m, p, &mut rng) {
+                SlotOutcome::Silence => counts[0] += 1,
+                SlotOutcome::Delivery => counts[1] += 1,
+                SlotOutcome::Collision => counts[2] += 1,
+            }
+        }
+        let tol = 4.0 * (0.25f64 / n as f64).sqrt();
+        assert!((counts[0] as f64 / n as f64 - pr.silence).abs() < tol);
+        assert!((counts[1] as f64 / n as f64 - pr.delivery).abs() < tol);
+        assert!((counts[2] as f64 / n as f64 - pr.collision).abs() < tol);
+    }
+
+    #[test]
+    fn fast_binomial_edge_cases() {
+        let mut rng = Xoshiro256pp::seed_from_u64(4);
+        assert_eq!(sample_binomial_fast(0, 0.5, &mut rng), 0);
+        assert_eq!(sample_binomial_fast(17, 0.0, &mut rng), 0);
+        assert_eq!(sample_binomial_fast(17, 1.0, &mut rng), 17);
+        for _ in 0..1000 {
+            assert!(sample_binomial_fast(5, 0.5, &mut rng) <= 5);
+        }
+    }
+
+    #[test]
+    fn fast_binomial_mean_and_variance_match_theory() {
+        // Exercises inversion (small mean), BTPE (large mean) and the
+        // complement path (p > 1/2).
+        for &(n, p) in &[
+            (20u64, 0.25f64),
+            (100, 0.02),
+            (7, 0.9),
+            (1_000, 0.3),
+            (1_000_000, 0.001),
+            (100_000, 0.75),
+        ] {
+            let mut rng = Xoshiro256pp::seed_from_u64(5);
+            let mut stats = StreamingStats::new();
+            let reps = 60_000;
+            for _ in 0..reps {
+                stats.push(sample_binomial_fast(n, p, &mut rng) as f64);
+            }
+            let mean = n as f64 * p;
+            let var = n as f64 * p * (1.0 - p);
+            assert!(
+                (stats.mean() - mean).abs() < 5.0 * (var / reps as f64).sqrt() + 1e-9,
+                "n={n} p={p}: mean {} vs {mean}",
+                stats.mean()
+            );
+            assert!(
+                (stats.variance() - var).abs() < 0.05 * (var + 1.0),
+                "n={n} p={p}: var {} vs {var}",
+                stats.variance()
+            );
+        }
+    }
+
+    #[test]
+    fn fast_binomial_never_exceeds_n() {
+        let mut rng = Xoshiro256pp::seed_from_u64(6);
+        for &(n, p) in &[(30u64, 0.5f64), (1000, 0.04), (50, 0.99)] {
+            for _ in 0..20_000 {
+                assert!(sample_binomial_fast(n, p, &mut rng) <= n);
+            }
+        }
+    }
+}

@@ -12,6 +12,9 @@
 //!   so it is stable up to `m = 10^9` and beyond;
 //! * [`sampling`] — Bernoulli, binomial, geometric and Poisson samplers built
 //!   only on a [`rand::RngCore`] source;
+//! * [`binomial`] — the expected-O(1) exact binomial sampler (CDF inversion
+//!   for small means, BTPE for large) and the incremental slot-threshold
+//!   kernel behind the aggregate simulators' per-slot fast path;
 //! * [`balls`] — balls-in-bins occupancy experiments (the random process behind
 //!   contention-window protocols) and their summary statistics;
 //! * [`stats`] — streaming (Welford) and batch summary statistics, percentiles
@@ -47,6 +50,7 @@
 #![warn(missing_debug_implementations)]
 
 pub mod balls;
+pub mod binomial;
 pub mod histogram;
 pub mod outcome;
 pub mod rng;
@@ -55,9 +59,10 @@ pub mod special;
 pub mod stats;
 
 pub use balls::{
-    occupancy_counts, throw_balls, throw_balls_into, BinsOccupancy, OccupancyCounts,
-    OccupancyScratch,
+    occupancy_counts, throw_balls, throw_balls_into, walk_window, BinsOccupancy, OccupancyCounts,
+    OccupancyScratch, SlotOccupancy, WalkScratch,
 };
+pub use binomial::{sample_binomial_fast, sample_slot_class, SlotKernel, SlotThresholds};
 pub use outcome::{
     sample_slot_outcome, slot_outcome_probabilities, SlotOutcome, SlotOutcomeProbabilities,
 };

@@ -10,8 +10,12 @@
 //! * [`Summary`] — an immutable snapshot (plus the 95% normal-approximation
 //!   confidence interval) that is what gets serialised into result records;
 //! * [`percentile`] — nearest-rank percentile of a slice;
-//! * [`ConfidenceInterval`] — a `[lo, hi]` pair with its nominal level.
+//! * [`ConfidenceInterval`] — a `[lo, hi]` pair with its nominal level;
+//! * [`chi_square_test`] / [`two_sample_ks_test`] — goodness-of-fit and
+//!   two-sample equivalence tests, used by the binomial-sampler property
+//!   tests and the aggregate-vs-per-station simulator equivalence suite.
 
+use crate::special::{kolmogorov_survival, regularized_gamma_p};
 use serde::{Deserialize, Serialize};
 
 /// Single-pass (Welford) accumulator for mean/variance/min/max.
@@ -261,6 +265,142 @@ pub fn percentile_sorted(sorted: &[f64], q: f64) -> Option<f64> {
     Some(sorted[rank.saturating_sub(1).min(sorted.len() - 1)])
 }
 
+/// Result of a statistical hypothesis test: the test statistic and the
+/// probability of seeing a statistic at least this extreme under the null
+/// hypothesis.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TestResult {
+    /// The value of the test statistic.
+    pub statistic: f64,
+    /// Degrees of freedom (chi-square) or the effective sample factor
+    /// `√(n·m/(n+m))` (Kolmogorov–Smirnov).
+    pub parameter: f64,
+    /// The p-value under the null hypothesis.
+    pub p_value: f64,
+}
+
+impl TestResult {
+    /// `true` when the null hypothesis is *not* rejected at significance
+    /// level `alpha` — the assertion equivalence tests make.
+    pub fn is_consistent_at(&self, alpha: f64) -> bool {
+        self.p_value >= alpha
+    }
+}
+
+/// Pearson chi-square goodness-of-fit test of observed category counts
+/// against expected probabilities.
+///
+/// Categories with expected probability 0 must have observed count 0 (a
+/// nonzero observation there yields `p_value = 0`); such categories
+/// contribute no degree of freedom. The p-value uses the chi-square CDF
+/// `P(dof/2, x/2)` via [`regularized_gamma_p`].
+///
+/// # Panics
+/// Panics if the slices differ in length, fewer than two categories have
+/// positive expected probability, or the probabilities do not sum to ~1.
+///
+/// # Example
+/// ```
+/// use mac_prob::stats::chi_square_test;
+/// // A fair three-sided die observed 300 times.
+/// let result = chi_square_test(&[98, 104, 98], &[1.0 / 3.0; 3]);
+/// assert!(result.is_consistent_at(0.01));
+/// ```
+pub fn chi_square_test(observed: &[u64], expected_probabilities: &[f64]) -> TestResult {
+    assert_eq!(
+        observed.len(),
+        expected_probabilities.len(),
+        "observed and expected lengths differ"
+    );
+    let total_probability: f64 = expected_probabilities.iter().sum();
+    assert!(
+        (total_probability - 1.0).abs() < 1e-6,
+        "expected probabilities sum to {total_probability}, not 1"
+    );
+    let n: u64 = observed.iter().sum();
+    let nf = n as f64;
+    let mut statistic = 0.0;
+    let mut categories = 0u64;
+    let mut impossible_observed = false;
+    for (&obs, &prob) in observed.iter().zip(expected_probabilities) {
+        assert!((0.0..=1.0).contains(&prob), "invalid probability {prob}");
+        if prob == 0.0 {
+            impossible_observed |= obs > 0;
+            continue;
+        }
+        categories += 1;
+        let expected = nf * prob;
+        let diff = obs as f64 - expected;
+        statistic += diff * diff / expected;
+    }
+    assert!(
+        categories >= 2,
+        "chi-square needs at least two categories with positive probability"
+    );
+    let dof = (categories - 1) as f64;
+    let p_value = if impossible_observed {
+        0.0
+    } else {
+        1.0 - regularized_gamma_p(dof / 2.0, statistic / 2.0)
+    };
+    TestResult {
+        statistic,
+        parameter: dof,
+        p_value,
+    }
+}
+
+/// Two-sample Kolmogorov–Smirnov test: the supremum distance between the
+/// empirical CDFs of `a` and `b`, with the asymptotic p-value from the
+/// Kolmogorov distribution ([`kolmogorov_survival`]).
+///
+/// Both samples are sorted internally; ties are handled by advancing both
+/// cursors past equal values before comparing the CDFs. The asymptotic
+/// p-value is accurate for samples of a few dozen observations and larger
+/// (the regime the simulator equivalence tests use).
+///
+/// # Panics
+/// Panics if either sample is empty or contains NaN.
+///
+/// # Example
+/// ```
+/// use mac_prob::stats::two_sample_ks_test;
+/// let a: Vec<f64> = (0..100).map(|i| i as f64).collect();
+/// let b: Vec<f64> = (0..100).map(|i| i as f64 + 0.5).collect();
+/// // Nearly identical distributions: large p-value.
+/// assert!(two_sample_ks_test(&a, &b).is_consistent_at(0.05));
+/// ```
+pub fn two_sample_ks_test(a: &[f64], b: &[f64]) -> TestResult {
+    assert!(!a.is_empty() && !b.is_empty(), "KS needs non-empty samples");
+    let sort = |xs: &[f64]| {
+        let mut v = xs.to_vec();
+        v.sort_by(|x, y| x.partial_cmp(y).expect("NaN in KS input"));
+        v
+    };
+    let a = sort(a);
+    let b = sort(b);
+    let (na, nb) = (a.len() as f64, b.len() as f64);
+    let mut i = 0usize;
+    let mut j = 0usize;
+    let mut statistic = 0.0f64;
+    while i < a.len() && j < b.len() {
+        let x = a[i].min(b[j]);
+        while i < a.len() && a[i] <= x {
+            i += 1;
+        }
+        while j < b.len() && b[j] <= x {
+            j += 1;
+        }
+        statistic = statistic.max((i as f64 / na - j as f64 / nb).abs());
+    }
+    let effective = (na * nb / (na + nb)).sqrt();
+    TestResult {
+        statistic,
+        parameter: effective,
+        p_value: kolmogorov_survival(effective * statistic),
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -374,5 +514,66 @@ mod tests {
     #[should_panic(expected = "percentile must be in")]
     fn percentile_rejects_out_of_range() {
         let _ = percentile(&[1.0], 150.0);
+    }
+
+    #[test]
+    fn chi_square_accepts_matching_counts_and_rejects_skewed_ones() {
+        // Perfectly matching counts: statistic 0, p-value 1.
+        let fit = chi_square_test(&[250, 250, 500], &[0.25, 0.25, 0.5]);
+        assert_eq!(fit.statistic, 0.0);
+        assert!((fit.p_value - 1.0).abs() < 1e-12);
+        assert_eq!(fit.parameter, 2.0);
+        // Grossly skewed counts: rejected at any reasonable level.
+        let off = chi_square_test(&[900, 50, 50], &[0.25, 0.25, 0.5]);
+        assert!(off.p_value < 1e-10);
+        assert!(!off.is_consistent_at(0.001));
+    }
+
+    #[test]
+    fn chi_square_handles_zero_probability_categories() {
+        // A zero-probability category with zero observations contributes
+        // nothing; with observations, the null is impossible.
+        let ok = chi_square_test(&[500, 500, 0], &[0.5, 0.5, 0.0]);
+        assert!(ok.is_consistent_at(0.05));
+        assert_eq!(ok.parameter, 1.0);
+        let bad = chi_square_test(&[500, 499, 1], &[0.5, 0.5, 0.0]);
+        assert_eq!(bad.p_value, 0.0);
+    }
+
+    #[test]
+    fn chi_square_p_value_is_calibrated() {
+        // The 95th percentile of chi-square with 1 dof is 3.841: a statistic
+        // just below must give p just above 0.05.
+        let n = 10_000u64;
+        // Construct counts with statistic ~ 3.8: diff²·(1/E1+1/E2) with
+        // E1 = E2 = 5000 → diff = sqrt(3.8·2500) ≈ 97.5.
+        let fit = chi_square_test(&[5097, 4903], &[0.5, 0.5]);
+        assert!(fit.statistic > 3.5 && fit.statistic < 3.85);
+        assert!(fit.p_value > 0.05 && fit.p_value < 0.07, "{:?}", fit);
+        assert_eq!(n, 10_000); // silence unused warning paranoia
+    }
+
+    #[test]
+    fn ks_distinguishes_shifted_samples() {
+        let a: Vec<f64> = (0..200).map(|i| i as f64).collect();
+        let shifted: Vec<f64> = (0..200).map(|i| i as f64 + 100.0).collect();
+        let reject = two_sample_ks_test(&a, &shifted);
+        assert!(reject.p_value < 1e-6);
+        let same = two_sample_ks_test(&a, &a);
+        assert_eq!(same.statistic, 0.0);
+        assert!((same.p_value - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn ks_statistic_is_the_cdf_sup_distance() {
+        // a = {1,2}, b = {1,3}: CDFs differ by 1/2 on [2,3).
+        let result = two_sample_ks_test(&[1.0, 2.0], &[1.0, 3.0]);
+        assert!((result.statistic - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-empty")]
+    fn ks_rejects_empty_sample() {
+        let _ = two_sample_ks_test(&[], &[1.0]);
     }
 }

@@ -1,16 +1,181 @@
 //! Property-based tests for the probability toolkit.
 
 use mac_prob::balls::{
-    expected_singleton_fraction, occupancy_counts, throw_balls, throw_balls_into, BinsOccupancy,
-    OccupancyScratch,
+    expected_singleton_fraction, occupancy_counts, throw_balls, throw_balls_into, walk_window,
+    BinsOccupancy, OccupancyScratch, WalkScratch,
 };
+use mac_prob::binomial::{sample_binomial_fast, SlotKernel, SlotThresholds};
 use mac_prob::outcome::{sample_slot_outcome, slot_outcome_probabilities, SlotOutcome};
 use mac_prob::rng::{derive_seed, Xoshiro256pp};
 use mac_prob::sampling::{sample_binomial, sample_geometric, sample_poisson};
 use mac_prob::special::{binomial_pmf, ln_binomial, ln_factorial};
-use mac_prob::stats::{percentile, StreamingStats};
+use mac_prob::stats::{chi_square_test, percentile, StreamingStats};
 use proptest::prelude::*;
-use rand::SeedableRng;
+use rand::{Rng, SeedableRng};
+
+/// Chi-square goodness of fit of a sampler against the exact binomial pmf:
+/// draws `reps` samples of `Binomial(n, p)`, bins them (grouping the tails
+/// so every expected count is ≥ ~5), and requires the fit not to be
+/// rejected at the 0.1% level.
+fn assert_binomial_gof<F: FnMut(&mut Xoshiro256pp) -> u64>(
+    n: u64,
+    p: f64,
+    seed: u64,
+    reps: u64,
+    mut draw: F,
+) {
+    let mut rng = Xoshiro256pp::seed_from_u64(seed);
+    // Bin the support: individual values where the pmf is large enough,
+    // pooled tails elsewhere.
+    let pmf: Vec<f64> = (0..=n.min(4096)).map(|t| binomial_pmf(n, t, p)).collect();
+    let threshold = 5.0 / reps as f64;
+    let lo = pmf.iter().position(|&q| q >= threshold).unwrap_or(0);
+    let hi = pmf
+        .iter()
+        .rposition(|&q| q >= threshold)
+        .unwrap_or(0)
+        .max(lo);
+    // Categories: [<= lo-1], lo, lo+1, …, hi, [>= hi+1].
+    let cells = hi - lo + 3;
+    let mut observed = vec![0u64; cells];
+    for _ in 0..reps {
+        let t = draw(&mut rng) as usize;
+        let cell = if t < lo {
+            0
+        } else if t > hi {
+            cells - 1
+        } else {
+            t - lo + 1
+        };
+        observed[cell] += 1;
+    }
+    let mut expected = vec![0.0f64; cells];
+    expected[0] = pmf[..lo].iter().sum();
+    for t in lo..=hi {
+        expected[t - lo + 1] = pmf[t];
+    }
+    expected[cells - 1] = (1.0 - pmf[..=hi].iter().sum::<f64>()).max(0.0);
+    let result = chi_square_test(&observed, &expected);
+    assert!(
+        result.is_consistent_at(0.001),
+        "n={n} p={p}: chi2 = {:.1} (dof {}), p = {:.2e}",
+        result.statistic,
+        result.parameter,
+        result.p_value
+    );
+}
+
+#[test]
+fn fast_binomial_sampler_passes_chi_square_gof() {
+    // Covers CDF inversion (small mean), BTPE (large mean) and the
+    // complement path, against the exact log-space pmf.
+    for &(n, p, seed) in &[
+        (12u64, 0.3f64, 1u64),
+        (40, 0.1, 2),
+        (300, 0.02, 3),  // inversion, mean 6
+        (200, 0.25, 4),  // BTPE, mean 50
+        (2000, 0.03, 5), // BTPE, mean 60
+        (50, 0.85, 6),   // complement + BTPE
+        (1000, 0.5, 7),  // symmetric BTPE
+    ] {
+        assert_binomial_gof(n, p, seed, 40_000, |rng| sample_binomial_fast(n, p, rng));
+    }
+}
+
+#[test]
+fn reference_and_fast_binomial_samplers_agree() {
+    // The independent geometric-skip sampler must pass the same gate on a
+    // shared case, tying the two implementations to one distribution.
+    let (n, p) = (120u64, 0.05f64);
+    assert_binomial_gof(n, p, 11, 40_000, |rng| sample_binomial_fast(n, p, rng));
+    assert_binomial_gof(n, p, 12, 40_000, |rng| sample_binomial(n, p, rng));
+}
+
+#[test]
+fn slot_kernel_classification_passes_chi_square_gof() {
+    // One uniform against the kernel's (incrementally maintained)
+    // thresholds must reproduce the exact slot trichotomy. Drive the kernel
+    // through a drift to the target (m, p) first so the tested thresholds
+    // come from the Taylor path, not a fresh anchor.
+    let m = 5_000u64;
+    let p = 1.0 / 7_000.0;
+    let mut kernel = SlotKernel::new(m, 1.0 / 6_500.0);
+    let mut kappa = 6_500.0;
+    while kappa < 7_000.0 {
+        kappa += 1.0;
+        kernel.update(m as f64, 1.0 / kappa);
+    }
+    let exact = SlotThresholds::exact(m, p);
+    assert!((kernel.thresholds().t0 - exact.t0).abs() < 1e-11);
+    let mut rng = Xoshiro256pp::seed_from_u64(21);
+    let reps = 120_000u64;
+    let mut observed = [0u64; 3];
+    for _ in 0..reps {
+        match kernel.classify(rng.gen::<f64>()) {
+            SlotOutcome::Silence => observed[0] += 1,
+            SlotOutcome::Delivery => observed[1] += 1,
+            SlotOutcome::Collision => observed[2] += 1,
+        }
+    }
+    let pr = slot_outcome_probabilities(m, p);
+    let result = chi_square_test(&observed, &[pr.silence, pr.delivery, pr.collision]);
+    assert!(
+        result.is_consistent_at(0.001),
+        "chi2 = {:.1}, p = {:.2e}",
+        result.statistic,
+        result.p_value
+    );
+}
+
+#[test]
+fn walk_window_singleton_distribution_passes_chi_square_against_per_ball() {
+    // The aggregate window walk and the per-ball reference must produce the
+    // same singleton-count distribution; compare both against the empirical
+    // law of the other via pooled chi-square categories.
+    let (m, w) = (48u64, 16u64);
+    let reps = 30_000u64;
+    let mut rng = Xoshiro256pp::seed_from_u64(31);
+    let mut scratch = WalkScratch::new();
+    let mut walk_counts = vec![0u64; (w + 2) as usize];
+    for _ in 0..reps {
+        let occ = walk_window(m, w, &mut rng, &mut scratch);
+        walk_counts[occ.singletons as usize] += 1;
+    }
+    let mut ball_counts = vec![0u64; (w + 2) as usize];
+    for _ in 0..reps {
+        let occ = throw_balls(m, w, &mut rng);
+        ball_counts[occ.singletons() as usize] += 1;
+    }
+    // Pool sparse cells (expected < 5) into their neighbours.
+    let total: u64 = ball_counts.iter().sum();
+    let mut observed = Vec::new();
+    let mut expected = Vec::new();
+    let mut pool_obs = 0u64;
+    let mut pool_exp = 0.0f64;
+    for (o, e) in walk_counts.iter().zip(&ball_counts) {
+        pool_obs += o;
+        pool_exp += *e as f64 / total as f64;
+        if pool_exp * reps as f64 >= 20.0 {
+            observed.push(pool_obs);
+            expected.push(pool_exp);
+            pool_obs = 0;
+            pool_exp = 0.0;
+        }
+    }
+    observed.push(pool_obs);
+    expected.push((1.0 - expected.iter().sum::<f64>()).max(0.0));
+    let result = chi_square_test(&observed, &expected);
+    // The "expected" side is itself an empirical sample of the same size,
+    // which doubles the variance of the statistic; 0.0001 still catches any
+    // real divergence while tolerating that.
+    assert!(
+        result.p_value > 1e-4 || result.statistic < 2.0 * result.parameter + 20.0,
+        "walk vs per-ball singleton law: chi2 = {:.1} (dof {}), p = {:.2e}",
+        result.statistic,
+        result.parameter,
+        result.p_value
+    );
+}
 
 proptest! {
     #[test]

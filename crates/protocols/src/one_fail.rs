@@ -60,7 +60,19 @@ pub struct OneFailAdaptive {
     received: u64,
     /// Next communication step, numbered from 1 as in the paper.
     step: u64,
+    /// Cached `log₂(σ + 1)`, maintained incrementally so that the BT-step
+    /// probability costs no transcendental per query (the aggregate
+    /// simulator queries it every other slot). Equal to the direct formula
+    /// up to a few ulps; re-anchored exactly every
+    /// [`LOG2_REBASE_PERIOD`] deliveries.
+    log2_sigma: f64,
+    /// Cached `1/(1 + log2_sigma)` — the BT-step probability, refreshed on
+    /// every delivery so the per-slot query is a field read, not a division.
+    bt_probability: f64,
 }
+
+/// Deliveries between exact re-anchorings of the cached `log₂(σ + 1)`.
+const LOG2_REBASE_PERIOD: u64 = 4096;
 
 impl OneFailAdaptive {
     /// Creates the protocol state with the given `δ`.
@@ -90,6 +102,8 @@ impl OneFailAdaptive {
             kappa_estimate: delta + 1.0,
             received: 0,
             step: 1,
+            log2_sigma: 0.0,
+            bt_probability: 1.0,
         })
     }
 
@@ -131,8 +145,8 @@ impl FairProtocol for OneFailAdaptive {
 
     fn transmission_probability(&self) -> f64 {
         if self.next_step_is_bt() {
-            // BT-step: 1/(1 + log2(σ + 1)).
-            1.0 / (1.0 + ((self.received + 1) as f64).log2())
+            // BT-step: 1/(1 + log2(σ + 1)), precomputed at the last delivery.
+            self.bt_probability
         } else {
             // AT-step: 1/κ̃ (κ̃ ≥ δ+1 > 1, so this is a valid probability).
             1.0 / self.kappa_estimate
@@ -148,6 +162,19 @@ impl FairProtocol for OneFailAdaptive {
         if delivered {
             // Task 2: a message of another station was received.
             self.received += 1;
+            if self.received < LOG2_REBASE_PERIOD
+                || self.received.is_multiple_of(LOG2_REBASE_PERIOD)
+            {
+                self.log2_sigma = ((self.received + 1) as f64).log2();
+            } else {
+                // log2(σ+2) = log2(σ+1) + log2(1 + 1/(σ+1)); for σ+1 ≥ 4096
+                // a cubic Taylor polynomial of ln(1+x) is exact to ~1e-17
+                // relative, so no transcendental is paid per delivery.
+                let x = 1.0 / self.received as f64;
+                let ln1p = x * (1.0 - x * (0.5 - x * (1.0 / 3.0)));
+                self.log2_sigma += ln1p * std::f64::consts::LOG2_E;
+            }
+            self.bt_probability = 1.0 / (1.0 + self.log2_sigma);
             let decrement = if is_bt { self.delta } else { self.delta + 1.0 };
             self.kappa_estimate = (self.kappa_estimate - decrement).max(self.floor());
         }
@@ -284,6 +311,27 @@ mod tests {
             assert!(ofa.kappa_estimate() >= PAPER_DELTA + 1.0 - 1e-12);
         }
         assert_eq!(ofa.received(), 100);
+    }
+
+    #[test]
+    fn cached_bt_log_tracks_the_direct_formula_at_scale() {
+        // The incrementally maintained log2(σ+1) must match a fresh
+        // evaluation to ulp-level accuracy across the rebase boundary and
+        // deep into the Taylor regime.
+        let mut ofa = OneFailAdaptive::with_default_delta();
+        for _ in 0..100_000u64 {
+            ofa.advance(true);
+        }
+        // Park on a BT step to read the BT probability.
+        if !ofa.next_step_is_bt() {
+            ofa.advance(false);
+        }
+        let direct = 1.0 / (1.0 + ((ofa.received() + 1) as f64).log2());
+        let cached = ofa.transmission_probability();
+        assert!(
+            (cached - direct).abs() / direct < 1e-12,
+            "cached {cached} vs direct {direct}"
+        );
     }
 
     #[test]

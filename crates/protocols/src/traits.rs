@@ -55,6 +55,47 @@ pub trait Protocol: Debug {
 
     /// True once the station's own message has been delivered.
     fn has_delivered(&self) -> bool;
+
+    /// The probability with which the *next* [`Protocol::decide`] call will
+    /// return `true`, when that decision is an independent Bernoulli draw
+    /// determined by public state — the capability that lets an aggregate
+    /// simulator resolve a slot of stations reporting the same value with a
+    /// **single binomial draw** (`T = 0` empty, `T = 1` delivery, `T ≥ 2`
+    /// collision) instead of one coin per station.
+    ///
+    /// Returns `None` when the next decision is *not* an independent
+    /// Bernoulli trial: window protocols commit to exactly one slot per
+    /// window (their per-slot marginals are not independent across slots),
+    /// and arbitrary protocols may randomise in ways this interface cannot
+    /// describe. The default is `None`.
+    ///
+    /// The aggregate fair simulator serves exactly the protocol kinds whose
+    /// station adapters report `Some` (the capability is pinned to the
+    /// fair/window family split by the
+    /// `slot_probability_capability_matches_the_families` test); protocols
+    /// reporting `None` run per-station. The dispatch is currently static,
+    /// by protocol kind — see `crates/sim/DESIGN.md` §5.
+    fn slot_probability(&self) -> Option<f64> {
+        None
+    }
+}
+
+impl Protocol for Box<dyn Protocol> {
+    fn name(&self) -> &'static str {
+        self.as_ref().name()
+    }
+    fn decide(&mut self, rng: &mut dyn RngCore) -> bool {
+        self.as_mut().decide(rng)
+    }
+    fn observe(&mut self, observation: Observation) {
+        self.as_mut().observe(observation)
+    }
+    fn has_delivered(&self) -> bool {
+        self.as_ref().has_delivered()
+    }
+    fn slot_probability(&self) -> Option<f64> {
+        self.as_ref().slot_probability()
+    }
 }
 
 /// A *fair* protocol: all active stations transmit with the same probability,
@@ -82,6 +123,21 @@ pub trait FairProtocol: Debug {
 
     /// Number of slots already elapsed since activation.
     fn steps_elapsed(&self) -> u64;
+}
+
+impl FairProtocol for Box<dyn FairProtocol> {
+    fn name(&self) -> &'static str {
+        self.as_ref().name()
+    }
+    fn transmission_probability(&self) -> f64 {
+        self.as_ref().transmission_probability()
+    }
+    fn advance(&mut self, delivered: bool) {
+        self.as_mut().advance(delivered)
+    }
+    fn steps_elapsed(&self) -> u64 {
+        self.as_ref().steps_elapsed()
+    }
 }
 
 /// A window-based protocol, described by its (deterministic, possibly
@@ -152,6 +208,17 @@ impl<P: FairProtocol> Protocol for FairNode<P> {
 
     fn has_delivered(&self) -> bool {
         self.delivered
+    }
+
+    fn slot_probability(&self) -> Option<f64> {
+        // A fair node's next decision is exactly Bernoulli(p) on public
+        // state: this is what makes a batch of identical fair nodes
+        // resolvable with one Binomial(m, p) draw.
+        Some(if self.delivered {
+            0.0
+        } else {
+            self.state.transmission_probability()
+        })
     }
 }
 
@@ -479,6 +546,44 @@ mod tests {
         node.observe(Observation::Noise);
         assert_eq!(node.state().steps_elapsed(), 3);
         assert!(!node.has_delivered());
+    }
+
+    #[test]
+    fn slot_probability_capability_matches_the_families() {
+        // Fair nodes expose their Bernoulli probability; window nodes (one
+        // transmission per window, not independent per slot) expose nothing.
+        let mut fair = FairNode::new(TwoThenSilent::default());
+        assert_eq!(fair.slot_probability(), Some(1.0));
+        fair.observe(Observation::DeliveredOwn);
+        assert_eq!(
+            fair.slot_probability(),
+            Some(0.0),
+            "a delivered station never transmits"
+        );
+        let window = WindowNode::new(ConstantThree);
+        assert_eq!(window.slot_probability(), None);
+        for kind in ProtocolKind::paper_lineup() {
+            let node = kind.build_node(64).unwrap();
+            match kind.family() {
+                ProtocolFamily::Fair => assert!(
+                    node.slot_probability().is_some(),
+                    "{} must report a homogeneous schedule",
+                    kind.label()
+                ),
+                ProtocolFamily::Window => assert!(node.slot_probability().is_none()),
+            }
+        }
+    }
+
+    #[test]
+    fn boxed_protocol_forwards_the_full_interface() {
+        let mut rng = Xoshiro256pp::seed_from_u64(4);
+        let mut node: Box<dyn Protocol> = Box::new(FairNode::new(TwoThenSilent::default()));
+        assert_eq!(Protocol::name(&node), "two-then-silent");
+        assert_eq!(Protocol::slot_probability(&node), Some(1.0));
+        assert!(Protocol::decide(&mut node, &mut rng));
+        Protocol::observe(&mut node, Observation::DeliveredOwn);
+        assert!(Protocol::has_delivered(&node));
     }
 
     #[test]

@@ -1,0 +1,180 @@
+//! The aggregate slot engine: O(1) — and usually transcendental-free —
+//! resolution of homogeneous slots for fair protocols.
+//!
+//! One slot of a fair protocol with `m` active stations at common
+//! probability `p` is resolved by a single binomial classification draw
+//! (`T = 0` empty, `T = 1` delivery, `T ≥ 2` collision; see
+//! [`mac_prob::binomial`]). This engine adds the two ingredients that make
+//! the *whole run* fast, not just each slot O(1):
+//!
+//! * a **two-line threshold cache** of [`SlotKernel`]s. Fair protocols
+//!   interleave at most two probability tracks per feedback event (e.g.
+//!   One-fail Adaptive's AT/BT parity), and each track either repeats its
+//!   probability exactly (BT between deliveries, Log-fails within a failure
+//!   window, the oracle always) — a bit-equality cache hit — or drifts by
+//!   `O(p/κ̃)` per slot, which the kernel follows with short Taylor updates.
+//!   `exp`/`ln` are paid a few times per *delivery* instead of per slot.
+//! * **dead-slot elision**: when `P(T ≤ 1)` underflows to `0.0` (a few
+//!   thousand stations at a BT-scale probability already do), no uniform
+//!   draw can change the outcome and the collision is recorded without
+//!   consuming randomness. In a `k = 10⁶` One-fail Adaptive run, *half* of
+//!   all slots (the BT parity) are dead for 98% of the run.
+//!
+//! The engine is generic over the concrete [`FairProtocol`] so the per-slot
+//! protocol calls inline into the loop (no virtual dispatch); `FairSimulator`
+//! instantiates it once per protocol kind.
+//!
+//! ## Contract
+//!
+//! Distribution-identical to the per-slot trichotomy sampler this replaces
+//! (and to the per-station reference): the thresholds are the same
+//! probabilities up to a documented `~1e-12` relative tolerance from the
+//! incremental maintenance, and skipping dead draws only removes
+//! comparisons that could not have succeeded. RNG *streams* differ — see
+//! `DESIGN.md` §5 for the distributional-equivalence vs bit-identity
+//! contract, and `tests/aggregate_equivalence.rs` for the paired
+//! statistical checks against the exact simulator.
+//!
+//! Adversaries hook in exactly as in the per-slot path: busy-slot jamming
+//! needs only the slot class ([`SlotClass::Single`] / contended), which the
+//! classification provides, and feedback faults consult only the adversary's
+//! own RNG stream.
+
+use crate::result::{RunOptions, RunResult, MAX_PREALLOC_ENTRIES};
+use mac_adversary::{SlotClass, ADVERSARY_STREAM};
+use mac_prob::binomial::SlotKernel;
+use mac_prob::rng::{derive_seed, Xoshiro256pp};
+use mac_protocols::FairProtocol;
+use rand::Rng;
+
+/// Runs one batched instance of a fair protocol through the aggregate
+/// engine. `state` is the shared common state of all active stations.
+pub(crate) fn run_fair_aggregate<P: FairProtocol>(
+    mut state: P,
+    label: String,
+    k: u64,
+    seed: u64,
+    options: &RunOptions,
+    rng: &mut Xoshiro256pp,
+) -> RunResult {
+    let max_slots = options.max_slots(k);
+    let mut remaining = k;
+    let mut m = k as f64;
+    let mut slot: u64 = 0;
+    let mut makespan = 0;
+    let mut collisions = 0;
+    let mut silent = 0;
+    let mut jammed_deliveries = 0;
+    // The adversary draws from its own derived stream, so the protocol RNG
+    // is consumed identically whether or not an adversary is configured.
+    let mut adversary = options
+        .adversary
+        .state(derive_seed(seed, &[ADVERSARY_STREAM]));
+    let adversarial = adversary.is_active();
+    let mut delivery_slots = options
+        .record_deliveries
+        .then(|| Vec::with_capacity(k.min(MAX_PREALLOC_ENTRIES) as usize));
+
+    // The two cached probability tracks. Both start on the protocol's first
+    // probability; the nearest-probability update rule below sorts the
+    // tracks out within the first two slots.
+    let p0 = if remaining > 0 {
+        state.transmission_probability()
+    } else {
+        0.0
+    };
+    let mut line_a = SlotKernel::new(k, p0);
+    let mut line_b = line_a;
+
+    while remaining > 0 && slot < max_slots {
+        let p = state.transmission_probability();
+        debug_assert!((0.0..=1.0).contains(&p), "invalid probability {p}");
+        // Track selection: exact hit on either line, else move the line
+        // whose probability is nearest in *relative* terms — the protocols'
+        // tracks live at very different scales (e.g. One-fail Adaptive's AT
+        // probability is ~1/κ̃ ≈ 1/m while BT is ~1/log σ), and an absolute
+        // metric would park one line and thrash the other across scales.
+        let line: &SlotKernel = if line_a.m() == m && line_a.p() == p {
+            &line_a
+        } else if line_b.m() == m && line_b.p() == p {
+            &line_b
+        } else if (p - line_a.p()).abs() * (p + line_b.p())
+            <= (p - line_b.p()).abs() * (p + line_a.p())
+        {
+            line_a.update(m, p);
+            &line_a
+        } else {
+            line_b.update(m, p);
+            &line_b
+        };
+
+        let mut delivered = false;
+        if line.is_dead() {
+            // Certain collision at f64 resolution: no draw can fall below
+            // the thresholds, so none is consumed.
+            collisions += 1;
+            if adversarial {
+                // Jamming an already-contended slot changes nothing but a
+                // reactive jammer's budget.
+                adversary.jams_slot(slot, SlotClass::Contended);
+            }
+        } else {
+            let thresholds = line.thresholds();
+            let u = rng.gen::<f64>();
+            let is_delivery = u >= thresholds.t0 && u < thresholds.t1;
+            if !adversarial {
+                // Branchless silence/collision split: only the (rarer)
+                // delivery takes a data-dependent branch.
+                silent += u64::from(u < thresholds.t0);
+                collisions += u64::from(u >= thresholds.t1);
+                if is_delivery {
+                    remaining -= 1;
+                    m -= 1.0;
+                    makespan = slot + 1;
+                    if let Some(slots) = delivery_slots.as_mut() {
+                        slots.push(slot);
+                    }
+                    delivered = true;
+                }
+            } else if is_delivery {
+                if adversary.jams_slot(slot, SlotClass::Single) {
+                    // The jam destroys the delivery: the transmitter stays
+                    // active and the slot reads as a collision.
+                    collisions += 1;
+                    jammed_deliveries += 1;
+                } else {
+                    remaining -= 1;
+                    m -= 1.0;
+                    makespan = slot + 1;
+                    if let Some(slots) = delivery_slots.as_mut() {
+                        slots.push(slot);
+                    }
+                    // Acknowledgements are reliable; only the broadcast
+                    // feedback to the remaining stations can be lost.
+                    delivered = !adversary.misses_delivery();
+                }
+            } else if u >= thresholds.t1 {
+                adversary.jams_slot(slot, SlotClass::Contended);
+                collisions += 1;
+            } else {
+                silent += 1;
+            }
+        }
+        state.advance(delivered);
+        slot += 1;
+    }
+
+    let completed = remaining == 0;
+    RunResult {
+        protocol: label,
+        k,
+        seed,
+        makespan: if completed { makespan } else { max_slots },
+        completed,
+        delivered: k - remaining,
+        collisions,
+        silent_slots: silent,
+        jammed_deliveries,
+        delivery_slots,
+    }
+}

@@ -19,7 +19,11 @@ use mac_adversary::ADVERSARY_STREAM;
 use mac_channel::trace::Trace;
 use mac_channel::{ArrivalSchedule, Channel, ChannelModel, NodeId};
 use mac_prob::rng::{derive_seed, Xoshiro256pp};
-use mac_protocols::{ParameterError, Protocol, ProtocolKind};
+use mac_protocols::{
+    ExpBackonBackoff, FairNode, KnownKOracle, LogFailsAdaptive, LogFailsConfig,
+    LoglogIteratedBackoff, OneFailAdaptive, ParameterError, Protocol, ProtocolKind,
+    RExponentialBackoff, WindowNode,
+};
 use rand::SeedableRng;
 use serde::{Deserialize, Serialize};
 
@@ -151,6 +155,11 @@ impl ExactSimulator {
     /// Runs an instance with an arbitrary arrival schedule and returns
     /// per-message detail.
     ///
+    /// The protocol kind is dispatched **once** to a monomorphic
+    /// instantiation of the station-driving loop, so the per-station
+    /// `decide`/`observe` calls inline instead of going through virtual
+    /// dispatch `O(active stations)` times per slot.
+    ///
     /// # Errors
     /// Returns a [`ParameterError`] if the protocol parameters are invalid.
     pub fn run_schedule(
@@ -159,8 +168,64 @@ impl ExactSimulator {
         seed: u64,
     ) -> Result<DetailedRun, ParameterError> {
         let k = schedule.len() as u64;
-        let kind = self.kind.clone();
-        self.run_schedule_with(&|| kind.build_node(k), &self.kind.label(), schedule, seed)
+        let label = self.kind.label();
+        match &self.kind {
+            ProtocolKind::OneFailAdaptive { delta } => {
+                let delta = *delta;
+                self.run_generic(
+                    move || Ok(FairNode::new(OneFailAdaptive::try_new(delta)?)),
+                    &label,
+                    schedule,
+                    seed,
+                )
+            }
+            ProtocolKind::LogFailsAdaptive {
+                xi_delta,
+                xi_beta,
+                xi_t,
+            } => {
+                let config = LogFailsConfig::for_instance(*xi_delta, *xi_beta, *xi_t, k);
+                self.run_generic(
+                    move || Ok(FairNode::new(LogFailsAdaptive::try_new(config)?)),
+                    &label,
+                    schedule,
+                    seed,
+                )
+            }
+            ProtocolKind::KnownKOracle => self.run_generic(
+                move || Ok(FairNode::new(KnownKOracle::new(k))),
+                &label,
+                schedule,
+                seed,
+            ),
+            ProtocolKind::ExpBackonBackoff { delta } => {
+                let delta = *delta;
+                self.run_generic(
+                    move || Ok(WindowNode::new(ExpBackonBackoff::try_new(delta)?)),
+                    &label,
+                    schedule,
+                    seed,
+                )
+            }
+            ProtocolKind::LoglogIteratedBackoff { r } => {
+                let r = *r;
+                self.run_generic(
+                    move || Ok(WindowNode::new(LoglogIteratedBackoff::try_new(r)?)),
+                    &label,
+                    schedule,
+                    seed,
+                )
+            }
+            ProtocolKind::RExponentialBackoff { r } => {
+                let r = *r;
+                self.run_generic(
+                    move || Ok(WindowNode::new(RExponentialBackoff::try_new(r)?)),
+                    &label,
+                    schedule,
+                    seed,
+                )
+            }
+        }
     }
 
     /// Runs an instance in which every station executes a protocol produced
@@ -177,6 +242,26 @@ impl ExactSimulator {
     pub fn run_schedule_with(
         &self,
         factory: &dyn Fn() -> Result<Box<dyn Protocol>, ParameterError>,
+        label: &str,
+        schedule: &ArrivalSchedule,
+        seed: u64,
+    ) -> Result<DetailedRun, ParameterError> {
+        // `Box<dyn Protocol>` implements `Protocol` by forwarding, so the
+        // generic driver covers the dynamic case too (with virtual dispatch,
+        // as before — custom factories are not on the benchmarked path).
+        self.run_generic(factory, label, schedule, seed)
+    }
+
+    /// The station-driving loop, generic over the concrete protocol type so
+    /// that `decide`/`observe` inline. Active stations are stored
+    /// contiguously (index + state); a delivered station is retired with an
+    /// O(1) `swap_remove`. The resulting iteration order differs from
+    /// arrival order after the first delivery, which is distributionally
+    /// irrelevant: the decisions consume i.i.d. uniforms, so permuting the
+    /// order in which stations draw permutes nothing observable.
+    fn run_generic<Pr: Protocol, F: Fn() -> Result<Pr, ParameterError>>(
+        &self,
+        factory: F,
         label: &str,
         schedule: &ArrivalSchedule,
         seed: u64,
@@ -201,9 +286,9 @@ impl ExactSimulator {
             .max_slots(k)
             .saturating_add(schedule.last_arrival().unwrap_or(0));
 
-        // Station i holds message i; it is created (activated) at its arrival
-        // slot. `protocols[i]` is Some while the station is active.
-        let mut protocols: Vec<Option<Box<dyn Protocol>>> = Vec::with_capacity(schedule.len());
+        // Station i holds message i; it is created (activated) at its
+        // arrival slot and lives in the contiguous active list until its
+        // message is delivered.
         let mut messages: Vec<MessageOutcome> = schedule
             .arrival_slots()
             .iter()
@@ -215,12 +300,9 @@ impl ExactSimulator {
                 transmissions: 0,
             })
             .collect();
-        for _ in 0..schedule.len() {
-            protocols.push(None);
-        }
 
         let mut next_arrival_index = 0usize;
-        let mut active: Vec<usize> = Vec::new();
+        let mut active: Vec<(u32, Pr)> = Vec::new();
         let mut remaining = k;
         let mut makespan = 0u64;
         let mut delivery_slots = self
@@ -228,11 +310,10 @@ impl ExactSimulator {
             .record_deliveries
             .then(|| Vec::with_capacity(schedule.len()));
 
-        // Per-slot decision buffers, allocated once and reused every slot:
-        // at k stations per slot, fresh Vecs here would dominate the run.
-        let mut transmitters: Vec<NodeId> = Vec::with_capacity(schedule.len());
-        let mut transmitted_flags: Vec<bool> = Vec::with_capacity(schedule.len());
-        let mut still_active: Vec<usize> = Vec::with_capacity(schedule.len());
+        // Per-slot decision flags, allocated once and written by index (no
+        // per-slot clearing): at k stations per slot, per-push bookkeeping
+        // here is measurable.
+        let mut transmitted_flags: Vec<bool> = Vec::new();
 
         while remaining > 0 && channel.current_slot() < max_slots {
             let slot = channel.current_slot();
@@ -240,35 +321,46 @@ impl ExactSimulator {
             while next_arrival_index < schedule.len()
                 && schedule.arrival_slots()[next_arrival_index] <= slot
             {
-                protocols[next_arrival_index] = Some(factory()?);
-                active.push(next_arrival_index);
+                active.push((next_arrival_index as u32, factory()?));
                 next_arrival_index += 1;
             }
-
-            // Collect decisions.
-            transmitters.clear();
-            transmitted_flags.clear();
-            for &idx in &active {
-                let protocol = protocols[idx]
-                    .as_mut()
-                    .expect("active stations have protocols");
-                let transmit = protocol.decide(&mut rng);
-                transmitted_flags.push(transmit);
-                if transmit {
-                    transmitters.push(NodeId(idx as u64));
-                    messages[idx].transmissions += 1;
-                }
+            if transmitted_flags.len() < active.len() {
+                transmitted_flags.resize(active.len(), false);
             }
 
-            let resolution = channel.resolve_slot(&transmitters);
+            // Collect decisions: count the transmitters and remember the
+            // identity of a sole transmitter (all the channel needs).
+            let mut transmitter_count = 0u64;
+            let mut sole_transmitter = None;
+            let mut sole_position = usize::MAX;
+            for (pos, (idx, protocol)) in active.iter_mut().enumerate() {
+                let transmit = protocol.decide(&mut rng);
+                transmitted_flags[pos] = transmit;
+                if transmit {
+                    transmitter_count += 1;
+                    sole_transmitter = Some(NodeId(u64::from(*idx)));
+                    sole_position = pos;
+                    messages[*idx as usize].transmissions += 1;
+                }
+            }
+            if transmitter_count != 1 {
+                sole_transmitter = None;
+                sole_position = usize::MAX;
+            }
 
-            // Distribute observations and retire delivered stations. The
+            let resolution = channel.resolve_slot_by_count(transmitter_count, sole_transmitter);
+
+            // Distribute observations and retire the delivered station. The
             // acknowledged transmitter sees the true outcome (ACKs are
             // reliable); everyone else sees the possibly fault-degraded
             // `perceived` outcome.
-            still_active.clear();
-            for (pos, &idx) in active.iter().enumerate() {
-                let delivered_own = resolution.delivered == Some(NodeId(idx as u64));
+            let delivered_position = if resolution.delivered.is_some() {
+                sole_position
+            } else {
+                usize::MAX
+            };
+            for (pos, (_, protocol)) in active.iter_mut().enumerate() {
+                let delivered_own = pos == delivered_position;
                 let outcome_seen = if delivered_own {
                     resolution.outcome
                 } else {
@@ -277,23 +369,18 @@ impl ExactSimulator {
                 let observation =
                     self.model
                         .observe(outcome_seen, transmitted_flags[pos], delivered_own);
-                let protocol = protocols[idx]
-                    .as_mut()
-                    .expect("active stations have protocols");
                 protocol.observe(observation);
-                if delivered_own {
-                    messages[idx].delivered_slot = Some(slot);
-                    remaining -= 1;
-                    makespan = slot + 1;
-                    if let Some(slots) = delivery_slots.as_mut() {
-                        slots.push(slot);
-                    }
-                    protocols[idx] = None;
-                } else {
-                    still_active.push(idx);
-                }
             }
-            std::mem::swap(&mut active, &mut still_active);
+            if delivered_position != usize::MAX {
+                let idx = active[delivered_position].0 as usize;
+                messages[idx].delivered_slot = Some(slot);
+                remaining -= 1;
+                makespan = slot + 1;
+                if let Some(slots) = delivery_slots.as_mut() {
+                    slots.push(slot);
+                }
+                active.swap_remove(delivered_position);
+            }
         }
 
         let completed = remaining == 0;

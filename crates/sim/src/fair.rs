@@ -9,23 +9,28 @@
 //! decision.
 //!
 //! Consequently the slot outcome depends only on the number `m` of active
-//! stations: the number of transmitters is `Binomial(m, p_t)`, and the slot
-//! is a delivery with probability `m·p_t·(1−p_t)^{m−1}` (in which case the
-//! delivered station is a uniformly random active one), silent with
-//! probability `(1−p_t)^m`, and a collision otherwise. The simulator samples
-//! that trichotomy directly — O(1) work per slot regardless of `m` — which is
-//! what makes the paper's `k = 10⁷` data points affordable.
+//! stations: the number of transmitters is `T ~ Binomial(m, p_t)`, and the
+//! slot is a delivery iff `T = 1` (the delivered station being a uniformly
+//! random active one), silent iff `T = 0`, and a collision otherwise. The
+//! simulator resolves each slot from a single binomial classification draw
+//! through the aggregate engine ([`crate::aggregate`]): O(1) work per slot
+//! regardless of `m`, with cached incrementally-maintained thresholds so
+//! that a typical slot costs a handful of arithmetic operations and certain
+//! collisions cost no randomness at all. This is what makes the paper's
+//! `k = 10⁷` data points affordable.
 //!
-//! The equivalence with the per-station simulator is exact (same stochastic
-//! process, marginalised over station identities); the integration tests
-//! check it statistically, and `mac-prob`'s unit tests check the outcome
-//! probabilities against the explicit binomial.
+//! The equivalence with the per-station simulator is exact in distribution
+//! (same stochastic process, marginalised over station identities — see
+//! `DESIGN.md` §2 and §5); the integration tests check it statistically, and
+//! `mac-prob`'s unit tests check the thresholds against the explicit
+//! binomial.
 
-use crate::result::{RunOptions, RunResult, MAX_PREALLOC_ENTRIES};
-use mac_adversary::{SlotClass, ADVERSARY_STREAM};
-use mac_prob::outcome::{sample_slot_outcome, SlotOutcome};
-use mac_prob::rng::{derive_seed, Xoshiro256pp};
-use mac_protocols::{FairProtocol, ParameterError, ProtocolKind};
+use crate::aggregate::run_fair_aggregate;
+use crate::result::{RunOptions, RunResult};
+use mac_prob::rng::Xoshiro256pp;
+use mac_protocols::{
+    KnownKOracle, LogFailsAdaptive, LogFailsConfig, OneFailAdaptive, ParameterError, ProtocolKind,
+};
 use rand::SeedableRng;
 
 /// Fast simulator for fair protocols (One-fail Adaptive, Log-fails Adaptive,
@@ -58,112 +63,55 @@ impl FairSimulator {
 
     /// Runs one batched instance with `k` messages.
     ///
+    /// The protocol kind is dispatched to a monomorphic instantiation of the
+    /// aggregate engine, so the per-slot protocol calls inline into the hot
+    /// loop.
+    ///
     /// # Errors
     /// Returns a [`ParameterError`] if the protocol parameters are invalid or
     /// the kind is not a fair protocol.
     pub fn run(&self, k: u64, seed: u64) -> Result<RunResult, ParameterError> {
         self.options.validate_adversary()?;
-        let state = self.kind.build_fair(k)?.ok_or_else(|| {
-            ParameterError::new(
+        let label = self.kind.label();
+        let mut rng = Xoshiro256pp::seed_from_u64(seed);
+        match &self.kind {
+            ProtocolKind::OneFailAdaptive { delta } => Ok(run_fair_aggregate(
+                OneFailAdaptive::try_new(*delta)?,
+                label,
+                k,
+                seed,
+                &self.options,
+                &mut rng,
+            )),
+            ProtocolKind::LogFailsAdaptive {
+                xi_delta,
+                xi_beta,
+                xi_t,
+            } => {
+                let config = LogFailsConfig::for_instance(*xi_delta, *xi_beta, *xi_t, k);
+                Ok(run_fair_aggregate(
+                    LogFailsAdaptive::try_new(config)?,
+                    label,
+                    k,
+                    seed,
+                    &self.options,
+                    &mut rng,
+                ))
+            }
+            ProtocolKind::KnownKOracle => Ok(run_fair_aggregate(
+                KnownKOracle::new(k),
+                label,
+                k,
+                seed,
+                &self.options,
+                &mut rng,
+            )),
+            _ => Err(ParameterError::new(
                 "protocol",
                 f64::NAN,
                 "FairSimulator requires a fair protocol (One-fail Adaptive, Log-fails Adaptive or the oracle)",
-            )
-        })?;
-        let mut rng = Xoshiro256pp::seed_from_u64(seed);
-        Ok(run_fair(
-            state,
-            self.kind.label(),
-            k,
-            seed,
-            &self.options,
-            &mut rng,
-        ))
-    }
-}
-
-/// Core loop, shared with the dynamic-arrival variant in [`crate::dynamic`].
-pub(crate) fn run_fair(
-    mut state: Box<dyn FairProtocol>,
-    label: String,
-    k: u64,
-    seed: u64,
-    options: &RunOptions,
-    rng: &mut Xoshiro256pp,
-) -> RunResult {
-    let max_slots = options.max_slots(k);
-    let mut remaining = k;
-    let mut slot: u64 = 0;
-    let mut makespan = 0;
-    let mut collisions = 0;
-    let mut silent = 0;
-    let mut jammed_deliveries = 0;
-    // The adversary draws from its own derived stream, so the protocol RNG
-    // is consumed identically whether or not an adversary is configured;
-    // with a clean scenario the loop below is the pre-adversary loop.
-    let mut adversary = options
-        .adversary
-        .state(derive_seed(seed, &[ADVERSARY_STREAM]));
-    let adversarial = adversary.is_active();
-    // Pre-size the only per-run buffer to its final length (one entry per
-    // delivered message) so the slot loop never reallocates.
-    let mut delivery_slots = options
-        .record_deliveries
-        .then(|| Vec::with_capacity(k.min(MAX_PREALLOC_ENTRIES) as usize));
-
-    while remaining > 0 && slot < max_slots {
-        let p = state.transmission_probability();
-        debug_assert!((0.0..=1.0).contains(&p), "invalid probability {p}");
-        let outcome = sample_slot_outcome(remaining, p, rng);
-        // `delivered` is the public feedback the shared state advances on:
-        // false when the slot was jammed (nobody received anything) or when
-        // the feedback fault hid the delivery from the listening stations.
-        let mut delivered = false;
-        match outcome {
-            SlotOutcome::Delivery => {
-                if adversarial && adversary.jams_slot(slot, SlotClass::Single) {
-                    // The jam destroys the delivery: the transmitter stays
-                    // active and the slot reads as a collision.
-                    collisions += 1;
-                    jammed_deliveries += 1;
-                } else {
-                    remaining -= 1;
-                    makespan = slot + 1;
-                    if let Some(slots) = delivery_slots.as_mut() {
-                        slots.push(slot);
-                    }
-                    // Acknowledgements are reliable (the delivered station
-                    // retires either way); only the broadcast feedback to
-                    // the remaining stations can be lost.
-                    delivered = !(adversarial && adversary.misses_delivery());
-                }
-            }
-            SlotOutcome::Collision => {
-                if adversarial {
-                    // Jamming an already-contended slot changes nothing but
-                    // a reactive jammer's budget.
-                    adversary.jams_slot(slot, SlotClass::Contended);
-                }
-                collisions += 1;
-            }
-            SlotOutcome::Silence => silent += 1,
+            )),
         }
-        state.advance(delivered);
-        slot += 1;
-    }
-
-    let completed = remaining == 0;
-    RunResult {
-        protocol: label,
-        k,
-        seed,
-        makespan: if completed { makespan } else { max_slots },
-        completed,
-        delivered: k - remaining,
-        collisions,
-        silent_slots: silent,
-        jammed_deliveries,
-        delivery_slots,
     }
 }
 

@@ -11,8 +11,8 @@
 //! | Simulator | Applies to | Cost | Used for |
 //! |-----------|-----------|------|----------|
 //! | [`exact::ExactSimulator`] | any [`mac_protocols::Protocol`], any arrival schedule | O(k) per slot | correctness reference, traces, dynamic arrivals |
-//! | [`fair::FairSimulator`] | fair protocols (One-fail/Log-fails Adaptive, oracle), batched arrivals | O(1) per slot | the paper's sweep up to k = 10⁷ |
-//! | [`window::WindowSimulator`] | window protocols (Exp Back-on/Back-off, Loglog-iterated, r-exponential), batched arrivals | O(m + w) per window | the paper's sweep up to k = 10⁷ |
+//! | [`fair::FairSimulator`] | fair protocols (One-fail/Log-fails Adaptive, oracle), batched arrivals | O(1) per slot (one binomial classification draw, cached thresholds) | the paper's sweep up to k = 10⁷ |
+//! | [`window::WindowSimulator`] | window protocols (Exp Back-on/Back-off, Loglog-iterated, r-exponential), batched arrivals | O(min(m, w)) per window, O(1) when collisions are certain | the paper's sweep up to k = 10⁷ |
 //!
 //! The fair and window simulators are *exact in distribution*: they sample
 //! the same random process as the per-station simulator, just without
@@ -55,6 +55,7 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+pub(crate) mod aggregate;
 pub mod dynamic;
 pub mod exact;
 pub mod fair;

@@ -8,28 +8,38 @@
 //! balls-in-bins experiment: the stations whose slot (bin) is chosen by
 //! nobody else are delivered (Lemma 1 of the paper analyses this process).
 //!
-//! The simulator therefore advances window by window: it throws `m` balls
-//! into `w` bins (`mac-prob::balls`), removes the singletons, and adds `w`
-//! slots to the clock — O(m + w) per window instead of O(m·w) station-slot
-//! decisions. Within the final window the makespan is the position of the
-//! last singleton actually needed, exactly as a per-station simulation would
-//! report it.
+//! The simulator therefore advances window by window, removing the
+//! singletons and adding `w` slots to the clock. Within the final window
+//! the makespan is the position of the last singleton actually needed,
+//! exactly as a per-station simulation would report it.
 //!
-//! The per-window experiment runs through the counts-only occupancy path
-//! ([`mac_prob::balls::occupancy_counts`]) with a per-run
-//! [`OccupancyScratch`], so steady-state windows perform **zero heap
-//! allocations**; the detailed path ([`mac_prob::balls::throw_balls_into`])
-//! — RNG-stream-identical and backed by the same reused buffers — is used
-//! only when per-delivery slots are recorded or an adversary is active
-//! (jamming needs the singleton positions: a jammed singleton is a forced
-//! zero-delivery slot whose station stays in the game). See
-//! `crates/sim/DESIGN.md` for the scratch-buffer contract, the
-//! exactness-in-distribution argument, and the adversary integration
-//! contract (§4).
+//! Per-window dispatch, by load:
+//!
+//! * **`m > 4w`** (the overloaded early back-on phases, which used to
+//!   dominate large runs at O(m) per window): the conditional-binomial
+//!   slot walk ([`mac_prob::balls::walk_window`]) — O(w) draws, and O(1)
+//!   with no randomness at all once every bin is certain to collide. The
+//!   walk hands back the ascending singleton positions, so jamming and
+//!   delivery recording ride the same path.
+//! * otherwise: the counts-only per-ball path
+//!   ([`mac_prob::balls::occupancy_counts`]) with a per-run
+//!   [`OccupancyScratch`], so steady-state windows perform **zero heap
+//!   allocations**; the detailed path
+//!   ([`mac_prob::balls::throw_balls_into`]) — RNG-stream-identical and
+//!   backed by the same reused buffers — is used when per-delivery slots
+//!   are recorded or an adversary is active (jamming needs the singleton
+//!   positions: a jammed singleton is a forced zero-delivery slot whose
+//!   station stays in the game).
+//!
+//! See `crates/sim/DESIGN.md` for the scratch-buffer contract, the
+//! exactness-in-distribution argument (§2, §5 for what the walk changes),
+//! and the adversary integration contract (§4).
 
 use crate::result::{RunOptions, RunResult, MAX_PREALLOC_ENTRIES};
 use mac_adversary::{SlotClass, ADVERSARY_STREAM};
-use mac_prob::balls::{occupancy_counts, throw_balls_into, OccupancyScratch};
+use mac_prob::balls::{
+    occupancy_counts, throw_balls_into, walk_window, OccupancyScratch, WalkScratch,
+};
 use mac_prob::rng::{derive_seed, Xoshiro256pp};
 use mac_protocols::{ParameterError, ProtocolKind, WindowSchedule};
 use rand::SeedableRng;
@@ -126,25 +136,64 @@ pub(crate) fn run_window(
     } else {
         OccupancyScratch::new()
     };
+    let mut walk_scratch = WalkScratch::new();
     let mut delivery_slots = options
         .record_deliveries
         .then(|| Vec::with_capacity(k.min(MAX_PREALLOC_ENTRIES) as usize));
 
     while remaining > 0 && elapsed < max_slots {
         let w = schedule.next_window();
-        // The counts-only path allocates nothing in steady state; the
-        // detailed path (also scratch-backed, RNG-stream-identical) runs
-        // only when per-delivery slots are recorded or an adversary is
-        // active (jamming needs the singleton *positions*: a jammed
-        // singleton is a forced zero-delivery slot).
-        let (delivered_in_window, last_delivered, occupancy) =
-            if adversarial || delivery_slots.is_some() {
+        // Heavily overloaded windows (`m > 4w`, the early back-on phases)
+        // are resolved by the aggregate slot walk — O(w) conditional
+        // binomial draws, with the certain-collision shortcut making the
+        // hopeless windows O(1) — instead of O(m) per-ball work; below that
+        // load the per-ball paths win (their per-slot constant is smaller).
+        // The dispatch depends only on (m, w), never on the adversary, so a
+        // configured-but-inert adversary stays bit-identical to a clean run.
+        let (delivered_in_window, last_delivered, empty_bins, colliding_bins, max_occupied) =
+            if remaining > 4 * w {
+                let occupancy = walk_window(remaining, w, rng, &mut walk_scratch);
+                let (delivered, last) = if adversarial || delivery_slots.is_some() {
+                    let mut delivered: u64 = 0;
+                    let mut last: Option<u64> = None;
+                    let mut jammed_singletons: u64 = 0;
+                    // Singleton bins are ascending, satisfying the
+                    // adversary's slot-order contract.
+                    for &bin in walk_scratch.singleton_bins() {
+                        if adversarial && adversary.jams_slot(elapsed + bin, SlotClass::Single) {
+                            jammed_singletons += 1;
+                        } else {
+                            delivered += 1;
+                            last = Some(bin);
+                            if let Some(slots) = delivery_slots.as_mut() {
+                                slots.push(elapsed + bin);
+                            }
+                        }
+                    }
+                    if adversarial {
+                        adversary.jam_contended_bulk(occupancy.colliding_bins);
+                    }
+                    collisions += jammed_singletons;
+                    jammed_deliveries += jammed_singletons;
+                    (delivered, last)
+                } else {
+                    (occupancy.singletons, occupancy.max_occupied_bin)
+                };
+                (
+                    delivered,
+                    last,
+                    occupancy.empty_bins,
+                    occupancy.colliding_bins,
+                    occupancy.max_occupied_bin,
+                )
+            } else if adversarial || delivery_slots.is_some() {
+                // Detailed per-ball path: needed when per-delivery slots are
+                // recorded or jamming needs the singleton positions;
+                // RNG-stream-identical to the counts-only path below.
                 let occupancy = throw_balls_into(remaining, w, rng, &mut scratch);
                 let mut delivered: u64 = 0;
                 let mut last: Option<u64> = None;
                 let mut jammed_singletons: u64 = 0;
-                // Singleton bins are ascending, satisfying the adversary's
-                // slot-order contract.
                 for &bin in scratch.singleton_bins() {
                     if adversarial && adversary.jams_slot(elapsed + bin, SlotClass::Single) {
                         jammed_singletons += 1;
@@ -163,12 +212,24 @@ pub(crate) fn run_window(
                 }
                 collisions += jammed_singletons;
                 jammed_deliveries += jammed_singletons;
-                (delivered, last, occupancy)
+                (
+                    delivered,
+                    last,
+                    occupancy.empty_bins,
+                    occupancy.colliding_bins,
+                    occupancy.max_occupied_bin,
+                )
             } else {
                 let occupancy = occupancy_counts(remaining, w, rng, &mut scratch);
-                (occupancy.singletons, occupancy.max_occupied_bin, occupancy)
+                (
+                    occupancy.singletons,
+                    occupancy.max_occupied_bin,
+                    occupancy.empty_bins,
+                    occupancy.colliding_bins,
+                    occupancy.max_occupied_bin,
+                )
             };
-        collisions += occupancy.colliding_bins;
+        collisions += colliding_bins;
         // Empty bins of a *fully used* window count as silent slots; for the
         // final window only the prefix up to the last needed delivery counts.
         remaining -= delivered_in_window;
@@ -179,13 +240,13 @@ pub(crate) fn run_window(
             // bin; slots after it are not part of the makespan.
             let last =
                 last_delivered.expect("remaining hit zero, so this window delivered something");
-            debug_assert_eq!(occupancy.colliding_bins, 0);
-            debug_assert_eq!(occupancy.max_occupied_bin, Some(last));
+            debug_assert_eq!(colliding_bins, 0);
+            debug_assert_eq!(max_occupied, Some(last));
             makespan = elapsed + last + 1;
             silent += (last + 1) - delivered_in_window;
             elapsed = makespan;
         } else {
-            silent += occupancy.empty_bins;
+            silent += empty_bins;
             elapsed += w;
             makespan = elapsed.min(max_slots);
         }

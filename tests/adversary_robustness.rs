@@ -9,6 +9,7 @@
 
 use contention_resolution::adversary::{AdversaryState, SlotClass};
 use contention_resolution::prelude::*;
+use contention_resolution::prob::stats::two_sample_ks_test;
 
 const SEEDS: [u64; 6] = [11, 22, 33, 44, 55, 66];
 const K: u64 = 600;
@@ -167,6 +168,38 @@ fn feedback_faults_degrade_gracefully_for_the_papers_protocols() {
         .unwrap();
         assert!(result.completed);
     }
+}
+
+#[test]
+fn ks_test_separates_jammed_from_clean_makespan_distributions() {
+    // The two-sample KS helper (mac_prob::stats) must both *detect* a real
+    // distributional shift — strong stochastic jamming stretches every
+    // makespan — and report identity for identical runs. This is the same
+    // instrument the aggregate-equivalence suite uses, exercised here on
+    // the adversarial axis.
+    let kind = ProtocolKind::OneFailAdaptive { delta: 2.72 };
+    let makespans = |scenario: AdversaryScenario| -> Vec<f64> {
+        let options = RunOptions::adversarial(scenario);
+        (0..40u64)
+            .map(|seed| {
+                simulate_with_options(&kind, K, seed, &options)
+                    .unwrap()
+                    .makespan as f64
+            })
+            .collect()
+    };
+    let clean = makespans(AdversaryScenario::clean());
+    let jammed = makespans(AdversaryScenario::jamming(
+        AdversaryModel::StochasticNoise { p: 0.4 },
+    ));
+    let shifted = two_sample_ks_test(&clean, &jammed);
+    assert!(
+        shifted.p_value < 1e-3,
+        "jamming 40% of busy slots must shift the makespan law (p = {:.2e})",
+        shifted.p_value
+    );
+    let identical = two_sample_ks_test(&clean, &clean);
+    assert_eq!(identical.statistic, 0.0);
 }
 
 #[test]

@@ -1,0 +1,200 @@
+//! Aggregate-vs-per-station equivalence: the fast simulators resolve each
+//! homogeneous slot from a single binomial classification draw (and batch
+//! whole windows); the exact simulator materialises every station. The two
+//! must sample the same distribution — this suite checks it with paired
+//! seed sets across every homogeneous protocol, on clean and jammed
+//! channels, using the mean/percentile tolerances and the two-sample
+//! Kolmogorov–Smirnov test from `mac_prob::stats`.
+//!
+//! The fast paths are *distribution*-identical, not stream-identical: see
+//! `crates/sim/DESIGN.md` §5 for the contract this suite enforces.
+
+use contention_resolution::prelude::*;
+use contention_resolution::prob::stats::{percentile, two_sample_ks_test, StreamingStats};
+
+const K: u64 = 32;
+const REPS: u64 = 60;
+
+/// The homogeneous (fair-family) protocol kinds, which the aggregate fair
+/// engine serves.
+fn fair_kinds() -> Vec<ProtocolKind> {
+    vec![
+        ProtocolKind::OneFailAdaptive { delta: 2.72 },
+        ProtocolKind::LogFailsAdaptive {
+            xi_delta: 0.1,
+            xi_beta: 0.1,
+            xi_t: 0.5,
+        },
+        ProtocolKind::LogFailsAdaptive {
+            xi_delta: 0.1,
+            xi_beta: 0.1,
+            xi_t: 0.1,
+        },
+        ProtocolKind::KnownKOracle,
+    ]
+}
+
+/// The window-family kinds, which the aggregate window walk serves.
+fn window_kinds() -> Vec<ProtocolKind> {
+    vec![
+        ProtocolKind::ExpBackonBackoff { delta: 0.366 },
+        ProtocolKind::LoglogIteratedBackoff { r: 2.0 },
+    ]
+}
+
+/// Channel scenarios the equivalence must hold under: the ideal channel and
+/// two jamming adversaries (the aggregate paths feed the adversary only the
+/// slot class, which is exactly what busy-slot jamming needs).
+fn scenarios() -> Vec<(&'static str, AdversaryScenario)> {
+    vec![
+        ("clean", AdversaryScenario::clean()),
+        (
+            "periodic-jam",
+            AdversaryScenario::jamming(AdversaryModel::PeriodicJam {
+                period: 5,
+                burst: 1,
+                phase: 0,
+            }),
+        ),
+        (
+            "stochastic-noise",
+            AdversaryScenario::jamming(AdversaryModel::StochasticNoise { p: 0.1 }),
+        ),
+    ]
+}
+
+fn exact_makespans(kind: &ProtocolKind, options: &RunOptions, seed_base: u64) -> Vec<f64> {
+    (0..REPS)
+        .map(|seed| {
+            let run = ExactSimulator::new(kind.clone(), options.clone())
+                .run(K, seed_base + seed)
+                .unwrap();
+            assert!(run.completed, "{} did not complete", kind.label());
+            run.makespan as f64
+        })
+        .collect()
+}
+
+fn fast_makespans(kind: &ProtocolKind, options: &RunOptions, seed_base: u64) -> Vec<f64> {
+    (0..REPS)
+        .map(|seed| {
+            let run = simulate_with_options(kind, K, seed_base + seed, options).unwrap();
+            assert!(run.completed, "{} did not complete", kind.label());
+            run.makespan as f64
+        })
+        .collect()
+}
+
+fn assert_distributions_agree(exact: &[f64], fast: &[f64], label: &str) {
+    let exact_stats: StreamingStats = exact.iter().copied().collect();
+    let fast_stats: StreamingStats = fast.iter().copied().collect();
+    // Mean agreement at ~4 sigma with an absolute floor for tiny makespans.
+    let tolerance = (4.0 * (exact_stats.std_error() + fast_stats.std_error())).max(10.0);
+    assert!(
+        (exact_stats.mean() - fast_stats.mean()).abs() < tolerance,
+        "{label}: exact mean {:.1} vs aggregate mean {:.1} (tolerance {:.1})",
+        exact_stats.mean(),
+        fast_stats.mean(),
+        tolerance
+    );
+    // Median within the same scale (nearest-rank percentiles are coarse at
+    // 60 samples, so the tolerance is the mean's).
+    let p50_exact = percentile(exact, 50.0).unwrap();
+    let p50_fast = percentile(fast, 50.0).unwrap();
+    assert!(
+        (p50_exact - p50_fast).abs() < tolerance.max(0.25 * p50_exact),
+        "{label}: exact p50 {p50_exact} vs aggregate p50 {p50_fast}"
+    );
+    // Full-shape check: two-sample KS at a conservative level (the suite
+    // runs dozens of comparisons; 1e-3 keeps the false-positive rate low
+    // while still catching any real distributional drift).
+    let ks = two_sample_ks_test(exact, fast);
+    assert!(
+        ks.is_consistent_at(1e-3),
+        "{label}: KS statistic {:.3}, p = {:.2e}",
+        ks.statistic,
+        ks.p_value
+    );
+}
+
+#[test]
+fn fair_aggregate_matches_exact_across_protocols_and_channels() {
+    for kind in fair_kinds() {
+        for (scenario_name, scenario) in scenarios() {
+            let options = RunOptions::adversarial(scenario);
+            let exact = exact_makespans(&kind, &options, 0);
+            let fast = fast_makespans(&kind, &options, 50_000);
+            assert_distributions_agree(
+                &exact,
+                &fast,
+                &format!("{} / {scenario_name}", kind.label()),
+            );
+        }
+    }
+}
+
+#[test]
+fn window_aggregate_matches_exact_across_protocols_and_channels() {
+    for kind in window_kinds() {
+        for (scenario_name, scenario) in scenarios() {
+            let options = RunOptions::adversarial(scenario);
+            let exact = exact_makespans(&kind, &options, 0);
+            let fast = fast_makespans(&kind, &options, 50_000);
+            assert_distributions_agree(
+                &exact,
+                &fast,
+                &format!("{} / {scenario_name}", kind.label()),
+            );
+        }
+    }
+}
+
+#[test]
+fn aggregate_slot_class_totals_match_exact() {
+    // Beyond the makespan, the slot-class composition (delivered /
+    // collision / silent) of whole runs must agree: compare the aggregate
+    // engine's totals with the per-station reference across paired seed
+    // sets, as proportions of all simulated slots.
+    let kind = ProtocolKind::OneFailAdaptive { delta: 2.72 };
+    let options = RunOptions::default();
+    let mut totals = [[0u64; 3]; 2];
+    for seed in 0..REPS {
+        let exact = ExactSimulator::new(kind.clone(), options.clone())
+            .run(K, seed)
+            .unwrap();
+        let fast = simulate_with_options(&kind, K, 50_000 + seed, &options).unwrap();
+        for (row, run) in [(0, exact), (1, fast)] {
+            totals[row][0] += run.delivered;
+            totals[row][1] += run.collisions;
+            totals[row][2] += run.silent_slots;
+        }
+    }
+    for (class, pair) in totals[0].iter().zip(&totals[1]).enumerate() {
+        let a = *pair.0 as f64;
+        let b = *pair.1 as f64;
+        let scale = (a + b).max(1.0);
+        // Slot-class totals over 60 runs concentrate well within ±10%.
+        assert!(
+            (a - b).abs() / scale < 0.10,
+            "class {class}: exact {a} vs aggregate {b}"
+        );
+    }
+}
+
+#[test]
+fn aggregate_engine_is_deterministic_and_complete_at_scale() {
+    // A larger smoke run through every aggregate path (dead-slot elision,
+    // kernel drift, window walk shortcut): deterministic per seed, all
+    // messages delivered, slot accounting balanced.
+    for kind in [
+        ProtocolKind::OneFailAdaptive { delta: 2.72 },
+        ProtocolKind::ExpBackonBackoff { delta: 0.366 },
+    ] {
+        let a = simulate(&kind, 50_000, 7).unwrap();
+        let b = simulate(&kind, 50_000, 7).unwrap();
+        assert_eq!(a, b);
+        assert!(a.completed);
+        assert_eq!(a.delivered, 50_000);
+        assert_eq!(a.makespan, a.delivered + a.collisions + a.silent_slots);
+    }
+}
