@@ -17,7 +17,7 @@
 //! #   --check-tolerance X     a factor of X (default 3) below the baseline
 //! ```
 //!
-//! Three engines are measured:
+//! Engines measured on **batched** (static k-selection) instances:
 //!
 //! * **fair** — [`mac_sim::FairSimulator`] running One-fail Adaptive, at
 //!   `k = 10⁴ … 10^max_exp`;
@@ -27,13 +27,30 @@
 //!   One-fail Adaptive at `k = 10³, 10⁴`: it is O(active stations) per slot,
 //!   so paper-scale sizes are not meaningful for it.
 //!
+//! **Dynamic-arrival** rows (the §6-style experiments) pair the cohort
+//! aggregate engine with the exact per-station path on the *same* sampled
+//! schedule, at `k = 10⁴ … 10^max_exp`:
+//!
+//! * **cohort-poisson / exact-poisson** — the known-k oracle under heavy
+//!   Poisson traffic (rate 20 msgs/slot over a `k/20`-slot horizon; the
+//!   oracle is the fair protocol that keeps delivering under heavily
+//!   overlapping arrivals — One-fail Adaptive's BT track deadlocks there,
+//!   see `crates/sim/DESIGN.md` §6);
+//! * **cohort-bursts / exact-bursts** — One-fail Adaptive over ten
+//!   adversarial bursts of `k/10` messages spaced `0.8·k` slots apart
+//!   (even offsets, mostly-draining spacing).
+//!
 //! The throughput figure is `makespan / wall_time` of a complete run — slots
 //! simulated per second, best over the repetitions (the least-noise
-//! estimator for a quantity bounded above by the hardware).
+//! estimator for a quantity bounded above by the hardware). The cohort
+//! engine's speed-up over the exact path is the ratio of the paired rows.
 
 use mac_bench::HarnessOptions;
+use mac_channel::ArrivalModel;
+use mac_prob::rng::Xoshiro256pp;
 use mac_protocols::ProtocolKind;
-use mac_sim::{ExactSimulator, FairSimulator, RunOptions, WindowSimulator};
+use mac_sim::{CohortSimulator, ExactSimulator, FairSimulator, RunOptions, WindowSimulator};
+use rand::SeedableRng;
 use std::fmt::Write as _;
 use std::time::Instant;
 
@@ -203,6 +220,71 @@ fn main() {
         points.push(Point {
             simulator: "exact",
             protocol: fair_kind.label(),
+            k,
+            slots,
+            best_seconds: secs,
+            slots_per_sec: slots as f64 / secs,
+        });
+    }
+
+    // Dynamic-arrival rows: cohort aggregate engine vs the exact path on
+    // the same sampled schedule (paired rows; their slots/sec ratio is the
+    // cohort engine's speed-up on the workload).
+    let dynamic_workloads: Vec<(&'static str, &'static str, ProtocolKind, ArrivalModel)> = fast_ks
+        .iter()
+        .flat_map(|&k| {
+            let burst = k / 10;
+            vec![
+                (
+                    "cohort-poisson",
+                    "exact-poisson",
+                    ProtocolKind::KnownKOracle,
+                    ArrivalModel::Poisson {
+                        rate: 20.0,
+                        horizon: k / 20,
+                    },
+                ),
+                (
+                    "cohort-bursts",
+                    "exact-bursts",
+                    ProtocolKind::OneFailAdaptive { delta: 2.72 },
+                    ArrivalModel::Bursts {
+                        bursts: (0..10).map(|i| (i * 8 * burst, burst)).collect(),
+                    },
+                ),
+            ]
+        })
+        .collect();
+    for (cohort_name, exact_name, kind, model) in dynamic_workloads {
+        let k = (model.expected_messages() + 0.5) as u64;
+        let schedule = model.sample(&mut Xoshiro256pp::seed_from_u64(options.seed));
+        let sim = CohortSimulator::new(kind.clone(), RunOptions::default());
+        let (slots, secs) = measure(reps, |rep| {
+            let run = sim
+                .run_schedule(&schedule, options.seed.wrapping_add(rep))
+                .expect("valid");
+            assert!(run.result.completed);
+            run.result.makespan
+        });
+        points.push(Point {
+            simulator: cohort_name,
+            protocol: kind.label(),
+            k,
+            slots,
+            best_seconds: secs,
+            slots_per_sec: slots as f64 / secs,
+        });
+        let sim = ExactSimulator::new(kind.clone(), RunOptions::default());
+        let (slots, secs) = measure(reps, |rep| {
+            let run = sim
+                .run_schedule(&schedule, options.seed.wrapping_add(rep))
+                .expect("valid");
+            assert!(run.result.completed);
+            run.result.makespan
+        });
+        points.push(Point {
+            simulator: exact_name,
+            protocol: kind.label(),
             k,
             slots,
             best_seconds: secs,

@@ -357,6 +357,74 @@ impl SlotKernel {
     }
 }
 
+/// A two-line cache of [`SlotKernel`]s for protocols that interleave **two
+/// probability tracks** per feedback event (e.g. One-fail Adaptive's AT/BT
+/// parity, Log-fails Adaptive's AT steps against its fixed BT probability).
+///
+/// Each track either repeats its probability exactly — a bit-equality cache
+/// hit on one of the two lines — or drifts slowly, which the owning line
+/// follows with [`SlotKernel::update`]'s short Taylor path. On a miss the
+/// line whose probability is nearest in *relative* terms moves: the tracks
+/// live at very different scales (an AT probability is `~1/κ̃ ≈ 1/m` while a
+/// BT probability is `~1/log σ`), and an absolute metric would park one line
+/// and thrash the other across the scales.
+///
+/// This is the cache the aggregate fair engine ran inline since PR 3; it is
+/// a named type here so the cohort engine can keep one per cohort.
+#[derive(Debug, Clone, Copy)]
+pub struct SlotKernelCache {
+    line_a: SlotKernel,
+    line_b: SlotKernel,
+}
+
+impl SlotKernelCache {
+    /// Creates a cache with both lines anchored at `(m, p)` — the
+    /// nearest-probability rule below sorts the tracks out within the first
+    /// two selections.
+    pub fn new(m: u64, p: f64) -> Self {
+        let line = SlotKernel::new(m, p);
+        Self {
+            line_a: line,
+            line_b: line,
+        }
+    }
+
+    /// Returns the kernel describing `(m, p)`, updating at most one line.
+    ///
+    /// Exact hit on either line is free; otherwise the line with the nearest
+    /// probability in relative terms (`|p - p_line| / (p + p_line)`, compared
+    /// cross-multiplied so no division is paid) absorbs the move.
+    #[inline]
+    pub fn select(&mut self, m: f64, p: f64) -> &SlotKernel {
+        if self.line_a.m() == m && self.line_a.p() == p {
+            &self.line_a
+        } else if self.line_b.m() == m && self.line_b.p() == p {
+            &self.line_b
+        } else if (p - self.line_a.p()).abs() * (p + self.line_b.p())
+            <= (p - self.line_b.p()).abs() * (p + self.line_a.p())
+        {
+            self.line_a.update(m, p);
+            &self.line_a
+        } else {
+            self.line_b.update(m, p);
+            &self.line_b
+        }
+    }
+
+    /// The probabilities currently held by the two cache lines, in ascending
+    /// order. These are the protocol's two probability *tracks* as actually
+    /// observed — the cohort engine compares them across cohorts to decide
+    /// whether two cohorts have converged onto the same schedule.
+    pub fn track_probabilities(&self) -> (f64, f64) {
+        let (a, b) = (self.line_a.p(), self.line_b.p());
+        if a <= b {
+            (a, b)
+        } else {
+            (b, a)
+        }
+    }
+}
+
 /// Samples `T ~ Binomial(n, p)` exactly, in expected O(1) time for any
 /// `(n, p)`.
 ///
@@ -655,6 +723,50 @@ mod tests {
         assert!((counts[0] as f64 / n as f64 - pr.silence).abs() < tol);
         assert!((counts[1] as f64 / n as f64 - pr.delivery).abs() < tol);
         assert!((counts[2] as f64 / n as f64 - pr.collision).abs() < tol);
+    }
+
+    #[test]
+    fn kernel_cache_tracks_two_alternating_scales_accurately() {
+        // An OFA-shaped schedule: an AT track near 1/m drifting slowly, and a
+        // BT track near 1/log2(σ) jumping on deliveries. The two-line cache
+        // must keep both tracks within the single-kernel tolerance.
+        let mut cache = SlotKernelCache::new(10_000, 1.0 / 12_000.0);
+        let mut m = 10_000u64;
+        let mut kappa = 12_000.0;
+        let mut sigma = 0u64;
+        for step in 0..100_000u64 {
+            let (mm, p) = if step % 2 == 0 {
+                kappa += 1.0;
+                (m, 1.0 / kappa)
+            } else {
+                (m, 1.0 / (1.0 + ((sigma + 1) as f64).log2()))
+            };
+            if step % 11 == 7 && m > 1 {
+                m -= 1;
+                sigma += 1;
+                kappa = (kappa - 3.72).max(3.72);
+            }
+            let line = cache.select(mm as f64, p);
+            let exact = SlotThresholds::exact(mm, p);
+            assert_eq!(line.is_dead(), exact.is_dead(), "step {step}");
+            if !exact.is_dead() {
+                assert_rel_close(line.thresholds().t0, exact.t0, 1e-10, "t0");
+                assert_rel_close(line.thresholds().t1, exact.t1, 1e-10, "t1");
+            }
+        }
+    }
+
+    #[test]
+    fn kernel_cache_reports_its_track_probabilities_sorted() {
+        let mut cache = SlotKernelCache::new(100, 0.25);
+        assert_eq!(cache.track_probabilities(), (0.25, 0.25));
+        let _ = cache.select(100.0, 0.001);
+        let tracks = cache.track_probabilities();
+        assert_eq!(tracks, (0.001, 0.25));
+        // Exact re-selection of either track touches nothing.
+        let _ = cache.select(100.0, 0.25);
+        let _ = cache.select(100.0, 0.001);
+        assert_eq!(cache.track_probabilities(), tracks);
     }
 
     #[test]

@@ -15,6 +15,9 @@
 //! * [`binomial`] — the expected-O(1) exact binomial sampler (CDF inversion
 //!   for small means, BTPE for large) and the incremental slot-threshold
 //!   kernel behind the aggregate simulators' per-slot fast path;
+//! * [`cohort`] — sum-of-binomials slot classification over station cohorts
+//!   (the heterogeneous-phase generalisation of the aggregate slot kernel
+//!   that the dynamic-arrival cohort engine runs on);
 //! * [`balls`] — balls-in-bins occupancy experiments (the random process behind
 //!   contention-window protocols) and their summary statistics;
 //! * [`stats`] — streaming (Welford) and batch summary statistics, percentiles
@@ -51,6 +54,7 @@
 
 pub mod balls;
 pub mod binomial;
+pub mod cohort;
 pub mod histogram;
 pub mod outcome;
 pub mod rng;
@@ -62,7 +66,10 @@ pub use balls::{
     occupancy_counts, throw_balls, throw_balls_into, walk_window, BinsOccupancy, OccupancyCounts,
     OccupancyScratch, SlotOccupancy, WalkScratch,
 };
-pub use binomial::{sample_binomial_fast, sample_slot_class, SlotKernel, SlotThresholds};
+pub use binomial::{
+    sample_binomial_fast, sample_slot_class, SlotKernel, SlotKernelCache, SlotThresholds,
+};
+pub use cohort::CohortKernel;
 pub use outcome::{
     sample_slot_outcome, slot_outcome_probabilities, SlotOutcome, SlotOutcomeProbabilities,
 };

@@ -9,7 +9,8 @@
 //!   per-thread partial results can be combined;
 //! * [`Summary`] — an immutable snapshot (plus the 95% normal-approximation
 //!   confidence interval) that is what gets serialised into result records;
-//! * [`percentile`] — nearest-rank percentile of a slice;
+//! * [`percentile`] — linearly interpolated percentile of a slice (with
+//!   sorted-slice and integer variants for callers that sort once);
 //! * [`ConfidenceInterval`] — a `[lo, hi]` pair with its nominal level;
 //! * [`chi_square_test`] / [`two_sample_ks_test`] — goodness-of-fit and
 //!   two-sample equivalence tests, used by the binomial-sampler property
@@ -220,7 +221,7 @@ pub struct Summary {
     pub ci95: ConfidenceInterval,
 }
 
-/// Nearest-rank percentile (`q` in `[0, 100]`) of a slice.
+/// Linearly interpolated percentile (`q` in `[0, 100]`) of a slice.
 ///
 /// The slice does not need to be sorted; a sorted copy is made internally.
 /// Returns `None` for an empty slice.
@@ -231,6 +232,8 @@ pub struct Summary {
 /// let xs = [1.0, 2.0, 3.0, 4.0, 5.0];
 /// assert_eq!(percentile(&xs, 50.0), Some(3.0));
 /// assert_eq!(percentile(&xs, 100.0), Some(5.0));
+/// // Even-length samples interpolate: the median of [1, 2, 3, 4] is 2.5.
+/// assert_eq!(percentile(&[1.0, 2.0, 3.0, 4.0], 50.0), Some(2.5));
 /// assert_eq!(percentile(&[], 50.0), None);
 /// ```
 pub fn percentile(values: &[f64], q: f64) -> Option<f64> {
@@ -239,7 +242,14 @@ pub fn percentile(values: &[f64], q: f64) -> Option<f64> {
     percentile_sorted(&sorted, q)
 }
 
-/// Nearest-rank percentile of an **already sorted** slice.
+/// Linearly interpolated percentile of an **already sorted** slice.
+///
+/// The rank is `q/100 · (n − 1)`; a fractional rank interpolates linearly
+/// between the two neighbouring order statistics (the "C = 1" / inclusive
+/// convention of NumPy's default `linear` method), so `q = 50` of an
+/// even-length sample is the midpoint of the two middle elements — the
+/// textbook median — rather than the lower one, `q = 0` is the minimum and
+/// `q = 100` the maximum exactly.
 ///
 /// Callers that need several percentiles of the same data should sort once
 /// and use this directly instead of paying one sort per [`percentile`]
@@ -250,7 +260,8 @@ pub fn percentile(values: &[f64], q: f64) -> Option<f64> {
 /// use mac_prob::stats::percentile_sorted;
 /// let xs = [1.0, 2.0, 3.0, 4.0, 5.0];
 /// assert_eq!(percentile_sorted(&xs, 50.0), Some(3.0));
-/// assert_eq!(percentile_sorted(&xs, 95.0), Some(5.0));
+/// // Rank 0.95·4 = 3.8 interpolates between 4.0 and 5.0.
+/// assert_eq!(percentile_sorted(&xs, 95.0), Some(4.8));
 /// ```
 pub fn percentile_sorted(sorted: &[f64], q: f64) -> Option<f64> {
     if sorted.is_empty() {
@@ -261,8 +272,50 @@ pub fn percentile_sorted(sorted: &[f64], q: f64) -> Option<f64> {
         sorted.windows(2).all(|w| w[0] <= w[1]),
         "percentile_sorted requires sorted input"
     );
-    let rank = ((q / 100.0) * sorted.len() as f64).ceil() as usize;
-    Some(sorted[rank.saturating_sub(1).min(sorted.len() - 1)])
+    let rank = (q / 100.0) * (sorted.len() - 1) as f64;
+    let lower = rank.floor() as usize;
+    let fraction = rank - lower as f64;
+    let value = if fraction == 0.0 || lower + 1 == sorted.len() {
+        sorted[lower]
+    } else {
+        sorted[lower] + fraction * (sorted[lower + 1] - sorted[lower])
+    };
+    Some(value)
+}
+
+/// Linearly interpolated percentile of an **already sorted** slice of
+/// integers, with the same rank convention as [`percentile_sorted`].
+///
+/// The two order statistics are converted to `f64` individually (exact for
+/// values below 2⁵³); callers needing the exact maximum of huge integer
+/// samples should read `sorted.last()` directly rather than ask for
+/// `q = 100`.
+///
+/// # Example
+/// ```
+/// use mac_prob::stats::percentile_sorted_u64;
+/// assert_eq!(percentile_sorted_u64(&[1, 2, 3, 4], 50.0), Some(2.5));
+/// assert_eq!(percentile_sorted_u64(&[7], 0.0), Some(7.0));
+/// ```
+pub fn percentile_sorted_u64(sorted: &[u64], q: f64) -> Option<f64> {
+    if sorted.is_empty() {
+        return None;
+    }
+    assert!((0.0..=100.0).contains(&q), "percentile must be in [0,100]");
+    debug_assert!(
+        sorted.windows(2).all(|w| w[0] <= w[1]),
+        "percentile_sorted_u64 requires sorted input"
+    );
+    let rank = (q / 100.0) * (sorted.len() - 1) as f64;
+    let lower = rank.floor() as usize;
+    let fraction = rank - lower as f64;
+    let lo = sorted[lower] as f64;
+    let value = if fraction == 0.0 || lower + 1 == sorted.len() {
+        lo
+    } else {
+        lo + fraction * (sorted[lower + 1] as f64 - lo)
+    };
+    Some(value)
 }
 
 /// Result of a statistical hypothesis test: the test statistic and the
@@ -494,13 +547,48 @@ mod tests {
     }
 
     #[test]
-    fn percentile_nearest_rank() {
+    fn percentile_interpolates_between_order_statistics() {
         let xs = [9.0, 1.0, 5.0, 3.0, 7.0];
         assert_eq!(percentile(&xs, 0.0), Some(1.0));
-        assert_eq!(percentile(&xs, 20.0), Some(1.0));
+        // Rank 0.2·4 = 0.8 interpolates between 1 and 3.
+        assert_eq!(percentile(&xs, 20.0), Some(1.0 + 0.8 * 2.0));
         assert_eq!(percentile(&xs, 50.0), Some(5.0));
-        assert_eq!(percentile(&xs, 90.0), Some(9.0));
+        // Rank 0.9·4 = 3.6 interpolates between 7 and 9.
+        assert!((percentile(&xs, 90.0).unwrap() - 8.2).abs() < 1e-12);
         assert_eq!(percentile(&xs, 100.0), Some(9.0));
+    }
+
+    #[test]
+    fn percentile_median_of_even_length_sample_is_the_midpoint() {
+        // The original nearest-rank rule returned the lower-middle element
+        // here; the interpolated definition returns the textbook median.
+        assert_eq!(percentile(&[4.0, 1.0, 3.0, 2.0], 50.0), Some(2.5));
+        assert_eq!(percentile_sorted(&[10.0, 20.0], 50.0), Some(15.0));
+    }
+
+    #[test]
+    fn percentile_boundaries_and_single_element() {
+        // q = 0 and q = 100 are exactly the extremes, on odd and even sizes.
+        for xs in [vec![2.0, 8.0, 5.0], vec![2.0, 8.0, 5.0, 11.0]] {
+            assert_eq!(percentile(&xs, 0.0), Some(2.0));
+            assert_eq!(percentile(&xs, 100.0), xs.iter().copied().reduce(f64::max));
+        }
+        // A single-element slice answers every quantile with that element.
+        for q in [0.0, 37.5, 50.0, 100.0] {
+            assert_eq!(percentile(&[42.0], q), Some(42.0));
+            assert_eq!(percentile_sorted(&[42.0], q), Some(42.0));
+            assert_eq!(percentile_sorted_u64(&[42], q), Some(42.0));
+        }
+        assert_eq!(percentile_sorted_u64(&[], 50.0), None);
+    }
+
+    #[test]
+    fn percentile_u64_matches_the_f64_version() {
+        let xs = [1u64, 5, 9, 12, 40, 41];
+        let fs: Vec<f64> = xs.iter().map(|&x| x as f64).collect();
+        for q in [0.0, 10.0, 33.3, 50.0, 77.7, 95.0, 100.0] {
+            assert_eq!(percentile_sorted_u64(&xs, q), percentile_sorted(&fs, q));
+        }
     }
 
     #[test]

@@ -342,9 +342,16 @@ proptest! {
     }
 
     #[test]
-    fn percentile_is_an_element(xs in prop::collection::vec(-1e3f64..1e3, 1..100), q in 0.0f64..=100.0) {
+    fn percentile_interpolates_within_the_sample_range(xs in prop::collection::vec(-1e3f64..1e3, 1..100), q in 0.0f64..=100.0) {
+        // The interpolated percentile is monotone in q and bracketed by the
+        // sample extremes (it is an element only at integral ranks).
         let p = percentile(&xs, q).unwrap();
-        prop_assert!(xs.contains(&p));
+        let lo = xs.iter().copied().reduce(f64::min).unwrap();
+        let hi = xs.iter().copied().reduce(f64::max).unwrap();
+        prop_assert!(lo <= p && p <= hi);
+        prop_assert_eq!(percentile(&xs, 0.0).unwrap(), lo);
+        prop_assert_eq!(percentile(&xs, 100.0).unwrap(), hi);
+        prop_assert!(percentile(&xs, (q / 2.0).max(0.0)).unwrap() <= p);
     }
 
     #[test]

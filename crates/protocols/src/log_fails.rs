@@ -244,6 +244,15 @@ impl FairProtocol for LogFailsAdaptive {
     fn steps_elapsed(&self) -> u64 {
         self.step - 1
     }
+
+    fn schedule_phase(&self) -> u64 {
+        // Position in the BT cycle *and* the consecutive-failure count: two
+        // states at the same cycle position but with different failure
+        // counts apply the lazy estimator bump at different future steps,
+        // so they must not be treated as interchangeable. The failure count
+        // is bounded by the fail window, keeping the phase space small.
+        self.step % self.bt_period + self.bt_period * self.consecutive_failures
+    }
 }
 
 #[cfg(test)]

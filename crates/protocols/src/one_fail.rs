@@ -184,6 +184,14 @@ impl FairProtocol for OneFailAdaptive {
     fn steps_elapsed(&self) -> u64 {
         self.step - 1
     }
+
+    fn schedule_phase(&self) -> u64 {
+        // The AT/BT parity: it fully determines which update rule the next
+        // slot applies. Together with the two track probabilities (1/κ̃ and
+        // the BT probability, i.e. κ̃ and σ) the parity pins the entire
+        // state, so phase- and track-equal cohorts merge exactly.
+        self.step % 2
+    }
 }
 
 #[cfg(test)]

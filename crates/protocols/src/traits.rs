@@ -123,6 +123,27 @@ pub trait FairProtocol: Debug {
 
     /// Number of slots already elapsed since activation.
     fn steps_elapsed(&self) -> u64;
+
+    /// The state's position within the protocol's deterministic update
+    /// schedule — the *phase-schedule accessor* the cohort aggregate engine
+    /// advances and merges cohorts by.
+    ///
+    /// Two copies of a protocol state may evolve in lockstep from now on
+    /// only if they sit at the same schedule position: One-fail Adaptive's
+    /// AT/BT parity decides which update rule the next slot applies,
+    /// Log-fails Adaptive additionally counts consecutive failures towards
+    /// its lazy estimator bump. The contract is: if two states report the
+    /// same `schedule_phase()` **and** currently agree on the transmission
+    /// probability of every track of their schedule, then feeding both the
+    /// same feedback keeps them identical forever. Cohort merging relies on
+    /// exactly this — states in different phases are never merged, however
+    /// close their probabilities happen to be this slot.
+    ///
+    /// The default (a constant) is correct for protocols whose update rule
+    /// does not depend on the step index, e.g. the known-k oracle.
+    fn schedule_phase(&self) -> u64 {
+        0
+    }
 }
 
 impl FairProtocol for Box<dyn FairProtocol> {
@@ -137,6 +158,9 @@ impl FairProtocol for Box<dyn FairProtocol> {
     }
     fn steps_elapsed(&self) -> u64 {
         self.as_ref().steps_elapsed()
+    }
+    fn schedule_phase(&self) -> u64 {
+        self.as_ref().schedule_phase()
     }
 }
 
@@ -573,6 +597,49 @@ mod tests {
                 ProtocolFamily::Window => assert!(node.slot_probability().is_none()),
             }
         }
+    }
+
+    #[test]
+    fn schedule_phase_tracks_the_protocols_step_structure() {
+        use crate::{KnownKOracle, LogFailsConfig};
+        // One-fail Adaptive: the AT/BT parity, alternating every slot.
+        let mut ofa = OneFailAdaptive::with_default_delta();
+        let first = ofa.schedule_phase();
+        ofa.advance(false);
+        assert_ne!(ofa.schedule_phase(), first);
+        ofa.advance(false);
+        assert_eq!(ofa.schedule_phase(), first);
+
+        // The oracle has no step-dependent rule: a constant phase.
+        let mut oracle = KnownKOracle::new(8);
+        let p0 = oracle.schedule_phase();
+        oracle.advance(true);
+        oracle.advance(false);
+        assert_eq!(oracle.schedule_phase(), p0);
+
+        // Log-fails Adaptive: states differing only in their consecutive
+        // failure count must not share a phase (they bump the estimator at
+        // different future steps). Drive one copy with a delivery (resetting
+        // the failure run) and one without, through a full BT cycle.
+        // k = 10⁶ gives a fail window of 2, so one silent AT-step leaves a
+        // *pending* failure run instead of bumping the estimator right away.
+        let config = LogFailsConfig::paper(0.5, 1_000_000);
+        let mut quiet = LogFailsAdaptive::try_new(config).unwrap();
+        let mut heard = quiet.clone();
+        let period = 2; // round(1/0.5)
+        for step in 0..period {
+            quiet.advance(false);
+            heard.advance(step == 0);
+        }
+        assert_ne!(
+            quiet.schedule_phase(),
+            heard.schedule_phase(),
+            "a pending failure run is part of the schedule position"
+        );
+
+        // The boxed adapter forwards the accessor.
+        let boxed: Box<dyn FairProtocol> = Box::new(OneFailAdaptive::with_default_delta());
+        assert_eq!(boxed.schedule_phase(), first);
     }
 
     #[test]

@@ -42,7 +42,7 @@
 
 use crate::result::{RunOptions, RunResult, MAX_PREALLOC_ENTRIES};
 use mac_adversary::{SlotClass, ADVERSARY_STREAM};
-use mac_prob::binomial::SlotKernel;
+use mac_prob::binomial::SlotKernelCache;
 use mac_prob::rng::{derive_seed, Xoshiro256pp};
 use mac_protocols::FairProtocol;
 use rand::Rng;
@@ -75,38 +75,22 @@ pub(crate) fn run_fair_aggregate<P: FairProtocol>(
         .record_deliveries
         .then(|| Vec::with_capacity(k.min(MAX_PREALLOC_ENTRIES) as usize));
 
-    // The two cached probability tracks. Both start on the protocol's first
-    // probability; the nearest-probability update rule below sorts the
-    // tracks out within the first two slots.
+    // The two cached probability tracks (see `SlotKernelCache`: exact hit
+    // on either line, else the line nearest in *relative* probability moves
+    // — the protocols' tracks live at very different scales). Both lines
+    // start on the protocol's first probability; the nearest-probability
+    // rule sorts the tracks out within the first two slots.
     let p0 = if remaining > 0 {
         state.transmission_probability()
     } else {
         0.0
     };
-    let mut line_a = SlotKernel::new(k, p0);
-    let mut line_b = line_a;
+    let mut cache = SlotKernelCache::new(k, p0);
 
     while remaining > 0 && slot < max_slots {
         let p = state.transmission_probability();
         debug_assert!((0.0..=1.0).contains(&p), "invalid probability {p}");
-        // Track selection: exact hit on either line, else move the line
-        // whose probability is nearest in *relative* terms — the protocols'
-        // tracks live at very different scales (e.g. One-fail Adaptive's AT
-        // probability is ~1/κ̃ ≈ 1/m while BT is ~1/log σ), and an absolute
-        // metric would park one line and thrash the other across scales.
-        let line: &SlotKernel = if line_a.m() == m && line_a.p() == p {
-            &line_a
-        } else if line_b.m() == m && line_b.p() == p {
-            &line_b
-        } else if (p - line_a.p()).abs() * (p + line_b.p())
-            <= (p - line_b.p()).abs() * (p + line_a.p())
-        {
-            line_a.update(m, p);
-            &line_a
-        } else {
-            line_b.update(m, p);
-            &line_b
-        };
+        let line = cache.select(m, p);
 
         let mut delivered = false;
         if line.is_dead() {
@@ -175,6 +159,7 @@ pub(crate) fn run_fair_aggregate<P: FairProtocol>(
         collisions,
         silent_slots: silent,
         jammed_deliveries,
+        never_activated: 0,
         delivery_slots,
     }
 }

@@ -5,15 +5,23 @@
 //! the natural next step, conjecturing that non-monotonic strategies remain
 //! promising there. This module provides the measurement side of that
 //! extension: it runs any protocol of the crate against a
-//! [`mac_channel::ArrivalModel`] with the exact per-station simulator and
-//! reports latency and throughput metrics instead of just the makespan.
+//! [`mac_channel::ArrivalModel`] and reports latency and throughput metrics
+//! instead of just the makespan.
+//!
+//! Fair protocols are served by the **cohort aggregate engine**
+//! ([`crate::CohortSimulator`]): O(active cohorts) per slot instead of the
+//! exact simulator's O(active stations), which is what makes Poisson/burst
+//! experiments at `k = 10⁵` and beyond affordable. Window protocols (whose
+//! per-slot decisions are not independent Bernoulli trials) fall back to
+//! the exact per-station engine.
 
+use crate::cohort::{CohortRun, CohortSimulator};
 use crate::exact::{DetailedRun, ExactSimulator};
-use crate::result::RunOptions;
+use crate::result::{RunOptions, RunResult};
 use mac_channel::ArrivalModel;
 use mac_prob::rng::{derive_seed, Xoshiro256pp};
-use mac_prob::stats::percentile_sorted;
-use mac_protocols::{ParameterError, ProtocolKind};
+use mac_prob::stats::percentile_sorted_u64;
+use mac_protocols::{ParameterError, ProtocolFamily, ProtocolKind};
 use rand::SeedableRng;
 use serde::{Deserialize, Serialize};
 
@@ -43,40 +51,61 @@ pub struct DynamicReport {
     /// ideal channel).
     #[serde(default)]
     pub jammed_deliveries: u64,
+    /// Messages whose arrival slot was never reached before the run's slot
+    /// cap (see [`RunResult::never_activated`]): a capped run with pending
+    /// arrivals is a truncated measurement, not a protocol failure.
+    #[serde(default)]
+    pub never_activated: u64,
 }
 
 impl DynamicReport {
     /// Builds the report from a detailed exact-simulator run.
     pub fn from_run(run: &DetailedRun) -> Self {
-        // Sort once and read every latency statistic off the sorted vector;
-        // a run with zero deliveries reports all-zero latency stats.
-        let mut latencies: Vec<f64> = run.latencies().iter().map(|&l| l as f64).collect();
-        latencies.sort_by(|a, b| a.partial_cmp(b).expect("latencies are finite"));
+        Self::from_parts(&run.result, run.latencies())
+    }
+
+    /// Builds the report from a cohort-engine run.
+    pub fn from_cohort_run(run: &CohortRun) -> Self {
+        Self::from_parts(&run.result, run.latencies.clone())
+    }
+
+    /// Builds the report from an aggregate result and the (unsorted)
+    /// integer latencies of its delivered messages.
+    ///
+    /// All order statistics are computed on the integer slice: the mean via
+    /// an exact `u128` sum and `max_latency` straight from the data, so no
+    /// latency is round-tripped through `f64` (which above 2⁵³ would
+    /// silently round — the old bug this module carried). A run with zero
+    /// deliveries reports all-zero latency statistics.
+    pub fn from_parts(result: &RunResult, mut latencies: Vec<u64>) -> Self {
+        latencies.sort_unstable();
         let (mean_latency, p50_latency, p95_latency, max_latency) = if latencies.is_empty() {
             (0.0, 0.0, 0.0, 0)
         } else {
+            let total: u128 = latencies.iter().map(|&l| u128::from(l)).sum();
             (
-                latencies.iter().sum::<f64>() / latencies.len() as f64,
-                percentile_sorted(&latencies, 50.0).expect("non-empty"),
-                percentile_sorted(&latencies, 95.0).expect("non-empty"),
-                *latencies.last().expect("non-empty") as u64,
+                total as f64 / latencies.len() as f64,
+                percentile_sorted_u64(&latencies, 50.0).expect("non-empty"),
+                percentile_sorted_u64(&latencies, 95.0).expect("non-empty"),
+                *latencies.last().expect("non-empty"),
             )
         };
         Self {
-            protocol: run.result.protocol.clone(),
-            messages: run.result.k,
-            delivered: run.result.delivered,
-            makespan: run.result.makespan,
+            protocol: result.protocol.clone(),
+            messages: result.k,
+            delivered: result.delivered,
+            makespan: result.makespan,
             mean_latency,
             p50_latency,
             p95_latency,
             max_latency,
-            throughput: if run.result.makespan == 0 {
+            throughput: if result.makespan == 0 {
                 0.0
             } else {
-                run.result.delivered as f64 / run.result.makespan as f64
+                result.delivered as f64 / result.makespan as f64
             },
-            jammed_deliveries: run.result.jammed_deliveries,
+            jammed_deliveries: result.jammed_deliveries,
+            never_activated: result.never_activated,
         }
     }
 }
@@ -88,6 +117,11 @@ impl DynamicReport {
 /// protocols evaluated with the same `seed` see the *same* arrival pattern —
 /// which is what a comparison experiment wants.
 ///
+/// Fair protocols run on the cohort aggregate engine; window protocols run
+/// per-station on the exact engine. Both paths produce the same report
+/// fields, and the cohort path is law-identical to the exact one (enforced
+/// by `tests/aggregate_equivalence.rs`).
+///
 /// # Errors
 /// Returns a [`ParameterError`] if the protocol parameters are invalid.
 pub fn simulate_dynamic(
@@ -98,9 +132,21 @@ pub fn simulate_dynamic(
 ) -> Result<DynamicReport, ParameterError> {
     let mut arrival_rng = Xoshiro256pp::seed_from_u64(derive_seed(seed, &[0xA11]));
     let schedule = model.sample(&mut arrival_rng);
-    let sim = ExactSimulator::new(kind.clone(), options.clone());
-    let run = sim.run_schedule(&schedule, derive_seed(seed, &[0x51A]))?;
-    Ok(DynamicReport::from_run(&run))
+    let run_seed = derive_seed(seed, &[0x51A]);
+    match kind.family() {
+        ProtocolFamily::Fair => {
+            let sim = CohortSimulator::new(kind.clone(), options.clone());
+            let run = sim.run_schedule(&schedule, run_seed)?;
+            // The run is discarded here, so move its latency vector into the
+            // report instead of paying `from_cohort_run`'s borrow-and-clone.
+            Ok(DynamicReport::from_parts(&run.result, run.latencies))
+        }
+        ProtocolFamily::Window => {
+            let sim = ExactSimulator::new(kind.clone(), options.clone());
+            let run = sim.run_schedule(&schedule, run_seed)?;
+            Ok(DynamicReport::from_run(&run))
+        }
+    }
 }
 
 #[cfg(test)]
@@ -122,6 +168,7 @@ mod tests {
         assert!(report.throughput > 0.0 && report.throughput <= 1.0);
         assert!(report.p50_latency <= report.p95_latency);
         assert!(report.p95_latency <= report.max_latency as f64);
+        assert_eq!(report.never_activated, 0);
     }
 
     #[test]
@@ -217,5 +264,87 @@ mod tests {
         assert_eq!(report.messages, 60);
         assert_eq!(report.delivered, 60);
         assert!(report.makespan >= 1_000);
+    }
+
+    #[test]
+    fn latency_statistics_survive_values_beyond_f64_integer_precision() {
+        // Regression: latencies used to round-trip through f64, so a
+        // maximum above 2^53 came back rounded. Feed latencies straight
+        // into the report builder and check the integer statistics.
+        let huge = (1u64 << 60) + 12_345;
+        let result = RunResult {
+            protocol: "test".into(),
+            k: 3,
+            seed: 0,
+            makespan: huge + 1,
+            completed: true,
+            delivered: 3,
+            collisions: 0,
+            silent_slots: 0,
+            jammed_deliveries: 0,
+            never_activated: 0,
+            delivery_slots: None,
+        };
+        let report = DynamicReport::from_parts(&result, vec![huge, 4, 2]);
+        assert_eq!(
+            report.max_latency, huge,
+            "the maximum must be carried as an exact integer"
+        );
+        // (huge + 4 + 2) / 3, summed in u128 before the final conversion.
+        let expected_mean = ((huge as u128 + 6) as f64) / 3.0;
+        assert_eq!(report.mean_latency, expected_mean);
+        // Median of [2, 4, huge] is the middle element, exactly.
+        assert_eq!(report.p50_latency, 4.0);
+    }
+
+    #[test]
+    fn even_count_median_interpolates() {
+        // Regression for the nearest-rank percentile bug: the median of an
+        // even-length latency sample is the midpoint of the middle pair.
+        let result = RunResult {
+            protocol: "test".into(),
+            k: 4,
+            seed: 0,
+            makespan: 100,
+            completed: true,
+            delivered: 4,
+            collisions: 0,
+            silent_slots: 0,
+            jammed_deliveries: 0,
+            never_activated: 0,
+            delivery_slots: None,
+        };
+        let report = DynamicReport::from_parts(&result, vec![1, 3, 9, 27]);
+        assert_eq!(report.p50_latency, 6.0);
+        assert_eq!(report.max_latency, 27);
+    }
+
+    #[test]
+    fn capped_run_reports_never_activated_arrivals() {
+        // A cap that collapses onto the arrival horizon leaves the trailing
+        // burst unactivated; the report must surface it so the run is not
+        // misread as a protocol failure.
+        let options = RunOptions {
+            slot_cap_per_message: 0,
+            min_slot_cap: 0,
+            ..RunOptions::default()
+        };
+        let model = ArrivalModel::Bursts {
+            bursts: vec![(0, 2), (5_000, 3)],
+        };
+        for kind in [
+            ProtocolKind::OneFailAdaptive { delta: 2.72 },
+            ProtocolKind::ExpBackonBackoff { delta: 0.366 },
+        ] {
+            let report = simulate_dynamic(&kind, &model, 21, &options).unwrap();
+            assert_eq!(
+                report.never_activated,
+                3,
+                "{}: the trailing burst never activates",
+                kind.label()
+            );
+            assert!(report.delivered <= 2);
+            assert_eq!(report.messages, 5);
+        }
     }
 }

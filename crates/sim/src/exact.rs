@@ -399,6 +399,10 @@ impl ExactSimulator {
             collisions: stats.collisions,
             silent_slots: stats.silent_slots,
             jammed_deliveries: stats.jammed_deliveries,
+            // Messages whose arrival slot lies at or beyond the cap never
+            // had their station created: report them instead of letting a
+            // capped dynamic run read as a protocol failure.
+            never_activated: (schedule.len() - next_arrival_index) as u64,
             delivery_slots,
         };
         Ok(DetailedRun {
@@ -516,6 +520,35 @@ mod tests {
             );
         }
         assert!(run.result.makespan > 100, "the last arrival is at slot 100");
+    }
+
+    #[test]
+    fn capped_run_counts_never_activated_stations() {
+        // With a zero slot budget the cap collapses onto the arrival
+        // horizon: the trailing arrivals are never activated, and the run
+        // must say so instead of reporting them as plain non-deliveries.
+        let options = RunOptions {
+            slot_cap_per_message: 0,
+            min_slot_cap: 0,
+            ..RunOptions::default()
+        };
+        let sim = ExactSimulator::new(ProtocolKind::OneFailAdaptive { delta: 2.72 }, options);
+        let schedule = ArrivalSchedule::new(vec![0, 0, 300, 300, 300]);
+        let run = sim.run_schedule(&schedule, 7).unwrap();
+        assert!(!run.result.completed);
+        assert_eq!(run.result.never_activated, 3);
+        assert!(run.result.delivered <= 2);
+        // The unactivated stations hold no per-message detail.
+        for message in &run.messages[2..] {
+            assert_eq!(message.delivered_slot, None);
+            assert_eq!(message.transmissions, 0);
+        }
+        // A completed run reports zero.
+        let completed = exact(ProtocolKind::OneFailAdaptive { delta: 2.72 })
+            .run_schedule(&schedule, 7)
+            .unwrap();
+        assert!(completed.result.completed);
+        assert_eq!(completed.result.never_activated, 0);
     }
 
     #[test]

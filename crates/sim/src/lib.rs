@@ -10,8 +10,9 @@
 //!
 //! | Simulator | Applies to | Cost | Used for |
 //! |-----------|-----------|------|----------|
-//! | [`exact::ExactSimulator`] | any [`mac_protocols::Protocol`], any arrival schedule | O(k) per slot | correctness reference, traces, dynamic arrivals |
+//! | [`exact::ExactSimulator`] | any [`mac_protocols::Protocol`], any arrival schedule | O(k) per slot | correctness reference, traces, window-protocol dynamic arrivals |
 //! | [`fair::FairSimulator`] | fair protocols (One-fail/Log-fails Adaptive, oracle), batched arrivals | O(1) per slot (one binomial classification draw, cached thresholds) | the paper's sweep up to k = 10⁷ |
+//! | [`cohort::CohortSimulator`] | fair protocols, **any arrival schedule** | O(active cohorts) per slot, one draw | dynamic-arrival (Poisson/bursts) experiments at paper scale |
 //! | [`window::WindowSimulator`] | window protocols (Exp Back-on/Back-off, Loglog-iterated, r-exponential), batched arrivals | O(min(m, w)) per window, O(1) when collisions are certain | the paper's sweep up to k = 10⁷ |
 //!
 //! The fair and window simulators are *exact in distribution*: they sample
@@ -56,6 +57,7 @@
 #![warn(missing_debug_implementations)]
 
 pub(crate) mod aggregate;
+pub mod cohort;
 pub mod dynamic;
 pub mod exact;
 pub mod fair;
@@ -64,6 +66,7 @@ pub mod result;
 pub mod runner;
 pub mod window;
 
+pub use cohort::{CohortRun, CohortSimulator};
 pub use exact::ExactSimulator;
 pub use fair::FairSimulator;
 pub use result::{RunOptions, RunResult};

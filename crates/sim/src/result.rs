@@ -108,6 +108,14 @@ pub struct RunResult {
     /// destroyed by the adversary's jamming. Zero on the ideal channel.
     #[serde(default)]
     pub jammed_deliveries: u64,
+    /// Number of messages whose arrival slot was never reached before the
+    /// run's slot cap: their stations were **never activated**, so counting
+    /// them as plain non-deliveries would misread a capped dynamic run as a
+    /// protocol failure. Always zero for batched instances and completed
+    /// runs; `delivered + never_activated ≤ k`, with the gap being stations
+    /// that were activated but still undelivered at the cap.
+    #[serde(default)]
+    pub never_activated: u64,
     /// Slot index (0-based) of every delivery, in delivery order; only
     /// populated when [`RunOptions::record_deliveries`] is set.
     pub delivery_slots: Option<Vec<u64>>,
@@ -163,6 +171,7 @@ mod tests {
             collisions: 200,
             silent_slots: 440,
             jammed_deliveries: 0,
+            never_activated: 0,
             delivery_slots: None,
         };
         assert!((r.ratio() - 7.4).abs() < 1e-12);

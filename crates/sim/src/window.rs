@@ -267,6 +267,7 @@ pub(crate) fn run_window(
         collisions,
         silent_slots: silent,
         jammed_deliveries,
+        never_activated: 0,
         delivery_slots,
     }
 }

@@ -10,8 +10,9 @@
 //! conclusions ask how non-monotonic strategies behave in the dynamic
 //! setting. This example measures delivery latency (delivery slot − arrival
 //! slot) for One-fail Adaptive and Exp Back-on/Back-off under increasing
-//! Poisson load and under periodic bursts, using the exact per-station
-//! simulator.
+//! Poisson load and under periodic bursts — the fair protocol through the
+//! cohort aggregate engine, the window protocol through the exact
+//! per-station simulator (see `crates/sim/DESIGN.md` §6).
 
 use contention_resolution::prelude::*;
 
@@ -45,6 +46,13 @@ fn main() {
             );
         }
     }
+
+    println!(
+        "\nNote: One-fail Adaptive stalling at the higher rates is real protocol\n\
+         behaviour, not a simulator artefact — overlapping cohorts with sigma = 0\n\
+         keep its BT transmission probability at 1 and jam the channel (the parity\n\
+         deadlock analysed in crates/sim/DESIGN.md section 6)."
+    );
 
     println!("\nadversarial bursts: 50 messages every 2,000 slots, three bursts\n");
     let bursts = ArrivalModel::Bursts {

@@ -149,6 +149,117 @@ fn window_aggregate_matches_exact_across_protocols_and_channels() {
     }
 }
 
+/// Dynamic-arrival workloads for the cohort-vs-exact equivalence: Poisson
+/// and adversarial bursts, sized so every protocol of the fair line-up
+/// completes on clean and jammed channels. Burst offsets are even on
+/// purpose: odd offsets put One-fail Adaptive cohorts on opposite AT/BT
+/// parities and the protocol genuinely deadlocks (DESIGN.md §6) — which
+/// both engines reproduce, but which makes a completion-asserting test
+/// meaningless.
+fn dynamic_models() -> Vec<(&'static str, ArrivalModel)> {
+    vec![
+        (
+            "poisson",
+            ArrivalModel::Poisson {
+                rate: 0.04,
+                horizon: 1_500,
+            },
+        ),
+        (
+            "bursts",
+            ArrivalModel::Bursts {
+                bursts: vec![(0, 24), (300, 16), (302, 8), (1_200, 16)],
+            },
+        ),
+    ]
+}
+
+/// Paired cohort-vs-exact runs on one schedule: returns per-run makespans
+/// of both engines plus their pooled latency samples.
+#[allow(clippy::type_complexity)]
+fn paired_dynamic_runs(
+    kind: &ProtocolKind,
+    model: &ArrivalModel,
+    options: &RunOptions,
+) -> (Vec<f64>, Vec<f64>, Vec<f64>, Vec<f64>) {
+    use contention_resolution::prob::rng::Xoshiro256pp;
+    use rand::SeedableRng;
+
+    let mut exact_makespans = Vec::new();
+    let mut cohort_makespans = Vec::new();
+    let mut exact_latencies = Vec::new();
+    let mut cohort_latencies = Vec::new();
+    for rep in 0..REPS {
+        // Both engines consume the *same* sampled schedule per repetition,
+        // with independent protocol seeds.
+        let mut arrival_rng = Xoshiro256pp::seed_from_u64(7_000 + rep);
+        let schedule = model.sample(&mut arrival_rng);
+        let exact = ExactSimulator::new(kind.clone(), options.clone())
+            .run_schedule(&schedule, rep)
+            .unwrap();
+        let cohort = CohortSimulator::new(kind.clone(), options.clone())
+            .run_schedule(&schedule, 90_000 + rep)
+            .unwrap();
+        // Capped runs are legitimate samples of the capped process (a
+        // jam-resonance trap can stall One-fail Adaptive on rare schedules
+        // — both engines reproduce it) and enter the makespan comparison
+        // at the cap; latencies are pooled over delivered messages only.
+        exact_makespans.push(exact.result.makespan as f64);
+        cohort_makespans.push(cohort.result.makespan as f64);
+        exact_latencies.extend(exact.latencies().iter().map(|&l| l as f64));
+        cohort_latencies.extend(cohort.latencies.iter().map(|&l| l as f64));
+    }
+    (
+        exact_makespans,
+        cohort_makespans,
+        exact_latencies,
+        cohort_latencies,
+    )
+}
+
+/// Mean + KS agreement for pooled latency samples. The pooled samples are
+/// weakly dependent within a run, so the KS level is conservative; the mean
+/// is additionally checked per-sample with a scale-aware tolerance.
+fn assert_latency_distributions_agree(exact: &[f64], cohort: &[f64], label: &str) {
+    let exact_stats: StreamingStats = exact.iter().copied().collect();
+    let cohort_stats: StreamingStats = cohort.iter().copied().collect();
+    let tolerance = (4.0 * (exact_stats.std_error() + cohort_stats.std_error())).max(8.0);
+    assert!(
+        (exact_stats.mean() - cohort_stats.mean()).abs() < tolerance,
+        "{label}: exact latency mean {:.1} vs cohort {:.1} (tolerance {:.1})",
+        exact_stats.mean(),
+        cohort_stats.mean(),
+        tolerance
+    );
+    let ks = two_sample_ks_test(exact, cohort);
+    assert!(
+        ks.is_consistent_at(1e-4),
+        "{label}: latency KS statistic {:.3}, p = {:.2e}",
+        ks.statistic,
+        ks.p_value
+    );
+}
+
+#[test]
+fn cohort_engine_matches_exact_on_dynamic_arrivals() {
+    // The cohort aggregate engine must sample the same law as the exact
+    // per-station simulator on dynamic schedules: makespan mean/median/KS
+    // plus latency-distribution agreement, across arrival models and
+    // channels, for the whole fair line-up.
+    for kind in fair_kinds() {
+        for (model_name, model) in dynamic_models() {
+            for (scenario_name, scenario) in scenarios() {
+                let options = RunOptions::adversarial(scenario);
+                let label = format!("{} / {model_name} / {scenario_name}", kind.label());
+                let (exact_mk, cohort_mk, exact_lat, cohort_lat) =
+                    paired_dynamic_runs(&kind, &model, &options);
+                assert_distributions_agree(&exact_mk, &cohort_mk, &label);
+                assert_latency_distributions_agree(&exact_lat, &cohort_lat, &label);
+            }
+        }
+    }
+}
+
 #[test]
 fn aggregate_slot_class_totals_match_exact() {
     // Beyond the makespan, the slot-class composition (delivered /
