@@ -27,7 +27,10 @@
 //! window of four billion slots with three active stations does not allocate
 //! four billion counters).
 
-use crate::binomial::{sample_binomial_fast, SlotKernel};
+use crate::binomial::{
+    exp_small, inv_q, recip_table, sample_binomial_fast, ModeKernel, SlotKernel, DEAD_LOG,
+    MAX_EXP_OFFSET, RECIP_TABLE_N,
+};
 use crate::outcome::SlotOutcome;
 use rand::Rng;
 use serde::{Deserialize, Serialize};
@@ -527,34 +530,15 @@ pub struct SlotOccupancy {
     pub max_occupied_bin: Option<u64>,
 }
 
-/// Reusable buffers for [`walk_window`]: the ascending singleton-bin list of
-/// the most recent walk, plus an [`OccupancyScratch`] for the sparse per-ball
-/// tail regime.
-#[derive(Debug, Clone)]
+/// Reusable buffers for [`walk_window`]: the ascending singleton-bin list
+/// of the most recent walk, plus an [`OccupancyScratch`] for the sparse
+/// per-ball tail regime. (The walk's slot kernel — thresholds and the
+/// mode-anchored collision pmf, see [`WalkKernel`] — is per-window state
+/// and lives on the stack.)
+#[derive(Debug, Clone, Default)]
 pub struct WalkScratch {
     singles: Vec<u64>,
     occupancy: OccupancyScratch,
-    /// `recip[t] = 1/t` for the CDF-continuation pmf recurrence: keeps the
-    /// per-term cost at two multiplies instead of a latency-chained divide.
-    recip: [f64; WALK_RECIP_N],
-}
-
-/// Reciprocal-table size for the CDF continuation; terms beyond it (deep
-/// upper tail of a ≤ 32-mean binomial) fall back to division.
-const WALK_RECIP_N: usize = 64;
-
-impl Default for WalkScratch {
-    fn default() -> Self {
-        let mut recip = [0.0; WALK_RECIP_N];
-        for (t, r) in recip.iter_mut().enumerate().skip(1) {
-            *r = 1.0 / t as f64;
-        }
-        Self {
-            singles: Vec::new(),
-            occupancy: OccupancyScratch::new(),
-            recip,
-        }
-    }
 }
 
 impl WalkScratch {
@@ -563,16 +547,94 @@ impl WalkScratch {
         Self::default()
     }
 
-    /// Singleton bins (ascending) of the most recent [`walk_window`] call.
+    /// Singleton bins (ascending) of the most recent [`walk_window`] call
+    /// (empty after a counts-only [`walk_window_counts`]).
     pub fn singleton_bins(&self) -> &[u64] {
         &self.singles
     }
 }
 
-/// Collision slots whose transmitter count exceeds this `m·p` are resolved by
-/// rejection from the unconditioned sampler instead of term-by-term CDF
-/// continuation.
-const WALK_INVERSION_LAMBDA_MAX: f64 = 32.0;
+/// Collision slots whose transmitter count exceeds this `m·p` are resolved
+/// by the mode-anchored sampler ([`ModeKernel::sample_cond_ge2`], O(√λ)
+/// two-sided steps from the mode) instead of term-by-term CDF continuation
+/// from `T = 1` (O(λ) terms). Measured crossover on the 2.1 GHz CI-class
+/// box: the continuation's smaller constant wins while the expected term
+/// count `≈ λ` stays single-digit.
+const WALK_MODE_LAMBDA_MIN: f64 = 8.0;
+
+/// Smallest `w_left` served by the walk's fused fast loop: below it
+/// `p = 1/w_left` leaves the documented truncation range of the per-slot
+/// series (geometric `p` advance, `ln q` increment) and the walk falls back
+/// to the general [`SlotKernel`] tail loop — at most this many slots per
+/// window.
+const WALK_FAST_W_MIN: u64 = 4096;
+
+/// Block size of the conditional-binomial block decomposition: the walk
+/// resolves low-λ stretches of huge windows in blocks of this many bins —
+/// one `Binomial(m_left, b/w_left)` draw decides how many balls land in the
+/// block (the conditional chain at block granularity, exact in law), and
+/// the block is then resolved by the dense per-ball machinery against a
+/// counter window that fits in L1, instead of one cache-missing increment
+/// per ball into a `w`-sized array.
+const WALK_BLOCK_BINS: u64 = 4096;
+
+/// λ at which the walk switches from block decomposition to the per-slot
+/// mode-anchored loop (measured crossover: the per-ball block resolver's
+/// cost grows linearly in λ, the per-slot loop's is flat once collisions
+/// dominate), with hysteresis so in-window λ drift cannot ping-pong the
+/// regimes.
+const WALK_PER_SLOT_LAMBDA_ENTER: f64 = 48.0;
+
+/// λ below which the per-slot loop hands back to block decomposition.
+const WALK_PER_SLOT_LAMBDA_EXIT: f64 = 32.0;
+
+/// Slots between exact re-divisions of the fast loop's series-maintained
+/// `p = 1/w_left` (no drift accumulates past one period).
+const WALK_P_RESYNC: u32 = 256;
+
+/// Slots between exact re-exponentiations of the fast loop's
+/// multiplicatively maintained `P(T = 0)` (bounds the accumulated rounding
+/// and polynomial truncation of the running product below `~1e-11`).
+const WALK_T0_RESYNC: u32 = 4096;
+
+/// Two-tier incremental `exp` for the fast loop's per-slot `P(T = 0)`
+/// update: a cubic for the common tiny move (truncation `d⁴/24 < 4e-16` at
+/// the `3e-4` bound), the shared degree-7 polynomial up to `1/16`.
+#[inline]
+fn exp_walk(d: f64) -> f64 {
+    if d.abs() <= 3e-4 {
+        1.0 + d * (1.0 + d * (0.5 + d * (1.0 / 6.0)))
+    } else {
+        exp_small(d)
+    }
+}
+
+/// Finishes the CDF inversion a collision classification started: `u ≥ t1`,
+/// so the pmf terms are walked upward from `T = 2` until the cumulative
+/// mass passes `u` (table-based reciprocals keep the recurrence free of a
+/// latency-chained divide). `s = p/(1−p)` as computed by the caller's
+/// series; `t1 − t0` is `P(T = 1)`.
+#[inline]
+fn continue_cdf_inversion(u: f64, t0: f64, t1: f64, s: f64, m_f: f64, m_left: u64) -> u64 {
+    let recip = recip_table();
+    let mut t = 1u64;
+    let mut term = t1 - t0;
+    let mut cum = t1;
+    loop {
+        t += 1;
+        let inv_t = if (t as usize) < RECIP_TABLE_N {
+            recip[t as usize]
+        } else {
+            1.0 / t as f64
+        };
+        term *= s * (m_f - (t as f64 - 1.0)) * inv_t;
+        cum += term;
+        if u < cum || t >= m_left {
+            break;
+        }
+    }
+    t
+}
 
 /// Log-probability bound below which a window is resolved as all-collisions
 /// without sampling (see [`walk_window`]): with the union bound on *any* bin
@@ -622,6 +684,30 @@ pub fn walk_window<R: Rng + ?Sized>(
     rng: &mut R,
     scratch: &mut WalkScratch,
 ) -> SlotOccupancy {
+    walk_window_impl::<true, R>(m, w, rng, scratch)
+}
+
+/// Counts-only variant of [`walk_window`]: identical law and identical RNG
+/// consumption, but the ascending singleton-bin list is *not* maintained
+/// (the scratch's view is left empty). This is the window simulator's
+/// steady-state path when no adversary is active and no delivery slots are
+/// recorded — at low λ a third of all slots are deliveries, and skipping
+/// the list write keeps the walk's inner loop free of memory traffic.
+pub fn walk_window_counts<R: Rng + ?Sized>(
+    m: u64,
+    w: u64,
+    rng: &mut R,
+    scratch: &mut WalkScratch,
+) -> SlotOccupancy {
+    walk_window_impl::<false, R>(m, w, rng, scratch)
+}
+
+fn walk_window_impl<const COLLECT: bool, R: Rng + ?Sized>(
+    m: u64,
+    w: u64,
+    rng: &mut R,
+    scratch: &mut WalkScratch,
+) -> SlotOccupancy {
     scratch.singles.clear();
     if m == 0 {
         return SlotOccupancy {
@@ -636,7 +722,9 @@ pub fn walk_window<R: Rng + ?Sized>(
     assert!(w > 0, "cannot throw {m} balls into zero bins");
     if m == 1 {
         let bin = rng.gen_range(0..w);
-        scratch.singles.push(bin);
+        if COLLECT {
+            scratch.singles.push(bin);
+        }
         return SlotOccupancy {
             bins: w,
             balls: 1,
@@ -666,97 +754,282 @@ pub fn walk_window<R: Rng + ?Sized>(
     let mut empty = 0u64;
     let mut colliding = 0u64;
     let mut max_occupied: Option<u64> = None;
-    let mut kernel = SlotKernel::new(m, 1.0 / wf);
     let mut i = 0u64;
-    while i < w {
-        if m_left == 0 {
-            empty += w - i;
-            break;
-        }
+    // Which bin the sparse per-ball tail should start from, when the walk
+    // crosses the density switch mid-window.
+    let mut sparse_from: Option<u64> = None;
+    // The mode-anchored collision pmf, shared by the per-slot regimes.
+    // Anchoring is an O(1) series evaluation and the kernel re-anchors
+    // itself exactly whenever its drift guards trip, so it is simply
+    // (re-)synchronised on use whenever a regime left it stale.
+    let mut mode = ModeKernel::new(m, 1.0 / wf);
+
+    // Outer dispatch: each round picks the cheapest exact resolver for the
+    // current load λ = m_left/w_left (the measured crossover table lives in
+    // the constants above; see `crates/sim/DESIGN.md` §7):
+    //
+    // * `w_left > 8·m_left` — sparse per-ball tail, terminal;
+    // * `λ < WALK_PER_SLOT_LAMBDA_ENTER` — one conditional-binomial
+    //   **block**: `T_b ~ Binomial(m_left, b/w_left)` balls land in the
+    //   next `b` bins (4096, or the whole remainder up to 6143 so no tiny
+    //   trailing block is left) and are resolved by the dense per-ball
+    //   machinery against a cache-resident counter window;
+    // * otherwise — the per-slot mode-anchored loop (fused fast loop for
+    //   `w_left ≥ 4096`, the general `SlotKernel` tail below that).
+    'outer: while m_left > 0 && i < w {
         let w_left = w - i;
         if w_left > dense_limit(m_left) {
-            // Sparse tail: the remaining balls are uniform on the remaining
-            // bins; finish with the per-ball machinery.
-            let tail = throw_balls_into(m_left, w_left, rng, &mut scratch.occupancy);
-            for &bin in scratch.occupancy.singleton_bins() {
-                scratch.singles.push(i + bin);
-            }
-            singletons += tail.singletons;
-            empty += tail.empty_bins;
-            colliding += tail.colliding_bins;
-            if let Some(bin) = tail.max_occupied_bin {
-                max_occupied = Some(i + bin);
-            }
-            m_left = 0;
-            break;
+            sparse_from = Some(i);
+            break 'outer;
         }
-        let p = 1.0 / w_left as f64;
-        let m_f = m_left as f64;
-        kernel.update(m_f, p);
-        let taken = if kernel.is_dead() {
-            // Certain collision, but the ball count still shapes the rest of
-            // the window: sample it unconditioned (the conditioning event
-            // T >= 2 has probability 1 at f64 resolution).
-            let t = sample_binomial_fast(m_left, p, rng).max(2);
-            colliding += 1;
-            max_occupied = Some(i);
-            t
-        } else {
-            let thresholds = kernel.thresholds();
-            let u = rng.gen::<f64>();
-            match thresholds.classify(u) {
-                SlotOutcome::Silence => {
-                    empty += 1;
-                    0
+        let lam = m_left as f64 / w_left as f64;
+        if lam < WALK_PER_SLOT_LAMBDA_ENTER {
+            // ---- block decomposition ----
+            let b = if w_left < WALK_BLOCK_BINS + WALK_BLOCK_BINS / 2 {
+                w_left
+            } else {
+                WALK_BLOCK_BINS
+            };
+            let n_b = if b == w_left {
+                m_left
+            } else {
+                sample_binomial_fast(m_left, b as f64 / w_left as f64, rng)
+            };
+            if n_b > 0 {
+                let blk = if COLLECT {
+                    let blk = throw_balls_into(n_b, b, rng, &mut scratch.occupancy);
+                    for &bin in scratch.occupancy.singleton_bins() {
+                        scratch.singles.push(i + bin);
+                    }
+                    blk
+                } else {
+                    occupancy_counts(n_b, b, rng, &mut scratch.occupancy)
+                };
+                singletons += blk.singletons;
+                empty += blk.empty_bins;
+                colliding += blk.colliding_bins;
+                if let Some(bin) = blk.max_occupied_bin {
+                    max_occupied = Some(i + bin);
                 }
-                SlotOutcome::Delivery => {
-                    singletons += 1;
-                    scratch.singles.push(i);
-                    max_occupied = Some(i);
-                    1
+                m_left -= n_b;
+            } else {
+                empty += b;
+            }
+            i += b;
+            continue 'outer;
+        }
+        if w_left < WALK_FAST_W_MIN {
+            // ---- general tail loop (high λ in a sub-4096 window tail) ----
+            let mut kernel = SlotKernel::new(m_left, 1.0 / w_left as f64);
+            while i < w && m_left > 0 {
+                let w_left = w - i;
+                if w_left > dense_limit(m_left) {
+                    sparse_from = Some(i);
+                    break 'outer;
                 }
-                SlotOutcome::Collision => {
+                let p = 1.0 / w_left as f64;
+                let m_f = m_left as f64;
+                kernel.update(m_f, p);
+                let taken = if kernel.is_dead() {
                     colliding += 1;
                     max_occupied = Some(i);
-                    if m_f * p <= WALK_INVERSION_LAMBDA_MAX {
-                        // Continue the CDF inversion the classification
-                        // started: u >= t1, so walk the pmf terms upward
-                        // (table-based reciprocals keep the recurrence free
-                        // of a latency-chained divide).
-                        let s = p / (1.0 - p);
-                        let mut t = 1u64;
-                        let mut term = thresholds.t1 - thresholds.t0; // P(T = 1)
-                        let mut cum = thresholds.t1;
-                        loop {
-                            t += 1;
-                            let inv_t = if (t as usize) < WALK_RECIP_N {
-                                scratch.recip[t as usize]
-                            } else {
-                                1.0 / t as f64
-                            };
-                            term *= s * (m_f - (t as f64 - 1.0)) * inv_t;
-                            cum += term;
-                            if u < cum || t >= m_left {
-                                break;
-                            }
+                    mode.update(m_f, p);
+                    mode.sample_cond_ge2(rng.gen::<f64>())
+                } else {
+                    let thresholds = kernel.thresholds();
+                    let u = rng.gen::<f64>();
+                    match thresholds.classify(u) {
+                        SlotOutcome::Silence => {
+                            empty += 1;
+                            0
                         }
-                        t
-                    } else {
-                        // Rejection from the unconditioned sampler: the
-                        // acceptance probability is 1 - P(T <= 1) ~ 1 here.
-                        loop {
-                            let t = sample_binomial_fast(m_left, p, rng);
-                            if t >= 2 {
-                                break t;
+                        SlotOutcome::Delivery => {
+                            singletons += 1;
+                            if COLLECT {
+                                scratch.singles.push(i);
+                            }
+                            max_occupied = Some(i);
+                            1
+                        }
+                        SlotOutcome::Collision => {
+                            colliding += 1;
+                            max_occupied = Some(i);
+                            if m_f * p < WALK_MODE_LAMBDA_MIN {
+                                continue_cdf_inversion(
+                                    u,
+                                    thresholds.t0,
+                                    thresholds.t1,
+                                    p * inv_q(p),
+                                    m_f,
+                                    m_left,
+                                )
+                            } else {
+                                mode.update(m_f, p);
+                                mode.sample_cond_ge2(u - thresholds.t1)
                             }
                         }
                     }
-                }
+                };
+                m_left -= taken;
+                i += 1;
             }
-        };
-        m_left -= taken;
-        i += 1;
+            break 'outer;
+        }
+        // ---- per-slot fused fast loop (λ ≥ enter threshold, w_left ≥ 4096) ----
+        //
+        // All slot state lives in locals: p = 1/w_left by geometric series
+        // (exact re-division every WALK_P_RESYNC slots), ln q by its
+        // per-slot increment δ = ln(1 − p′²) (the exact log-ratio of
+        // consecutive q's), ℓ = n·ln q additively, and t0 = e^ℓ
+        // multiplicatively (exact re-sync every WALK_T0_RESYNC slots;
+        // lazily re-derived after dead stretches). The mode pmf advances
+        // off the same increments, using Δln p = ln(w/(w−1)) = −ln q.
+        let mut p = 1.0 / w_left as f64;
+        let mut lnq = (-p).ln_1p();
+        let mut nn = m_left as f64;
+        let mut ell = nn * lnq;
+        let mut t0 = if ell <= DEAD_LOG { 0.0 } else { ell.exp() };
+        let mut t0_stale = false;
+        let mut p_resync: u32 = WALK_P_RESYNC;
+        let mut t0_resync: u32 = WALK_T0_RESYNC;
+        loop {
+            let taken = if ell <= DEAD_LOG {
+                // Certain collision at f64 resolution (λ ≳ 37 here), but
+                // the ball count still shapes the rest of the window:
+                // sample T | T ≥ 2 from the mode-anchored pmf with a fresh
+                // uniform (the conditioning event has probability 1 at f64
+                // resolution, so the full unit interval is the conditional
+                // mass).
+                t0_stale = true;
+                colliding += 1;
+                max_occupied = Some(i);
+                if mode.n() != nn || mode.p() != p {
+                    mode.update(nn, p);
+                }
+                mode.sample_cond_ge2(rng.gen::<f64>())
+            } else {
+                if t0_stale {
+                    // Waking from a dead stretch (or a freak-move resync):
+                    // the multiplicative product was not advanced.
+                    t0 = ell.exp();
+                    t0_stale = false;
+                    t0_resync = WALK_T0_RESYNC;
+                }
+                let s = p * (1.0 + p * (1.0 + p * (1.0 + p)));
+                let t1 = (t0 + t0 * (nn * s)).min(1.0);
+                let u = rng.gen::<f64>();
+                if u < t0 {
+                    empty += 1;
+                    0
+                } else if u < t1 {
+                    singletons += 1;
+                    if COLLECT {
+                        scratch.singles.push(i);
+                    }
+                    max_occupied = Some(i);
+                    1
+                } else {
+                    // Mode-anchored two-sided inversion on the leftover
+                    // uniform mass: O(√λ) recurrence steps from the
+                    // incrementally maintained mode pmf instead of O(λ)
+                    // continuation terms or a BTPE rejection loop. (This
+                    // loop only serves λ ≥ 32, so the λ < 8 continuation
+                    // band lives in the block and tail regimes.)
+                    debug_assert!(nn * p >= WALK_PER_SLOT_LAMBDA_EXIT);
+                    colliding += 1;
+                    max_occupied = Some(i);
+                    if mode.n() != nn || mode.p() != p {
+                        mode.update(nn, p);
+                    }
+                    mode.sample_cond_ge2(u - t1)
+                }
+            };
+            m_left -= taken;
+            i += 1;
+            if m_left == 0 || i >= w {
+                break 'outer;
+            }
+            let w_left_new = w - i;
+            if w_left_new < WALK_FAST_W_MIN {
+                continue 'outer;
+            }
+            // Advance the maintained state to the next slot.
+            let t = taken as f64;
+            nn -= t;
+            p_resync -= 1;
+            let p_new = if p_resync == 0 {
+                p_resync = WALK_P_RESYNC;
+                1.0 / w_left_new as f64
+            } else {
+                p * (1.0 + p * (1.0 + p * (1.0 + p)))
+            };
+            // δ = ln(q′/q) = ln(1 − p′²) exactly (q′/q = w(w−2)/(w−1)²).
+            let x = p_new * p_new;
+            let dlnq = -x * (1.0 + 0.5 * x);
+            let dl = nn * dlnq - t * lnq;
+            if dl.abs() <= MAX_EXP_OFFSET {
+                // Δln p = ln(w/(w−1)) = −ln(1 − 1/w) = −ln q (old). The
+                // mode pmf is consulted on essentially every slot at these
+                // loads, so it is stepped unconditionally.
+                mode.step_precomputed(t, nn, p_new, w_left_new as f64, -lnq, dlnq);
+                ell += dl;
+                lnq += dlnq;
+                if !t0_stale {
+                    if ell <= DEAD_LOG {
+                        t0_stale = true;
+                    } else {
+                        t0_resync -= 1;
+                        if t0_resync == 0 {
+                            t0_resync = WALK_T0_RESYNC;
+                            t0 = ell.exp();
+                        } else {
+                            t0 *= exp_walk(dl);
+                        }
+                    }
+                }
+                p = p_new;
+            } else {
+                // A freak collision count (taken ≫ λ) pushed the move
+                // outside the polynomial range: re-derive exactly.
+                p = 1.0 / w_left_new as f64;
+                lnq = (-p).ln_1p();
+                ell = nn * lnq;
+                t0_stale = true;
+                p_resync = WALK_P_RESYNC;
+            }
+            if nn * p < WALK_PER_SLOT_LAMBDA_EXIT || w_left_new > dense_limit(m_left) {
+                // λ drifted back to block territory (or the window went
+                // sparse): hand control back to the dispatcher.
+                continue 'outer;
+            }
+        }
     }
+
+    if let Some(start) = sparse_from {
+        // Sparse tail: the remaining balls are uniform on the remaining
+        // bins; finish with the per-ball machinery.
+        let w_left = w - start;
+        let tail = if COLLECT {
+            let tail = throw_balls_into(m_left, w_left, rng, &mut scratch.occupancy);
+            for &bin in scratch.occupancy.singleton_bins() {
+                scratch.singles.push(start + bin);
+            }
+            tail
+        } else {
+            occupancy_counts(m_left, w_left, rng, &mut scratch.occupancy)
+        };
+        singletons += tail.singletons;
+        empty += tail.empty_bins;
+        colliding += tail.colliding_bins;
+        if let Some(bin) = tail.max_occupied_bin {
+            max_occupied = Some(start + bin);
+        }
+        m_left = 0;
+    } else if i < w {
+        // Balls ran out early: every remaining bin is empty.
+        empty += w - i;
+    }
+
     debug_assert_eq!(m_left, 0, "every ball lands in some bin");
     SlotOccupancy {
         bins: w,

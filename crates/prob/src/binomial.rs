@@ -38,6 +38,28 @@
 use crate::outcome::{slot_outcome_probabilities, SlotOutcome};
 use crate::special::ln_gamma;
 use rand::Rng;
+use std::sync::OnceLock;
+
+/// Size of the shared reciprocal table: `recip_table()[t] == 1/t` for
+/// `1 ≤ t < 256`. Covers every transmitter count the CDF-continuation and
+/// mode-anchored pmf recurrences touch inside the sampled λ bands (the
+/// certain-collision shortcut absorbs larger λ); rarer values fall back to
+/// division.
+pub(crate) const RECIP_TABLE_N: usize = 256;
+
+/// `1/t` for `t ∈ [1, 256)` (entry 0 is unused), shared by the pmf
+/// recurrences of [`ModeKernel`] and the window walk's CDF continuation so
+/// neither pays a latency-chained divide per term.
+pub(crate) fn recip_table() -> &'static [f64; RECIP_TABLE_N] {
+    static TABLE: OnceLock<[f64; RECIP_TABLE_N]> = OnceLock::new();
+    TABLE.get_or_init(|| {
+        let mut table = [0.0; RECIP_TABLE_N];
+        for (t, r) in table.iter_mut().enumerate().skip(1) {
+            *r = 1.0 / t as f64;
+        }
+        table
+    })
+}
 
 /// Largest `n·min(p, 1-p)` handled by CDF inversion; above it BTPE applies.
 const INVERSION_MEAN_MAX: f64 = 10.0;
@@ -45,11 +67,11 @@ const INVERSION_MEAN_MAX: f64 = 10.0;
 /// `ln P(T ≤ 1)` below which the slot is certainly dead: `e^{-780}·(1+λ)`
 /// with `λ ≤ 780` is below `2^{-1074}` (the smallest positive `f64`), so the
 /// exact `f64` evaluation would round to `0.0` as well.
-const DEAD_LOG: f64 = -780.0;
+pub(crate) const DEAD_LOG: f64 = -780.0;
 
 /// Largest exponent offset the incremental `exp` polynomial accepts
 /// (`2^-4`; degree 7, truncation error below `1.5e-15` relative).
-const MAX_EXP_OFFSET: f64 = 1.0 / 16.0;
+pub(crate) const MAX_EXP_OFFSET: f64 = 1.0 / 16.0;
 
 /// Largest `ε` the incremental `ln1p` polynomial accepts (`2^-10`;
 /// truncation error below `2e-13` relative).
@@ -65,7 +87,7 @@ const REBASE_PERIOD: u32 = 4096;
 /// `exp(d)` for `|d| ≤ 1/16` by a degree-7 Taylor polynomial (truncation
 /// error below `1.5e-15` relative).
 #[inline]
-fn exp_small(d: f64) -> f64 {
+pub(crate) fn exp_small(d: f64) -> f64 {
     debug_assert!(d.abs() <= MAX_EXP_OFFSET * 1.0001);
     1.0 + d
         * (1.0
@@ -87,7 +109,7 @@ fn ln1p_small(e: f64) -> f64 {
 /// common case, where the division's latency would sit on the hot loop's
 /// critical path), by actual division otherwise.
 #[inline]
-fn inv_q(p: f64) -> f64 {
+pub(crate) fn inv_q(p: f64) -> f64 {
     if p.abs() <= SERIES_P_MAX {
         // Truncation error p⁷ ≈ 2^-70 relative.
         1.0 + p * (1.0 + p * (1.0 + p * (1.0 + p * (1.0 + p * (1.0 + p)))))
@@ -422,6 +444,401 @@ impl SlotKernelCache {
         } else {
             (b, a)
         }
+    }
+}
+
+/// Largest relative probability move `|Δp|/p` the mode kernel follows
+/// incrementally (`2^-12` — one `1/w → 1/(w-1)` step for windows of
+/// `w ≥ 4096` slots). Larger moves force an exact re-anchor.
+const MODE_RP_MAX: f64 = 2.441_406_25e-4;
+
+/// Largest `k₀/n` for which the maintained harmonic drift sums support
+/// *incremental* updates to the documented tolerance (`2^-12`; in the
+/// window walk this is `1/w`, so the gate coincides with [`MODE_RP_MAX`]).
+const MODE_H_MAX: f64 = 2.441_406_25e-4;
+
+/// Largest `k₀/n` for which the cancellation-free series *anchor* itself is
+/// valid to the documented tolerance (`2^-8`; truncation after the quartic
+/// power sum stays below `k₀·(k₀/n)⁵/5 ≈ 5e-11`). Between the two gates the
+/// kernel re-anchors on every update — still O(1) and exact. Beyond this
+/// one it falls back to the log-gamma pmf, whose accuracy at paper-scale
+/// `n` degrades to the `~1e-7` absolute rounding of large `ln Γ`
+/// differences (still far below statistical visibility).
+const MODE_SERIES_MAX: f64 = 3.906_25e-3;
+
+/// Accumulated-drift tolerance of the incrementally maintained mode pmf,
+/// relative: the kernel re-anchors exactly before the neglected quartic
+/// term of the falling-factorial Taylor stack (`h1` maintained through
+/// `h2`, `h2` through the anchored `h3`) can move `ln f(k₀)` by more than
+/// this — the bound is `(k₀/4)·Δ⁴` for a relative `n`-drift of `Δ` since
+/// the anchor, so the kernel allows `Δ ≤ (4·tol/k₀)^{1/4}` (see
+/// `crates/sim/DESIGN.md` §7 for the error ledger).
+const MODE_PMF_TOL: f64 = 1e-10;
+
+/// `ln k!` for `k < 256`, exact summation, built once. The mode kernel's
+/// anchor needs it for the binomial coefficient without the catastrophic
+/// `ln Γ(n)` cancellation at paper-scale `n`.
+fn ln_factorial_table() -> &'static [f64; 256] {
+    static TABLE: OnceLock<[f64; 256]> = OnceLock::new();
+    TABLE.get_or_init(|| {
+        let mut table = [0.0; 256];
+        let mut acc = 0.0;
+        for (k, slot) in table.iter_mut().enumerate() {
+            if k >= 2 {
+                acc += (k as f64).ln();
+            }
+            *slot = acc;
+        }
+        table
+    })
+}
+
+/// Incrementally maintained binomial pmf **anchored at the mode**, plus the
+/// O(√λ) conditional sampler for collision-slot transmitter counts.
+///
+/// The window walk resolves each collision slot by sampling
+/// `T ~ Binomial(m, 1/w_left)` conditioned on `T ≥ 2`. The classic ways to
+/// do that — CDF continuation from `T = 2` upward, or rejection from an
+/// unconditioned sampler — cost O(λ) pmf terms or a full BTPE draw per
+/// slot. This kernel instead keeps the pmf value at the **mode**
+/// `k₀ = ⌊(n+1)p⌋` and inverts the conditional CDF by enumerating the
+/// support **outward from the mode** (`k₀, k₀+1, k₀−1, k₀+2, …`, skipping
+/// `T < 2`): any fixed enumeration order is a valid inversion, and this one
+/// reaches the drawn value in `E|T − k₀| + O(1) ≈ 0.8·√λ` pmf-recurrence
+/// steps instead of `~λ`.
+///
+/// Like [`SlotKernel`], the anchored value is maintained *incrementally*
+/// along the walk's drifting `(m, w)`: a per-slot move
+/// `(n, p) → (n − t, p')` updates `ln f(k₀)` with short Taylor polynomials
+/// (the falling-factorial drift through maintained harmonic sums, the
+/// `ln p` / `ln(1−p)` moves through `ln1p` kernels), and the kernel
+/// re-anchors **exactly** — a cancellation-free O(1) evaluation — whenever
+/// the accumulated third-order drift could move the pmf by more than
+/// [`MODE_PMF_TOL`] relative, the relative probability move exceeds
+/// [`MODE_RP_MAX`], or [`REBASE_PERIOD`] steps have passed. See
+/// `crates/sim/DESIGN.md` §7 for the recurrence and the error budget.
+#[derive(Debug, Clone, Copy)]
+pub struct ModeKernel {
+    /// Current trial count (integer-valued).
+    n: f64,
+    /// Current success probability.
+    p: f64,
+    /// `1/p`, maintained by Newton steps (exact at anchor time).
+    inv_p: f64,
+    /// `ln(1 - p)`, maintained incrementally.
+    lnq: f64,
+    /// Anchored mode (integer-valued; the enumeration start, not
+    /// necessarily the exact mode of the *current* `(n, p)` — drift moves
+    /// the true mode by `O(1)` between anchors, which costs a couple of
+    /// extra enumeration steps and no exactness).
+    k0: f64,
+    /// `f(k₀)` at the current `(n, p)`, maintained incrementally.
+    fm: f64,
+    /// Maintained `Σ_{j<k₀} 1/(n−j)` (drift rate of the falling factorial).
+    h1: f64,
+    /// Maintained `Σ_{j<k₀} 1/(n−j)²` (drift rate of `h1`).
+    h2: f64,
+    /// Anchored `Σ_{j<k₀} 1/(n−j)³` (drift rate of `h2`).
+    h3: f64,
+    /// Re-anchor when `n` falls below this: the relative drift allowance
+    /// `(4·tol/k₀)^{1/4}` derived from [`MODE_PMF_TOL`].
+    n_floor: f64,
+    /// Incremental updates left before a forced exact re-anchor.
+    steps_left: u32,
+    /// `false` when the anchor's series gate (`k₀/n ≤ 2^-12`) failed: every
+    /// update re-anchors and accuracy is the log-gamma route's.
+    incremental_ok: bool,
+}
+
+impl ModeKernel {
+    /// Creates a kernel anchored at `(n, p)`.
+    pub fn new(n: u64, p: f64) -> Self {
+        let mut kernel = Self {
+            n: 0.0,
+            p: -1.0,
+            inv_p: f64::INFINITY,
+            lnq: 0.0,
+            k0: 0.0,
+            fm: 1.0,
+            h1: 0.0,
+            h2: 0.0,
+            h3: 0.0,
+            n_floor: 0.0,
+            steps_left: 0,
+            incremental_ok: false,
+        };
+        kernel.anchor(n as f64, p);
+        kernel
+    }
+
+    /// The `n` the pmf currently describes.
+    #[inline]
+    pub fn n(&self) -> f64 {
+        self.n
+    }
+
+    /// The `p` the pmf currently describes.
+    #[inline]
+    pub fn p(&self) -> f64 {
+        self.p
+    }
+
+    /// The anchored mode `k₀`.
+    #[inline]
+    pub fn mode(&self) -> u64 {
+        self.k0 as u64
+    }
+
+    /// The maintained pmf value `P(T = k₀)` at the current `(n, p)`.
+    #[inline]
+    pub fn pmf_mode(&self) -> f64 {
+        self.fm
+    }
+
+    /// Moves the kernel to `(n, p)`, incrementally when the move is small
+    /// (`n` may only decrease between anchors, the access pattern of the
+    /// conditional window walk).
+    #[inline]
+    pub fn update(&mut self, n: f64, p: f64) {
+        if n == self.n && p == self.p {
+            return;
+        }
+        let t = self.n - n;
+        let dp = p - self.p;
+        let rp = dp * self.inv_p;
+        // Negated comparisons so that NaN (e.g. `rp` after a degenerate
+        // anchor at p = 0) falls through to the exact re-anchor.
+        if !(self.incremental_ok
+            && t >= 0.0
+            && rp.abs() <= MODE_RP_MAX
+            && n >= self.n_floor
+            && self.steps_left > 0)
+        {
+            self.anchor(n, p);
+            return;
+        }
+        // Logarithmic increments for the generic move (the window walk's
+        // fused loop computes these itself and calls `step_precomputed`
+        // directly); `|rp| ≤ 2^-12` keeps both inside the `ln1p` range.
+        let dlnp = ln1p_small(rp);
+        let eps = -dp * inv_q(self.p);
+        let dlnq = ln1p_small(eps);
+        // Two Newton steps keep 1/p at full accuracy (the first absorbs
+        // the O(rp) staleness, the second its square).
+        let mut inv_p_new = self.inv_p * (2.0 - p * self.inv_p);
+        inv_p_new *= 2.0 - p * inv_p_new;
+        self.step_precomputed(t, n, p, inv_p_new, dlnp, dlnq);
+    }
+
+    /// Exact re-anchoring at `(n, p)`: recomputes the mode and its pmf from
+    /// scratch and resets the drift budget.
+    #[cold]
+    fn anchor(&mut self, n: f64, p: f64) {
+        debug_assert!(
+            n >= 0.0 && (0.0..=1.0).contains(&p),
+            "ModeKernel::anchor n={n} p={p}"
+        );
+        let k0 = ((n + 1.0) * p).floor().clamp(0.0, n);
+        let inv_n = if n > 0.0 { 1.0 / n } else { 0.0 };
+        self.n = n;
+        self.p = p;
+        self.k0 = k0;
+        self.n_floor = n;
+        self.steps_left = REBASE_PERIOD;
+        let series_ok =
+            p > 0.0 && p < 1.0 && k0 < 256.0 && k0 * inv_n <= MODE_SERIES_MAX && n >= 2.0;
+        self.incremental_ok = series_ok && k0 * inv_n <= MODE_H_MAX;
+        self.inv_p = if p > 0.0 { 1.0 / p } else { f64::INFINITY };
+        self.lnq = if p < 1.0 {
+            (-p).ln_1p()
+        } else {
+            f64::NEG_INFINITY
+        };
+        if !series_ok {
+            // Degenerate or out-of-gate anchor: exact-at-f64 pmf through the
+            // log-gamma route; every subsequent update re-anchors.
+            self.fm = crate::special::binomial_pmf(n as u64, k0 as u64, p);
+            self.h1 = 0.0;
+            self.h2 = 0.0;
+            self.h3 = 0.0;
+            return;
+        }
+        // Cancellation-free anchor: ln f(k₀) = ln[(n)_{k₀}] − ln k₀!
+        //   + k₀ ln p + (n−k₀) ln(1−p), with the falling factorial expanded
+        // as k₀·ln(np) − Σ_m S_m/(m·nᵐ) (S_m = Σ_{j<k₀} jᵐ, exact in f64
+        // for k₀ < 256). Truncation after m = 4 is below k₀·(k₀/n)⁵/5
+        // ≤ 2e-19 under the series gate — far inside [`MODE_PMF_TOL`].
+        let k = k0;
+        let s1 = 0.5 * k * (k - 1.0);
+        let s2 = s1 * (2.0 * k - 1.0) / 3.0;
+        let s3 = s1 * s1;
+        let s4 = s2 * (3.0 * k * k - 3.0 * k - 1.0) / 5.0;
+        let series = inv_n * (s1 + inv_n * (0.5 * s2 + inv_n * (s3 / 3.0 + inv_n * (0.25 * s4))));
+        let ln_fm =
+            k * (n * p).ln() - ln_factorial_table()[k0 as usize] - series + (n - k) * self.lnq;
+        self.fm = ln_fm.exp();
+        // Harmonic drift sums over j < k₀, by the same power sums:
+        //   h1 = Σ 1/(n−j) = (k₀ + S₁/n + S₂/n² + S₃/n³ + S₄/n⁴)/n,
+        //   h2 = Σ 1/(n−j)² = (k₀ + 2S₁/n + 3S₂/n²)/n²,
+        //   h3 = Σ 1/(n−j)³ = (k₀ + 3S₁/n)/n³.
+        self.h1 = inv_n * (k + inv_n * (s1 + inv_n * (s2 + inv_n * (s3 + inv_n * s4))));
+        self.h2 = inv_n * inv_n * (k + inv_n * (2.0 * s1 + inv_n * (3.0 * s2)));
+        self.h3 = inv_n * inv_n * inv_n * (k + inv_n * (3.0 * s1));
+        // Quartic drift budget: (k₀/4)·Δ⁴ ≤ tol ⇒ Δ ≤ (4·tol/k₀)^{1/4}.
+        let max_drift = (4.0 * MODE_PMF_TOL / k.max(1.0)).powf(0.25).min(0.1);
+        self.n_floor = n * (1.0 - max_drift);
+    }
+
+    /// Samples `T | T ≥ 2` by mode-outward CDF inversion.
+    ///
+    /// `target` must be uniform on `[0, P(T ≥ 2))` — in the window walk it
+    /// is the leftover `u − P(T ≤ 1)` of the classification draw, so the
+    /// conditional count costs **no additional randomness**. The support is
+    /// enumerated outward from the mode, greedily taking whichever side's
+    /// next pmf value is larger (values below 2 skipped, values above `n`
+    /// exhausted) — a fixed, deterministic order, so accumulating terms
+    /// until the cumulative mass passes `target` is a valid CDF inversion,
+    /// and the greedy order reaches the drawn value in `E|T − k₀| + O(1)`
+    /// steps. `f64` rounding leftovers beyond the last enumerable (or
+    /// representable) term resolve to the last enumerated value, a
+    /// deviation bounded by the same `~1e-11`-scale tolerance as the
+    /// thresholds the target was formed from.
+    pub fn sample_cond_ge2(&self, target: f64) -> u64 {
+        let n = self.n;
+        debug_assert!(n >= 2.0, "T >= 2 needs at least two trials");
+        let recip = recip_table();
+        let s = self.p * inv_q(self.p);
+        let inv_s = (1.0 - self.p) * self.inv_p;
+        let inv_nk = 1.0 / (n - self.k0);
+        let mut up_t = self.k0;
+        let mut up_f = self.fm;
+        // Anchors below the conditioning cut walk up to T = 2 first (they
+        // only occur for λ < 2-ish queries, where this is at most two
+        // recurrence steps).
+        while up_t < 2.0 {
+            let next = up_t + 1.0;
+            up_f *= s * (n - up_t) * recip[next as usize];
+            up_t = next;
+        }
+        let mut cum = up_f;
+        let mut last = up_t;
+        if target < cum {
+            return up_t as u64;
+        }
+        let mut dn_t = up_t;
+        let mut dn_f = up_f;
+        // Next candidate pmf values on each side (0 once a side is
+        // exhausted, so the greedy pick and the underflow cut-off both fall
+        // out of the same comparison).
+        let mut up_next = if up_t < n {
+            let next = up_t + 1.0;
+            let r = if (next as usize) < RECIP_TABLE_N {
+                recip[next as usize]
+            } else {
+                1.0 / next
+            };
+            up_f * s * (n - up_t) * r
+        } else {
+            0.0
+        };
+        let mut dn_next = if dn_t > 2.0 {
+            let y = (self.k0 - dn_t + 1.0) * inv_nk;
+            let inv = if y.abs() <= MODE_H_MAX {
+                inv_nk * (1.0 - y * (1.0 - y))
+            } else {
+                1.0 / (n - dn_t + 1.0)
+            };
+            dn_f * dn_t * inv_s * inv
+        } else {
+            0.0
+        };
+        loop {
+            if up_next >= dn_next {
+                if up_next <= 0.0 {
+                    // Both sides exhausted or underflowed: rounding
+                    // leftovers resolve to the last enumerated value.
+                    return last as u64;
+                }
+                up_f = up_next;
+                up_t += 1.0;
+                cum += up_f;
+                last = up_t;
+                if target < cum {
+                    return up_t as u64;
+                }
+                up_next = if up_t < n {
+                    let next = up_t + 1.0;
+                    let r = if (next as usize) < RECIP_TABLE_N {
+                        recip[next as usize]
+                    } else {
+                        1.0 / next
+                    };
+                    up_f * s * (n - up_t) * r
+                } else {
+                    0.0
+                };
+            } else {
+                dn_f = dn_next;
+                dn_t -= 1.0;
+                cum += dn_f;
+                last = dn_t;
+                if target < cum {
+                    return dn_t as u64;
+                }
+                dn_next = if dn_t > 2.0 {
+                    let y = (self.k0 - dn_t + 1.0) * inv_nk;
+                    let inv = if y.abs() <= MODE_H_MAX {
+                        inv_nk * (1.0 - y * (1.0 - y))
+                    } else {
+                        1.0 / (n - dn_t + 1.0)
+                    };
+                    dn_f * dn_t * inv_s * inv
+                } else {
+                    0.0
+                };
+            }
+        }
+    }
+
+    /// Fused per-slot step for the window walk: advances the kernel by one
+    /// conditional-walk move `(n, p) → (n − t, p′)` with the logarithmic
+    /// increments already computed by the caller
+    /// (`dlnp = ln(p′/p)`, `dlnq = ln((1−p′)/(1−p))`), and `inv_p_new`
+    /// exact (the walk knows `1/p′ = w_left` as an integer). Skips the
+    /// polynomial evaluations [`ModeKernel::update`] would repeat — the
+    /// walk's fast loop shares one set of increments between its thresholds
+    /// and the mode pmf. Falls back to the exact anchor on the same guard
+    /// set as `update`.
+    #[inline]
+    pub(crate) fn step_precomputed(
+        &mut self,
+        t: f64,
+        n_new: f64,
+        p_new: f64,
+        inv_p_new: f64,
+        dlnp: f64,
+        dlnq: f64,
+    ) {
+        if !(self.incremental_ok && t >= 0.0 && n_new >= self.n_floor && self.steps_left > 0) {
+            self.anchor(n_new, p_new);
+            return;
+        }
+        let dg = -t * (self.h1 + 0.5 * t * self.h2);
+        let dl = dg + self.k0 * dlnp + (n_new - self.k0) * dlnq - t * self.lnq;
+        // Negated so that a NaN move (degenerate anchor state) re-anchors.
+        #[allow(clippy::neg_cmp_op_on_partial_ord)]
+        if !(dl.abs() <= MAX_EXP_OFFSET) {
+            self.anchor(n_new, p_new);
+            return;
+        }
+        self.h1 += t * (self.h2 + t * self.h3);
+        self.h2 += 2.0 * t * self.h3;
+        self.fm *= exp_small(dl);
+        self.lnq += dlnq;
+        self.inv_p = inv_p_new;
+        self.n = n_new;
+        self.p = p_new;
+        self.steps_left -= 1;
     }
 }
 
@@ -767,6 +1184,148 @@ mod tests {
         let _ = cache.select(100.0, 0.25);
         let _ = cache.select(100.0, 0.001);
         assert_eq!(cache.track_probabilities(), tracks);
+    }
+
+    #[test]
+    fn mode_kernel_anchor_matches_exact_pmf() {
+        use crate::special::binomial_pmf;
+        for &(n, p) in &[
+            (100u64, 0.08f64),
+            (4_096, 1.0 / 512.0),
+            (40_960, 10.0 / 40_960.0),
+            (500_000, 50.0 / 500_000.0),
+            (10_000_000, 117.0 / 10_000_000.0),
+            (1_000_000, 0.3), // out of the series gate: log-gamma route
+            (10, 0.0),
+            (10, 1.0),
+            (2, 0.5),
+        ] {
+            let kernel = ModeKernel::new(n, p);
+            let exact = binomial_pmf(n, kernel.mode(), p);
+            // The log-gamma reference itself drifts by ~n·ln(n)·ulp ≈ 1e-8
+            // at paper-scale n; the series anchor is the sharper of the two
+            // (pinned against exact rational/40-digit arithmetic below).
+            let tol = if kernel.incremental_ok { 1e-7 } else { 1e-6 };
+            assert_rel_close(kernel.pmf_mode(), exact, tol, &format!("n={n} p={p}"));
+            // The anchored k0 is the true mode: no neighbour has more mass.
+            let k0 = kernel.mode();
+            if k0 > 0 {
+                assert!(binomial_pmf(n, k0 - 1, p) <= exact * (1.0 + 1e-9));
+            }
+            if k0 < n {
+                assert!(binomial_pmf(n, k0 + 1, p) <= exact * (1.0 + 1e-9));
+            }
+        }
+    }
+
+    #[test]
+    fn mode_kernel_tracks_a_window_walk_drift_to_tolerance() {
+        use crate::special::binomial_pmf;
+        // Drive the kernel along a conditional-window-walk-shaped drift
+        // (w shrinking by one per slot, n dropping by ~λ per collision) and
+        // check the maintained pmf against fresh exact evaluations.
+        let mut rng = Xoshiro256pp::seed_from_u64(17);
+        let mut sharp_checks = 0u32;
+        for &lambda in &[9.0f64, 30.0, 110.0] {
+            let mut w = 400_000u64;
+            let mut n = (lambda * w as f64) as u64;
+            let mut kernel = ModeKernel::new(n, 1.0 / w as f64);
+            for step in 0..200_000u64 {
+                let t = sample_binomial_fast(n, 1.0 / w as f64, &mut rng).max(2);
+                n -= t.min(n);
+                w -= 1;
+                if n < 2 || w < 4096 {
+                    break;
+                }
+                let p = 1.0 / w as f64;
+                kernel.update(n as f64, p);
+                if step % 997 == 0 {
+                    // Loose cross-check against the log-gamma pmf (itself
+                    // ~1e-7 noisy at paper-scale n)...
+                    let exact = binomial_pmf(n, kernel.mode(), p);
+                    assert_rel_close(
+                        kernel.pmf_mode(),
+                        exact,
+                        1e-6,
+                        &format!("lambda={lambda} step={step} n={n} w={w}"),
+                    );
+                    // ...and a sharp check against a fresh exact anchor
+                    // (validated to ~1e-13 against 40-digit arithmetic in
+                    // the anchor tests), whenever it lands on the same mode.
+                    let fresh = ModeKernel::new(n, p);
+                    if fresh.mode() == kernel.mode() {
+                        sharp_checks += 1;
+                        assert_rel_close(
+                            kernel.pmf_mode(),
+                            fresh.pmf_mode(),
+                            1e-9,
+                            &format!("drift lambda={lambda} step={step} n={n} w={w}"),
+                        );
+                    }
+                }
+            }
+        }
+        assert!(sharp_checks >= 50, "only {sharp_checks} sharp drift checks");
+    }
+
+    #[test]
+    fn mode_kernel_reanchors_after_large_moves() {
+        use crate::special::binomial_pmf;
+        let mut kernel = ModeKernel::new(1_000_000, 1.0 / 100_000.0);
+        // A huge jump in both n and p must still land exactly.
+        kernel.update(30_000.0, 1.0 / 3_000.0);
+        let exact = binomial_pmf(30_000, kernel.mode(), 1.0 / 3_000.0);
+        assert_rel_close(kernel.pmf_mode(), exact, 1e-7, "jump");
+        // Growing n (never produced by the walk) is also just a re-anchor.
+        kernel.update(2_000_000.0, 1.0 / 100_000.0);
+        let exact = binomial_pmf(2_000_000, kernel.mode(), 1.0 / 100_000.0);
+        assert_rel_close(kernel.pmf_mode(), exact, 1e-7, "regrow");
+    }
+
+    #[test]
+    fn mode_kernel_anchor_matches_exact_rational_value() {
+        // C(40960, 10)·(1/4096)^10·(4095/4096)^40950, computed with exact
+        // rational arithmetic and rounded to f64: the series anchor must hit
+        // it to a few ulps (the log-gamma route is ~5e-11 off here).
+        let kernel = ModeKernel::new(40_960, 1.0 / 4_096.0);
+        assert_eq!(kernel.mode(), 10);
+        let exact = 0.125_125_310_677_121_35_f64;
+        assert!(
+            (kernel.pmf_mode() - exact).abs() < 1e-14,
+            "{} vs {exact}",
+            kernel.pmf_mode()
+        );
+    }
+
+    #[test]
+    fn mode_sampler_matches_conditional_pmf_exhaustively() {
+        use crate::special::binomial_pmf;
+        // Deterministic sweep: feed equally spaced targets through the
+        // sampler and reconstruct the conditional pmf; compare cell by cell
+        // against the exact conditional distribution.
+        for &(n, p) in &[(64u64, 0.125f64), (5_000, 2e-3), (200_000, 3e-4)] {
+            let kernel = ModeKernel::new(n, p);
+            let t1 = SlotThresholds::exact(n, p).t1;
+            let mass = 1.0 - t1;
+            let grid = 200_001u64;
+            let mut counts = std::collections::HashMap::new();
+            for i in 0..grid {
+                let target = mass * (i as f64 + 0.5) / grid as f64;
+                *counts.entry(kernel.sample_cond_ge2(target)).or_insert(0u64) += 1;
+            }
+            for (&t, &count) in &counts {
+                assert!(t >= 2 && t <= n, "n={n} p={p}: sampled {t}");
+                let expect = binomial_pmf(n, t, p) / mass;
+                let got = count as f64 / grid as f64;
+                // The grid discretisation is 1/grid per cell.
+                assert!(
+                    (got - expect).abs() < 3.0 / grid as f64 + 0.02 * expect,
+                    "n={n} p={p} t={t}: {got:.6} vs {expect:.6}"
+                );
+            }
+            let total: u64 = counts.values().sum();
+            assert_eq!(total, grid);
+        }
     }
 
     #[test]

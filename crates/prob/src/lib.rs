@@ -67,7 +67,8 @@ pub use balls::{
     OccupancyScratch, SlotOccupancy, WalkScratch,
 };
 pub use binomial::{
-    sample_binomial_fast, sample_slot_class, SlotKernel, SlotKernelCache, SlotThresholds,
+    sample_binomial_fast, sample_slot_class, ModeKernel, SlotKernel, SlotKernelCache,
+    SlotThresholds,
 };
 pub use cohort::CohortKernel;
 pub use outcome::{

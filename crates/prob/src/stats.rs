@@ -454,6 +454,323 @@ pub fn two_sample_ks_test(a: &[f64], b: &[f64]) -> TestResult {
     }
 }
 
+pub mod conformance {
+    //! Statistical-conformance harness for sampler rewrites and
+    //! engine-equivalence suites.
+    //!
+    //! Every fast path in this workspace is *exact in law*, not in stream
+    //! (`crates/sim/DESIGN.md` §5), so its tests are statistical: chi-square
+    //! goodness of fit of drawn samples against an exact pmf, and paired-seed
+    //! two-sample comparisons (mean, median, Kolmogorov–Smirnov) between an
+    //! engine under test and the per-station reference. This module is the
+    //! shared machinery those suites use — the support binning with tail
+    //! pooling, the pooled two-empirical-sample chi-square, and the
+    //! paired-sample agreement assertion — so that a sampler rewrite is
+    //! pinned by one reusable gate instead of ad-hoc copies.
+    //!
+    //! ## Significance levels and multiplicity
+    //!
+    //! [`Conformance`] carries the *suite-wide* significance level `α`. A
+    //! suite running `n` comparisons divides it per test (Bonferroni:
+    //! `α_per_test = α/n` via [`Conformance::with_comparisons`]), which
+    //! controls the family-wise false-positive rate at `α` at the price of
+    //! conservatism — appropriate here, where a failure gates CI and false
+    //! alarms are expensive, while real distributional drift (a wrong pmf
+    //! term, a biased sampler) produces p-values tens of orders of magnitude
+    //! below any sane level.
+
+    use super::{chi_square_test, percentile, two_sample_ks_test, StreamingStats, TestResult};
+
+    /// Suite-wide statistical-conformance configuration: the significance
+    /// level and the number of planned comparisons it is spread over.
+    #[derive(Debug, Clone, Copy)]
+    pub struct Conformance {
+        alpha: f64,
+        comparisons: u32,
+    }
+
+    impl Conformance {
+        /// A conformance gate at suite-wide significance `alpha` for a
+        /// single comparison.
+        pub fn new(alpha: f64) -> Self {
+            assert!((0.0..1.0).contains(&alpha) && alpha > 0.0, "bad alpha");
+            Self {
+                alpha,
+                comparisons: 1,
+            }
+        }
+
+        /// Spreads the suite-wide level over `comparisons` planned tests
+        /// (Bonferroni correction).
+        pub fn with_comparisons(alpha: f64, comparisons: u32) -> Self {
+            assert!(comparisons >= 1, "need at least one comparison");
+            let mut cfg = Self::new(alpha);
+            cfg.comparisons = comparisons;
+            cfg
+        }
+
+        /// The per-test significance level `α / comparisons`.
+        pub fn per_test_alpha(&self) -> f64 {
+            self.alpha / self.comparisons as f64
+        }
+
+        /// Panics with a diagnostic unless `result` is consistent with the
+        /// null hypothesis at the per-test level.
+        pub fn assert_consistent(&self, result: &TestResult, label: &str) {
+            assert!(
+                result.is_consistent_at(self.per_test_alpha()),
+                "{label}: statistic {:.4} (parameter {:.1}), p = {:.3e} < per-test alpha {:.1e}",
+                result.statistic,
+                result.parameter,
+                result.p_value,
+                self.per_test_alpha()
+            );
+        }
+    }
+
+    /// Support binning of an exact pmf for chi-square goodness of fit:
+    /// values whose expected count under `planned_samples` draws reaches
+    /// `min_expected` get individual cells; everything below the first such
+    /// value pools into a lower-tail cell, everything above the last into
+    /// an upper-tail cell.
+    #[derive(Debug, Clone)]
+    pub struct PmfHistogram {
+        lo: usize,
+        hi: usize,
+        observed: Vec<u64>,
+        expected: Vec<f64>,
+    }
+
+    impl PmfHistogram {
+        /// Builds the binning for `pmf` (indexed by value) under
+        /// `planned_samples` draws. `min_expected` is the classic ≥ 5
+        /// expected-count rule; pass a larger value for extra headroom.
+        ///
+        /// # Panics
+        /// Panics if no cell reaches `min_expected` (the sample is too
+        /// small to test against this pmf).
+        pub fn new(pmf: &[f64], planned_samples: u64, min_expected: f64) -> Self {
+            let threshold = min_expected / planned_samples as f64;
+            let lo = pmf
+                .iter()
+                .position(|&q| q >= threshold)
+                .unwrap_or_else(|| panic!("no pmf cell reaches {min_expected} expected counts"));
+            let hi = pmf.iter().rposition(|&q| q >= threshold).unwrap().max(lo);
+            // Cells: [<= lo-1], lo, lo+1, …, hi, [>= hi+1].
+            let cells = hi - lo + 3;
+            let mut expected = vec![0.0f64; cells];
+            expected[0] = pmf[..lo].iter().sum();
+            for v in lo..=hi {
+                expected[v - lo + 1] = pmf[v];
+            }
+            expected[cells - 1] = (1.0 - expected[..cells - 1].iter().sum::<f64>()).max(0.0);
+            Self {
+                lo,
+                hi,
+                observed: vec![0; cells],
+                expected,
+            }
+        }
+
+        /// Records one drawn value.
+        pub fn record(&mut self, value: u64) {
+            let v = value as usize;
+            let cell = if v < self.lo {
+                0
+            } else if v > self.hi {
+                self.observed.len() - 1
+            } else {
+                v - self.lo + 1
+            };
+            self.observed[cell] += 1;
+        }
+
+        /// Pearson chi-square of the recorded counts against the binned pmf.
+        pub fn chi_square(&self) -> TestResult {
+            chi_square_test(&self.observed, &self.expected)
+        }
+    }
+
+    /// One-shot sample-vs-exact-pmf chi-square: draws `reps` samples from
+    /// `draw` and tests them against `pmf` (indexed by value, tails pooled
+    /// at the ≥ 5 expected-count rule).
+    pub fn sample_vs_pmf_chi_square<F: FnMut() -> u64>(
+        pmf: &[f64],
+        reps: u64,
+        mut draw: F,
+    ) -> TestResult {
+        let mut hist = PmfHistogram::new(pmf, reps, 5.0);
+        for _ in 0..reps {
+            hist.record(draw());
+        }
+        hist.chi_square()
+    }
+
+    /// Pooled chi-square of two *empirical* count vectors over the same
+    /// support (e.g. two samplers' histograms of the same size): cells are
+    /// pooled left to right until the reference side reaches
+    /// `min_expected`, and the observed side is tested against the
+    /// reference's empirical frequencies.
+    ///
+    /// The reference is itself a sample of the same size, which roughly
+    /// doubles the variance of the statistic, so gate this at an `α` one
+    /// or two orders stricter than a true GOF — or compare the statistic
+    /// against `2·dof` for a scale-free check.
+    pub fn pooled_empirical_chi_square(
+        observed: &[u64],
+        reference: &[u64],
+        min_expected: f64,
+    ) -> TestResult {
+        assert_eq!(observed.len(), reference.len(), "support mismatch");
+        let total: u64 = reference.iter().sum();
+        assert!(total > 0, "empty reference sample");
+        let mut pooled_obs = Vec::new();
+        let mut pooled_exp = Vec::new();
+        let mut acc_obs = 0u64;
+        let mut acc_exp = 0.0f64;
+        for (&o, &r) in observed.iter().zip(reference) {
+            acc_obs += o;
+            acc_exp += r as f64 / total as f64;
+            if acc_exp * total as f64 >= min_expected {
+                pooled_obs.push(acc_obs);
+                pooled_exp.push(acc_exp);
+                acc_obs = 0;
+                acc_exp = 0.0;
+            }
+        }
+        // Fold the trailing remainder into the last flushed pool: pushing
+        // it as its own cell could pair a zero expected probability with a
+        // nonzero observed count (an observed extreme beyond the
+        // reference's support) and spuriously hard-reject two same-law
+        // samples.
+        let tail_exp = (1.0 - pooled_exp.iter().sum::<f64>()).max(0.0);
+        if let (Some(last_obs), Some(last_exp)) = (pooled_obs.last_mut(), pooled_exp.last_mut()) {
+            *last_obs += acc_obs;
+            *last_exp += tail_exp;
+        } else {
+            pooled_obs.push(acc_obs);
+            pooled_exp.push(tail_exp);
+        }
+        chi_square_test(&pooled_obs, &pooled_exp)
+    }
+
+    /// Paired-sample law-agreement gate: means within `sigmas` standard
+    /// errors (with an absolute floor for tiny scales), medians within the
+    /// same tolerance, and the two-sample Kolmogorov–Smirnov test not
+    /// rejected at the per-test level. This is the workhorse assertion of
+    /// the engine-equivalence suites (aggregate vs exact, cohort vs exact,
+    /// window walk before/after).
+    #[allow(clippy::too_many_arguments)]
+    pub fn assert_law_agreement(
+        cfg: &Conformance,
+        reference: &[f64],
+        candidate: &[f64],
+        sigmas: f64,
+        mean_floor: f64,
+        label: &str,
+    ) {
+        let ref_stats: StreamingStats = reference.iter().copied().collect();
+        let cand_stats: StreamingStats = candidate.iter().copied().collect();
+        let tolerance = (sigmas * (ref_stats.std_error() + cand_stats.std_error())).max(mean_floor);
+        assert!(
+            (ref_stats.mean() - cand_stats.mean()).abs() < tolerance,
+            "{label}: reference mean {:.2} vs candidate mean {:.2} (tolerance {:.2})",
+            ref_stats.mean(),
+            cand_stats.mean(),
+            tolerance
+        );
+        let p50_ref = percentile(reference, 50.0).unwrap();
+        let p50_cand = percentile(candidate, 50.0).unwrap();
+        assert!(
+            (p50_ref - p50_cand).abs() < tolerance.max(0.25 * p50_ref.abs()),
+            "{label}: reference p50 {p50_ref} vs candidate p50 {p50_cand}"
+        );
+        let ks = two_sample_ks_test(reference, candidate);
+        cfg.assert_consistent(&ks, &format!("{label} (KS)"));
+    }
+
+    #[cfg(test)]
+    mod tests {
+        use super::*;
+
+        #[test]
+        fn per_test_alpha_applies_bonferroni() {
+            let cfg = Conformance::with_comparisons(0.01, 10);
+            assert!((cfg.per_test_alpha() - 0.001).abs() < 1e-15);
+            assert_eq!(Conformance::new(0.05).per_test_alpha(), 0.05);
+        }
+
+        #[test]
+        fn histogram_pools_tails_and_accepts_its_own_pmf() {
+            // Binomial(20, 0.3)-ish shape via a hand-rolled pmf.
+            let pmf: Vec<f64> = (0..=20)
+                .map(|t| crate::special::binomial_pmf(20, t, 0.3))
+                .collect();
+            let mut hist = PmfHistogram::new(&pmf, 10_000, 5.0);
+            // Feed expected counts directly: statistic ~ 0.
+            for (v, &q) in pmf.iter().enumerate() {
+                for _ in 0..(q * 10_000.0).round() as u64 {
+                    hist.record(v as u64);
+                }
+            }
+            let r = hist.chi_square();
+            assert!(r.p_value > 0.5, "{r:?}");
+        }
+
+        #[test]
+        fn sample_vs_pmf_rejects_a_wrong_distribution() {
+            use crate::rng::Xoshiro256pp;
+            use rand::{Rng, SeedableRng};
+            let pmf: Vec<f64> = (0..=20)
+                .map(|t| crate::special::binomial_pmf(20, t, 0.3))
+                .collect();
+            let mut rng = Xoshiro256pp::seed_from_u64(1);
+            // Draw from Binomial(20, 0.4) instead: must be rejected hard.
+            let bad = sample_vs_pmf_chi_square(&pmf, 20_000, || {
+                (0..20).map(|_| u64::from(rng.gen::<f64>() < 0.4)).sum()
+            });
+            assert!(bad.p_value < 1e-12, "{bad:?}");
+        }
+
+        #[test]
+        fn pooled_empirical_chi_square_accepts_same_law() {
+            use crate::rng::Xoshiro256pp;
+            use rand::{Rng, SeedableRng};
+            let mut rng = Xoshiro256pp::seed_from_u64(5);
+            let mut a = vec![0u64; 30];
+            let mut b = vec![0u64; 30];
+            for _ in 0..20_000 {
+                let draw = |rng: &mut Xoshiro256pp| -> usize {
+                    (0..29).take_while(|_| rng.gen::<f64>() < 0.7).count()
+                };
+                a[draw(&mut rng)] += 1;
+                b[draw(&mut rng)] += 1;
+            }
+            let r = pooled_empirical_chi_square(&a, &b, 20.0);
+            assert!(
+                r.p_value > 1e-4 || r.statistic < 2.0 * r.parameter + 20.0,
+                "{r:?}"
+            );
+        }
+
+        #[test]
+        #[should_panic(expected = "KS")]
+        fn law_agreement_rejects_shifted_samples() {
+            let cfg = Conformance::new(0.001);
+            let a: Vec<f64> = (0..300).map(|i| i as f64).collect();
+            let b: Vec<f64> = (0..300).map(|i| i as f64 + 200.0).collect();
+            assert_law_agreement(&cfg, &a, &b, 1e9, f64::INFINITY, "shifted");
+        }
+
+        #[test]
+        fn law_agreement_accepts_identical_samples() {
+            let cfg = Conformance::new(0.001);
+            let a: Vec<f64> = (0..300).map(|i| (i % 37) as f64).collect();
+            assert_law_agreement(&cfg, &a, &a.clone(), 4.0, 8.0, "identical");
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -4,19 +4,19 @@ use mac_prob::balls::{
     expected_singleton_fraction, occupancy_counts, throw_balls, throw_balls_into, walk_window,
     BinsOccupancy, OccupancyScratch, WalkScratch,
 };
-use mac_prob::binomial::{sample_binomial_fast, SlotKernel, SlotThresholds};
+use mac_prob::binomial::{sample_binomial_fast, ModeKernel, SlotKernel, SlotThresholds};
 use mac_prob::outcome::{sample_slot_outcome, slot_outcome_probabilities, SlotOutcome};
 use mac_prob::rng::{derive_seed, Xoshiro256pp};
 use mac_prob::sampling::{sample_binomial, sample_geometric, sample_poisson};
 use mac_prob::special::{binomial_pmf, ln_binomial, ln_factorial};
-use mac_prob::stats::{chi_square_test, percentile, StreamingStats};
+use mac_prob::stats::{chi_square_test, conformance, percentile, StreamingStats};
 use proptest::prelude::*;
 use rand::{Rng, SeedableRng};
 
 /// Chi-square goodness of fit of a sampler against the exact binomial pmf:
-/// draws `reps` samples of `Binomial(n, p)`, bins them (grouping the tails
-/// so every expected count is ≥ ~5), and requires the fit not to be
-/// rejected at the 0.1% level.
+/// draws `reps` samples of `Binomial(n, p)`, bins them through the shared
+/// conformance harness (tails pooled at the ≥ 5 expected-count rule), and
+/// requires the fit not to be rejected at the 0.1% level.
 fn assert_binomial_gof<F: FnMut(&mut Xoshiro256pp) -> u64>(
     n: u64,
     p: f64,
@@ -25,44 +25,9 @@ fn assert_binomial_gof<F: FnMut(&mut Xoshiro256pp) -> u64>(
     mut draw: F,
 ) {
     let mut rng = Xoshiro256pp::seed_from_u64(seed);
-    // Bin the support: individual values where the pmf is large enough,
-    // pooled tails elsewhere.
     let pmf: Vec<f64> = (0..=n.min(4096)).map(|t| binomial_pmf(n, t, p)).collect();
-    let threshold = 5.0 / reps as f64;
-    let lo = pmf.iter().position(|&q| q >= threshold).unwrap_or(0);
-    let hi = pmf
-        .iter()
-        .rposition(|&q| q >= threshold)
-        .unwrap_or(0)
-        .max(lo);
-    // Categories: [<= lo-1], lo, lo+1, …, hi, [>= hi+1].
-    let cells = hi - lo + 3;
-    let mut observed = vec![0u64; cells];
-    for _ in 0..reps {
-        let t = draw(&mut rng) as usize;
-        let cell = if t < lo {
-            0
-        } else if t > hi {
-            cells - 1
-        } else {
-            t - lo + 1
-        };
-        observed[cell] += 1;
-    }
-    let mut expected = vec![0.0f64; cells];
-    expected[0] = pmf[..lo].iter().sum();
-    for t in lo..=hi {
-        expected[t - lo + 1] = pmf[t];
-    }
-    expected[cells - 1] = (1.0 - pmf[..=hi].iter().sum::<f64>()).max(0.0);
-    let result = chi_square_test(&observed, &expected);
-    assert!(
-        result.is_consistent_at(0.001),
-        "n={n} p={p}: chi2 = {:.1} (dof {}), p = {:.2e}",
-        result.statistic,
-        result.parameter,
-        result.p_value
-    );
+    let result = conformance::sample_vs_pmf_chi_square(&pmf, reps, || draw(&mut rng));
+    conformance::Conformance::new(0.001).assert_consistent(&result, &format!("n={n} p={p}"));
 }
 
 #[test]
@@ -146,28 +111,10 @@ fn walk_window_singleton_distribution_passes_chi_square_against_per_ball() {
         let occ = throw_balls(m, w, &mut rng);
         ball_counts[occ.singletons() as usize] += 1;
     }
-    // Pool sparse cells (expected < 5) into their neighbours.
-    let total: u64 = ball_counts.iter().sum();
-    let mut observed = Vec::new();
-    let mut expected = Vec::new();
-    let mut pool_obs = 0u64;
-    let mut pool_exp = 0.0f64;
-    for (o, e) in walk_counts.iter().zip(&ball_counts) {
-        pool_obs += o;
-        pool_exp += *e as f64 / total as f64;
-        if pool_exp * reps as f64 >= 20.0 {
-            observed.push(pool_obs);
-            expected.push(pool_exp);
-            pool_obs = 0;
-            pool_exp = 0.0;
-        }
-    }
-    observed.push(pool_obs);
-    expected.push((1.0 - expected.iter().sum::<f64>()).max(0.0));
-    let result = chi_square_test(&observed, &expected);
     // The "expected" side is itself an empirical sample of the same size,
     // which doubles the variance of the statistic; 0.0001 still catches any
     // real divergence while tolerating that.
+    let result = conformance::pooled_empirical_chi_square(&walk_counts, &ball_counts, 20.0);
     assert!(
         result.p_value > 1e-4 || result.statistic < 2.0 * result.parameter + 20.0,
         "walk vs per-ball singleton law: chi2 = {:.1} (dof {}), p = {:.2e}",
@@ -175,6 +122,126 @@ fn walk_window_singleton_distribution_passes_chi_square_against_per_ball() {
         result.parameter,
         result.p_value
     );
+}
+
+/// Exact conditional pmf of `T | T ≥ 2` for `T ~ Binomial(n, p)`, indexed by
+/// value and truncated to `support` cells (the conformance histogram pools
+/// the truncated upper tail).
+fn conditional_ge2_pmf(n: u64, p: f64, support: u64) -> (Vec<f64>, f64) {
+    let t1 = binomial_pmf(n, 0, p) + binomial_pmf(n, 1, p);
+    let mass = 1.0 - t1;
+    let pmf: Vec<f64> = (0..=support.min(n))
+        .map(|t| {
+            if t < 2 {
+                0.0
+            } else {
+                binomial_pmf(n, t, p) / mass
+            }
+        })
+        .collect();
+    (pmf, mass)
+}
+
+#[test]
+fn mode_sampler_passes_chi_square_across_lambda_bands() {
+    // The mode-anchored conditional sampler against the exact conditional
+    // pmf across the λ bands the window walk spans: below the conditioning
+    // cut (0.5), the CDF-continuation band (2), the sampling crossover (8),
+    // the mid band (50) and beyond the dead-slot boundary (200). One
+    // Bonferroni-corrected suite-wide gate at α = 0.001.
+    let cases: &[(u64, f64)] = &[
+        (2_000, 2.5e-4),     // λ = 0.5
+        (8_000, 2.5e-4),     // λ = 2
+        (32_000, 2.5e-4),    // λ = 8
+        (200_000, 2.5e-4),   // λ = 50
+        (2_000_000, 1.0e-4), // λ = 200
+    ];
+    let gate = conformance::Conformance::with_comparisons(0.001, cases.len() as u32);
+    for (case, &(n, p)) in cases.iter().enumerate() {
+        let kernel = ModeKernel::new(n, p);
+        let (pmf, mass) = conditional_ge2_pmf(n, p, 1024);
+        let mut rng = Xoshiro256pp::seed_from_u64(700 + case as u64);
+        let reps = 40_000;
+        let result = conformance::sample_vs_pmf_chi_square(&pmf, reps, || {
+            kernel.sample_cond_ge2(mass * rng.gen::<f64>())
+        });
+        gate.assert_consistent(&result, &format!("mode sampler n={n} p={p}"));
+    }
+}
+
+#[test]
+fn mode_sampler_passes_chi_square_across_drift_and_reanchor_boundaries() {
+    // Drive the kernel along a window-walk-shaped drift (n dropping by ~λ
+    // per slot, w shrinking by one) and goodness-of-fit the *drifted* pmf —
+    // including checkpoints far past the quartic re-anchor budget, so both
+    // the incremental path and the exact re-anchors are exercised.
+    let lambda = 24.0f64;
+    let mut w = 120_000u64;
+    let mut n = (lambda * w as f64) as u64;
+    let mut kernel = ModeKernel::new(n, 1.0 / w as f64);
+    let mut rng = Xoshiro256pp::seed_from_u64(41);
+    let checkpoints = [1u64, 137, 1_000, 5_000, 20_000, 60_000];
+    let gate = conformance::Conformance::with_comparisons(0.001, checkpoints.len() as u32);
+    let mut step = 0u64;
+    for &checkpoint in &checkpoints {
+        while step < checkpoint {
+            let t = sample_binomial_fast(n, 1.0 / w as f64, &mut rng).max(2);
+            n -= t.min(n);
+            w -= 1;
+            kernel.update(n as f64, 1.0 / w as f64);
+            step += 1;
+        }
+        let (pmf, mass) = conditional_ge2_pmf(n, 1.0 / w as f64, 512);
+        let result = conformance::sample_vs_pmf_chi_square(&pmf, 30_000, || {
+            kernel.sample_cond_ge2(mass * rng.gen::<f64>())
+        });
+        gate.assert_consistent(&result, &format!("drift step {checkpoint} (n={n} w={w})"));
+    }
+}
+
+#[test]
+fn walk_window_slot_classes_match_per_ball_across_dispatch_bands() {
+    // The walk's internal dispatch (block decomposition, per-slot loops,
+    // sparse tail) must leave the per-window slot-class law untouched:
+    // compare singleton/empty/colliding totals against the per-ball
+    // reference across one (m, w) point per band.
+    let cases: &[(u64, u64, &str)] = &[
+        (1_024, 16_384, "sparse-ish blocks"),
+        (8_192, 8_192, "single-block window"),
+        (40_960, 8_192, "multi-block lambda=5"),
+        (16_384, 512, "tail loop lambda=32"),
+        (131_072, 2_048, "tail loop dead band"),
+        (300_000, 5_000, "per-slot walk lambda=60"),
+    ];
+    for &(m, w, label) in cases {
+        let reps = 300;
+        let mut rng = Xoshiro256pp::seed_from_u64(m ^ w);
+        let mut scratch = WalkScratch::new();
+        let mut walk_totals = [0u64; 3];
+        for _ in 0..reps {
+            let occ = walk_window(m, w, &mut rng, &mut scratch);
+            walk_totals[0] += occ.singletons;
+            walk_totals[1] += occ.empty_bins;
+            walk_totals[2] += occ.colliding_bins;
+        }
+        let mut ball_totals = [0u64; 3];
+        for _ in 0..reps {
+            let occ = throw_balls(m, w, &mut rng);
+            ball_totals[0] += occ.singletons();
+            ball_totals[1] += occ.empty_bins;
+            ball_totals[2] += occ.colliding_bins;
+        }
+        for (class, (&a, &b)) in walk_totals.iter().zip(&ball_totals).enumerate() {
+            // Per-class totals over `reps` windows concentrate tightly;
+            // 6σ of a binomial-scale spread plus a small absolute floor.
+            let scale = (a + b) as f64 / 2.0;
+            let tol = 6.0 * (scale.max(1.0)).sqrt() + 0.01 * scale + 25.0;
+            assert!(
+                (a as f64 - b as f64).abs() < tol,
+                "{label}: class {class} walk {a} vs per-ball {b} (tol {tol:.0})"
+            );
+        }
+    }
 }
 
 proptest! {

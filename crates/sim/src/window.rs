@@ -37,9 +37,7 @@
 
 use crate::result::{RunOptions, RunResult, MAX_PREALLOC_ENTRIES};
 use mac_adversary::{SlotClass, ADVERSARY_STREAM};
-use mac_prob::balls::{
-    occupancy_counts, throw_balls_into, walk_window, OccupancyScratch, WalkScratch,
-};
+use mac_prob::balls::{walk_window, walk_window_counts, WalkScratch};
 use mac_prob::rng::{derive_seed, Xoshiro256pp};
 use mac_protocols::{ParameterError, ProtocolKind, WindowSchedule};
 use rand::SeedableRng;
@@ -125,17 +123,10 @@ pub(crate) fn run_window(
     // strict no-op here and must not push the run off the counts-only fast
     // path.
     let adversarial = !options.adversary.jamming.is_none();
-    // All per-window state lives in buffers reused across windows. The
-    // counts-only path grows the scratch to its own high-water mark; only
-    // the detailed path — taken when per-delivery slots are recorded or an
-    // adversary needs the singleton positions — uses the per-ball buffers,
-    // so only those modes pre-size them. The delivery list is pre-sized to
-    // its final length.
-    let mut scratch = if options.record_deliveries || adversarial {
-        OccupancyScratch::with_capacity(k.min(MAX_PREALLOC_ENTRIES) as usize)
-    } else {
-        OccupancyScratch::new()
-    };
+    // All per-window state lives in buffers reused across windows (the
+    // walk scratch grows its singleton list and block-resolver buffers to
+    // their high-water marks); the delivery list is pre-sized to its final
+    // length.
     let mut walk_scratch = WalkScratch::new();
     let mut delivery_slots = options
         .record_deliveries
@@ -143,58 +134,29 @@ pub(crate) fn run_window(
 
     while remaining > 0 && elapsed < max_slots {
         let w = schedule.next_window();
-        // Heavily overloaded windows (`m > 4w`, the early back-on phases)
-        // are resolved by the aggregate slot walk — O(w) conditional
-        // binomial draws, with the certain-collision shortcut making the
-        // hopeless windows O(1) — instead of O(m) per-ball work; below that
-        // load the per-ball paths win (their per-slot constant is smaller).
-        // The dispatch depends only on (m, w), never on the adversary, so a
-        // configured-but-inert adversary stays bit-identical to a clean run.
+        // Every window runs through the aggregate slot walk
+        // (`mac_prob::balls::walk_window`), whose internal dispatch —
+        // certain-collision shortcut, conditional-binomial block
+        // decomposition for low loads, the per-slot mode-anchored loop for
+        // high loads, the sparse per-ball tail — was re-derived from
+        // measured crossover points at k = 10⁷ (see `DESIGN.md` §7): with
+        // the block resolver running the dense per-ball machinery against
+        // L1-resident counter windows, the walk now matches or beats the
+        // flat per-ball path at every (m, w). The dispatch depends only on
+        // (m, w), never on the adversary, so a configured-but-inert
+        // adversary stays bit-identical to a clean run; the detailed walk
+        // (ascending singleton list) is RNG-stream-identical to the
+        // counts-only walk, so recording/jamming does not perturb a seeded
+        // trajectory either.
         let (delivered_in_window, last_delivered, empty_bins, colliding_bins, max_occupied) =
-            if remaining > 4 * w {
+            if adversarial || delivery_slots.is_some() {
                 let occupancy = walk_window(remaining, w, rng, &mut walk_scratch);
-                let (delivered, last) = if adversarial || delivery_slots.is_some() {
-                    let mut delivered: u64 = 0;
-                    let mut last: Option<u64> = None;
-                    let mut jammed_singletons: u64 = 0;
-                    // Singleton bins are ascending, satisfying the
-                    // adversary's slot-order contract.
-                    for &bin in walk_scratch.singleton_bins() {
-                        if adversarial && adversary.jams_slot(elapsed + bin, SlotClass::Single) {
-                            jammed_singletons += 1;
-                        } else {
-                            delivered += 1;
-                            last = Some(bin);
-                            if let Some(slots) = delivery_slots.as_mut() {
-                                slots.push(elapsed + bin);
-                            }
-                        }
-                    }
-                    if adversarial {
-                        adversary.jam_contended_bulk(occupancy.colliding_bins);
-                    }
-                    collisions += jammed_singletons;
-                    jammed_deliveries += jammed_singletons;
-                    (delivered, last)
-                } else {
-                    (occupancy.singletons, occupancy.max_occupied_bin)
-                };
-                (
-                    delivered,
-                    last,
-                    occupancy.empty_bins,
-                    occupancy.colliding_bins,
-                    occupancy.max_occupied_bin,
-                )
-            } else if adversarial || delivery_slots.is_some() {
-                // Detailed per-ball path: needed when per-delivery slots are
-                // recorded or jamming needs the singleton positions;
-                // RNG-stream-identical to the counts-only path below.
-                let occupancy = throw_balls_into(remaining, w, rng, &mut scratch);
                 let mut delivered: u64 = 0;
                 let mut last: Option<u64> = None;
                 let mut jammed_singletons: u64 = 0;
-                for &bin in scratch.singleton_bins() {
+                // Singleton bins are ascending, satisfying the adversary's
+                // slot-order contract.
+                for &bin in walk_scratch.singleton_bins() {
                     if adversarial && adversary.jams_slot(elapsed + bin, SlotClass::Single) {
                         jammed_singletons += 1;
                     } else {
@@ -220,7 +182,7 @@ pub(crate) fn run_window(
                     occupancy.max_occupied_bin,
                 )
             } else {
-                let occupancy = occupancy_counts(remaining, w, rng, &mut scratch);
+                let occupancy = walk_window_counts(remaining, w, rng, &mut walk_scratch);
                 (
                     occupancy.singletons,
                     occupancy.max_occupied_bin,

@@ -10,7 +10,8 @@
 //! `crates/sim/DESIGN.md` §5 for the contract this suite enforces.
 
 use contention_resolution::prelude::*;
-use contention_resolution::prob::stats::{percentile, two_sample_ks_test, StreamingStats};
+use contention_resolution::prob::stats::conformance::{assert_law_agreement, Conformance};
+use contention_resolution::prob::stats::{two_sample_ks_test, StreamingStats};
 
 const K: u64 = 32;
 const REPS: u64 = 60;
@@ -85,36 +86,13 @@ fn fast_makespans(kind: &ProtocolKind, options: &RunOptions, seed_base: u64) -> 
         .collect()
 }
 
+/// Mean (4σ with an absolute floor for tiny makespans), median, and
+/// two-sample KS agreement through the shared conformance harness. The KS
+/// level is conservative (the suite runs dozens of comparisons; 1e-3 keeps
+/// the family-wise false-positive rate low while still catching any real
+/// distributional drift).
 fn assert_distributions_agree(exact: &[f64], fast: &[f64], label: &str) {
-    let exact_stats: StreamingStats = exact.iter().copied().collect();
-    let fast_stats: StreamingStats = fast.iter().copied().collect();
-    // Mean agreement at ~4 sigma with an absolute floor for tiny makespans.
-    let tolerance = (4.0 * (exact_stats.std_error() + fast_stats.std_error())).max(10.0);
-    assert!(
-        (exact_stats.mean() - fast_stats.mean()).abs() < tolerance,
-        "{label}: exact mean {:.1} vs aggregate mean {:.1} (tolerance {:.1})",
-        exact_stats.mean(),
-        fast_stats.mean(),
-        tolerance
-    );
-    // Median within the same scale (nearest-rank percentiles are coarse at
-    // 60 samples, so the tolerance is the mean's).
-    let p50_exact = percentile(exact, 50.0).unwrap();
-    let p50_fast = percentile(fast, 50.0).unwrap();
-    assert!(
-        (p50_exact - p50_fast).abs() < tolerance.max(0.25 * p50_exact),
-        "{label}: exact p50 {p50_exact} vs aggregate p50 {p50_fast}"
-    );
-    // Full-shape check: two-sample KS at a conservative level (the suite
-    // runs dozens of comparisons; 1e-3 keeps the false-positive rate low
-    // while still catching any real distributional drift).
-    let ks = two_sample_ks_test(exact, fast);
-    assert!(
-        ks.is_consistent_at(1e-3),
-        "{label}: KS statistic {:.3}, p = {:.2e}",
-        ks.statistic,
-        ks.p_value
-    );
+    assert_law_agreement(&Conformance::new(1e-3), exact, fast, 4.0, 10.0, label);
 }
 
 #[test]
@@ -289,6 +267,48 @@ fn aggregate_slot_class_totals_match_exact() {
             (a - b).abs() / scale < 0.10,
             "class {class}: exact {a} vs aggregate {b}"
         );
+    }
+}
+
+#[test]
+fn window_walk_slot_class_totals_and_makespans_match_exact() {
+    // The rewired window walk (mode-anchored collision sampling, block
+    // decomposition, measured dispatch) must stay law-identical to the
+    // per-station reference on makespan *and* on the slot-class
+    // composition, for both window protocols under every channel scenario:
+    // paired seed sets, per-class totals within ±10%, and makespan KS
+    // through the shared conformance gate.
+    for kind in window_kinds() {
+        for (scenario_name, scenario) in scenarios() {
+            let options = RunOptions::adversarial(scenario);
+            let label = format!("{} / {scenario_name} (slot classes)", kind.label());
+            let mut exact_mk = Vec::new();
+            let mut fast_mk = Vec::new();
+            let mut totals = [[0u64; 3]; 2];
+            for seed in 0..REPS {
+                let exact = ExactSimulator::new(kind.clone(), options.clone())
+                    .run(K, seed)
+                    .unwrap();
+                let fast = simulate_with_options(&kind, K, 70_000 + seed, &options).unwrap();
+                exact_mk.push(exact.makespan as f64);
+                fast_mk.push(fast.makespan as f64);
+                for (row, run) in [(0, exact), (1, fast)] {
+                    totals[row][0] += run.delivered;
+                    totals[row][1] += run.collisions;
+                    totals[row][2] += run.silent_slots;
+                }
+            }
+            assert_distributions_agree(&exact_mk, &fast_mk, &label);
+            for (class, pair) in totals[0].iter().zip(&totals[1]).enumerate() {
+                let a = *pair.0 as f64;
+                let b = *pair.1 as f64;
+                let scale = (a + b).max(1.0);
+                assert!(
+                    (a - b).abs() / scale < 0.10,
+                    "{label}: class {class} exact {a} vs walk {b}"
+                );
+            }
+        }
     }
 }
 

@@ -105,6 +105,61 @@ fn measured_ratios_match_table_1_at_moderate_k() {
 }
 
 #[test]
+fn theorem_scaling_holds_across_instance_sizes() {
+    // Scaling smoke test: sampler rewrites must not silently bend the
+    // paper's curves. Across k ∈ {10², 10³, 10⁴} (seeded, 6 replications):
+    //
+    // * One-fail Adaptive's **mean** makespan stays within its linear term
+    //   plus a c·log²k additive — Theorem 1 gives 2(δ+1)k + O(log²k)
+    //   w.h.p., so the mean obeys the same shape; c = 40 is calibrated
+    //   ~2× above the seeded measurements so only a genuine change of
+    //   shape (or a broken sampler) can cross it.
+    // * r-exponential back-off (the related-work baseline with makespan
+    //   Θ(k·log_{log r} log k)) stays *superlinear*: its mean ratio grows
+    //   from k = 10² to 10⁴, and stays inside a generous doubly-log
+    //   envelope c_e·log₂log₂k with c_e = 8.
+    let delta = 2.72;
+    let reps = 6u64;
+    let mut exp_ratios = Vec::new();
+    for &k in &[100u64, 1_000, 10_000] {
+        let mut ofa = StreamingStats::new();
+        for seed in 0..reps {
+            let r = simulate(&ProtocolKind::OneFailAdaptive { delta }, k, 900 + seed).unwrap();
+            assert!(r.completed);
+            ofa.push(r.makespan as f64);
+        }
+        let log2k = (k as f64).log2();
+        let envelope = 2.0 * (delta + 1.0) * k as f64 + 40.0 * log2k * log2k;
+        assert!(
+            ofa.mean() < envelope,
+            "OFA mean makespan {:.0} at k={k} exceeds 2(δ+1)k + 40·log²k = {envelope:.0}",
+            ofa.mean()
+        );
+
+        let mut exp = StreamingStats::new();
+        for seed in 0..reps {
+            let r = simulate(&ProtocolKind::RExponentialBackoff { r: 2.0 }, k, 950 + seed).unwrap();
+            assert!(r.completed);
+            exp.push(r.ratio());
+        }
+        let loglog = (k as f64).log2().log2();
+        assert!(
+            exp.mean() < 8.0 * loglog,
+            "r-exponential ratio {:.2} at k={k} exceeds its 8·log₂log₂k envelope {:.2}",
+            exp.mean(),
+            8.0 * loglog
+        );
+        exp_ratios.push(exp.mean());
+    }
+    assert!(
+        exp_ratios[2] > exp_ratios[0],
+        "r-exponential back-off must stay superlinear: ratio at 10⁴ ({:.2}) vs 10² ({:.2})",
+        exp_ratios[2],
+        exp_ratios[0]
+    );
+}
+
+#[test]
 fn no_protocol_beats_the_fair_optimum() {
     // e ≈ 2.718 slots/message is the fair-protocol optimum; even the window
     // protocols cannot beat it on average (they are "fair" per window).

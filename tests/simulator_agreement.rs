@@ -86,6 +86,82 @@ fn window_fast_path_matches_exact_simulation_for_ebb_and_llib() {
 }
 
 #[test]
+fn window_fast_path_matches_exact_across_dispatch_bands() {
+    // The walk's dispatch table (certain-all-collision shortcut, block
+    // decomposition, per-slot mode loops, sparse per-ball tail) is selected
+    // per window from (m, w) alone. Protocol runs at these sizes sweep every
+    // band a batched run can reach:
+    //
+    // * k = 24  — tiny windows, certain-collision for w ≤ 4 (λ ≥ 6 with
+    //   m = 24... the union bound fires for w = 2), single-block windows,
+    //   and the sparse tail once most messages drain;
+    // * k = 600 — early windows w ∈ {2, 4, 8} are certain-all-collision
+    //   (λ ≥ 75), mid windows land in the tail loop's sampled high-λ band
+    //   (w < 4096, λ ∈ (8, ~110)), late windows are blocks and sparse.
+    //
+    // (The per-slot fused loop's entry band — λ ≥ 48 with w ≥ 4096 —
+    // needs m ≥ 200k stations, beyond what a per-station reference can
+    // check affordably; its collision-count law is pinned directly against
+    // the per-ball reference across every band in
+    // `crates/prob/tests/properties.rs`, where λ and w are set explicitly.)
+    for kind in [
+        ProtocolKind::ExpBackonBackoff { delta: 0.366 },
+        ProtocolKind::LoglogIteratedBackoff { r: 2.0 },
+        ProtocolKind::RExponentialBackoff { r: 2.0 },
+    ] {
+        for &k in &[24u64, 600] {
+            let reps = if k >= 600 { 15 } else { 40 };
+            let exact = makespan_stats(reps, |seed| {
+                ExactSimulator::new(kind.clone(), RunOptions::default())
+                    .run(k, 100 + seed)
+                    .unwrap()
+                    .makespan
+            });
+            let fast = makespan_stats(reps, |seed| {
+                simulate(&kind, k, 13_000 + seed).unwrap().makespan
+            });
+            assert_means_agree(&exact, &fast, &format!("{} k={k}", kind.label()));
+        }
+    }
+}
+
+#[test]
+fn certain_all_collision_windows_deliver_nothing_and_advance_the_clock() {
+    // The certain-all-collision shortcut edge: a batched EBB run at k large
+    // enough that the whole first phase is hopeless must report every one
+    // of those slots as a collision (no deliveries, no silent slots) — and
+    // the shortcut must agree with the per-station reference on when the
+    // first delivery can possibly happen. Checked structurally: makespan ≥
+    // k (one delivery per slot) and collisions + silent + delivered ==
+    // makespan hold on both engines, and the fast engine's totals stay
+    // within the statistical envelope of the exact one's.
+    let kind = ProtocolKind::ExpBackonBackoff { delta: 0.366 };
+    let k = 2_000u64;
+    let mut exact_collisions = StreamingStats::new();
+    let mut fast_collisions = StreamingStats::new();
+    for seed in 0..10u64 {
+        let exact = ExactSimulator::new(kind.clone(), RunOptions::default())
+            .run(k, seed)
+            .unwrap();
+        let fast = simulate(&kind, k, 40_000 + seed).unwrap();
+        for run in [&exact, &fast] {
+            assert!(run.completed);
+            assert_eq!(
+                run.makespan,
+                run.delivered + run.collisions + run.silent_slots
+            );
+        }
+        exact_collisions.push(exact.collisions as f64);
+        fast_collisions.push(fast.collisions as f64);
+    }
+    assert_means_agree(
+        &exact_collisions,
+        &fast_collisions,
+        "EBB k=2000 collision totals",
+    );
+}
+
+#[test]
 fn experiment_runner_is_reproducible_and_thread_count_independent() {
     let base = Experiment {
         protocols: vec![
