@@ -51,7 +51,12 @@
 #![warn(missing_debug_implementations)]
 
 pub mod model;
+pub mod search;
 pub mod state;
 
 pub use model::{AdversaryModel, AdversaryScenario, FeedbackFault, JamTrigger};
+pub use search::{
+    budgeted_search, exhaustive_worst_case, AdversaryGame, Certificate, CertificateTier,
+    ExhaustiveOutcome, ParamSchedule, ScoredCandidate, SearchOutcome, SearchStats,
+};
 pub use state::{AdversaryState, SlotClass, ADVERSARY_STREAM};

@@ -152,7 +152,10 @@ impl AdversaryModel {
     /// * `none`
     /// * `noise:P` — stochastic noise with probability `P`
     /// * `periodic:PERIOD:BURST:PHASE`
-    /// * `scheduled:S+L,S+L,...` — intervals of `L` slots starting at `S`
+    /// * `scheduled:S+L,S+L,...` — intervals of `L` slots starting at `S`.
+    ///   Intervals may be given out of order but must not cover any slot
+    ///   twice: a duplicated slot is rejected with an error naming it,
+    ///   since silently merging it would misstate the jam budget.
     /// * `reactive:BUDGET:near-success` / `reactive:BUDGET:contended`
     ///
     /// # Errors
@@ -256,6 +259,23 @@ impl FromStr for AdversaryModel {
                         parse_u64(start, "interval start")?,
                         parse_u64(len, "interval length")?,
                     ));
+                }
+                // A slot covered by two intervals would be jammed "twice":
+                // normalisation merges the duplicates away, so a config
+                // naming a slot twice silently claims less jamming than it
+                // spells out. Reject it, naming the first double-counted
+                // slot, instead of guessing what was meant.
+                let mut occupied: Vec<(u64, u64)> =
+                    bursts.iter().copied().filter(|&(_, len)| len > 0).collect();
+                occupied.sort_unstable();
+                for window in occupied.windows(2) {
+                    let (prev_start, prev_len) = window[0];
+                    let (next_start, _) = window[1];
+                    if next_start < prev_start.saturating_add(prev_len) {
+                        return Err(format!(
+                            "scheduled jam covers slot {next_start} twice in `{text}`"
+                        ));
+                    }
                 }
                 AdversaryModel::ScheduledJam { bursts }
             }
@@ -435,6 +455,36 @@ mod tests {
         assert!(AdversaryModel::StochasticNoise { p: 0.5 }
             .validate()
             .is_ok());
+    }
+
+    #[test]
+    fn duplicate_scheduled_slots_are_rejected_with_the_offending_slot() {
+        // Exact duplicate interval: slot 5 is covered twice.
+        let err = AdversaryModel::parse("scheduled:5+2,5+2").unwrap_err();
+        assert!(err.contains("slot 5"), "unhelpful error: {err}");
+        // Partial overlap: [0,5) and [3,5) double-cover slot 3.
+        let err = AdversaryModel::parse("scheduled:0+5,3+2").unwrap_err();
+        assert!(err.contains("slot 3"), "unhelpful error: {err}");
+        // Out-of-order but disjoint (and even adjacent) intervals are fine.
+        assert!(AdversaryModel::parse("scheduled:5+5,0+5").is_ok());
+        // Zero-length intervals cover nothing and cannot collide.
+        assert!(AdversaryModel::parse("scheduled:3+0,3+0,3+1").is_ok());
+    }
+
+    #[test]
+    fn normalisation_deduplicates_identical_intervals() {
+        // The search layer emits unordered, possibly duplicated candidates;
+        // the canonical form must collapse them so the budget they spell out
+        // equals the number of slots actually jammed.
+        let model = AdversaryModel::ScheduledJam {
+            bursts: vec![(4, 1), (0, 1), (4, 1), (2, 1)],
+        };
+        assert_eq!(
+            model.normalised(),
+            AdversaryModel::ScheduledJam {
+                bursts: vec![(0, 1), (2, 1), (4, 1)],
+            }
+        );
     }
 
     #[test]

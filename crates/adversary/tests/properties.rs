@@ -1,0 +1,163 @@
+//! Property tests for adversary budget accounting.
+//!
+//! The strategy-search certificates lean on exact budget bookkeeping: a
+//! certificate's jam count is compared against the budget `B` it was
+//! searched under, so a jammer that over- or under-spends would invalidate
+//! the whole certification story. These tests drive [`AdversaryState`]
+//! through arbitrary interleavings of [`AdversaryState::jams_slot`] and
+//! [`AdversaryState::jam_contended_bulk`] queries and assert, for every
+//! [`JamTrigger`] variant:
+//!
+//! * `budget_left()` is monotone non-increasing;
+//! * the total number of jams granted never exceeds the configured budget;
+//! * spent budget and granted jams always reconcile exactly.
+
+use mac_adversary::{AdversaryModel, AdversaryScenario, AdversaryState, JamTrigger, SlotClass};
+use proptest::prelude::*;
+
+/// One adversary query in a generated interleaving.
+#[derive(Debug, Clone, Copy)]
+enum Query {
+    /// `jams_slot` with the given slot class.
+    Slot(SlotClass),
+    /// `jam_contended_bulk` with this many colliding slots.
+    Bulk(u64),
+}
+
+fn query_strategy() -> impl Strategy<Value = Query> {
+    // A single integer encodes (kind, bulk size): the vendored proptest
+    // subset has no tuple strategies.
+    (0u64..24).prop_map(|v| match v % 4 {
+        0 => Query::Slot(SlotClass::Single),
+        1 => Query::Slot(SlotClass::Contended),
+        _ => Query::Bulk(v / 4),
+    })
+}
+
+/// Drives the adversary through the interleaving (slots strictly
+/// increasing, per the query contract) and returns the total number of
+/// jams granted, asserting monotonicity at every step.
+fn drive(state: &mut AdversaryState, queries: &[Query]) -> Result<u64, TestCaseError> {
+    let mut slot = 0u64;
+    let mut granted = 0u64;
+    let mut previous_budget = state.budget_left();
+    for &query in queries {
+        match query {
+            Query::Slot(class) => {
+                if state.jams_slot(slot, class) {
+                    granted += 1;
+                }
+                slot += 1;
+            }
+            Query::Bulk(colliding) => {
+                let jammed = state.jam_contended_bulk(colliding);
+                prop_assert!(
+                    jammed <= colliding,
+                    "jammed {jammed} of only {colliding} colliding slots"
+                );
+                granted += jammed;
+                slot += colliding;
+            }
+        }
+        let budget = state.budget_left();
+        prop_assert!(
+            budget <= previous_budget,
+            "budget_left went up: {previous_budget} -> {budget}"
+        );
+        previous_budget = budget;
+    }
+    Ok(granted)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn reactive_budget_is_monotone_and_never_overspent(
+        budget in 0u64..40,
+        trigger_contended in any::<bool>(),
+        seed in any::<u64>(),
+        queries in prop::collection::vec(query_strategy(), 0..120),
+    ) {
+        let trigger = if trigger_contended {
+            JamTrigger::Contended
+        } else {
+            JamTrigger::NearSuccess
+        };
+        let model = AdversaryModel::BudgetedReactiveJam { budget, trigger };
+        let mut state = AdversaryScenario::jamming(model).state(seed);
+        prop_assert_eq!(state.budget_left(), budget);
+
+        let granted = drive(&mut state, &queries)?;
+        prop_assert!(
+            granted <= budget,
+            "granted {granted} jams on a budget of {budget}"
+        );
+        // Spend and grants reconcile exactly: every granted jam cost one
+        // unit, nothing else may touch the budget.
+        prop_assert_eq!(state.budget_left(), budget - granted);
+
+        // A reactive jammer with budget left jams *every* matching slot, so
+        // leftover budget means the interleaving ran out of matching slots.
+        if state.budget_left() > 0 {
+            let matching = queries.iter().map(|&q| match (q, trigger) {
+                (Query::Slot(SlotClass::Single), JamTrigger::NearSuccess) => 1,
+                (Query::Slot(SlotClass::Contended), JamTrigger::Contended) => 1,
+                (Query::Bulk(n), JamTrigger::Contended) => n,
+                _ => 0,
+            }).sum::<u64>();
+            prop_assert_eq!(granted, matching);
+        }
+    }
+
+    #[test]
+    fn non_budgeted_models_report_zero_budget_and_free_bulk_jams(
+        seed in any::<u64>(),
+        queries in prop::collection::vec(query_strategy(), 0..60),
+        period in 1u64..9,
+        burst_frac in 0u64..9,
+        noise in 0.0f64..=1.0,
+    ) {
+        let models = [
+            AdversaryModel::None,
+            AdversaryModel::StochasticNoise { p: noise },
+            AdversaryModel::PeriodicJam {
+                period,
+                burst: burst_frac % (period + 1),
+                phase: seed % period,
+            },
+            AdversaryModel::ScheduledJam { bursts: vec![(2, 3), (10, 1)] },
+        ];
+        for model in models {
+            let mut state = AdversaryScenario::jamming(model.clone()).state(seed);
+            prop_assert_eq!(state.budget_left(), 0, "{}", model.label());
+            for (i, &query) in queries.iter().enumerate() {
+                match query {
+                    Query::Slot(class) => { let _ = state.jams_slot(i as u64 * 7, class); }
+                    Query::Bulk(colliding) => {
+                        // Only the Contended-trigger reactive jammer pays
+                        // for bulk collision jams; every other model
+                        // reports zero jammed.
+                        prop_assert_eq!(state.jam_contended_bulk(colliding), 0);
+                    }
+                }
+                prop_assert_eq!(state.budget_left(), 0);
+            }
+        }
+    }
+}
+
+/// The near-success trigger must not leak budget through the bulk-collision
+/// path: contended slots never match it, however many are offered.
+#[test]
+fn near_success_budget_survives_bulk_collisions() {
+    let model = AdversaryModel::BudgetedReactiveJam {
+        budget: 3,
+        trigger: JamTrigger::NearSuccess,
+    };
+    let mut state = AdversaryScenario::jamming(model).state(11);
+    assert_eq!(state.jam_contended_bulk(1_000_000), 0);
+    assert_eq!(state.budget_left(), 3);
+    assert!(state.jams_slot(0, SlotClass::Single));
+    assert_eq!(state.budget_left(), 2);
+}

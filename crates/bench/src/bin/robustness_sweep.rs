@@ -33,12 +33,23 @@
 //!   outright), while the window protocols — whose slot choice inside each
 //!   window is uniformly random — only lose the jammed fraction of their
 //!   throughput.
+//!
+//! After the fixed-script grid, a final table asks the sharper question the
+//! scripts can't: *how bad can it get* under a jam budget? For each protocol
+//! it reports the worst makespan the adversary strategy search
+//! ([`mac_sim::worst_case_search`]) finds under two budgets, against the
+//! clean baseline of the same seed. These are best-found bounds (tier (b)
+//! of the search); the exhaustively *certified* small-k table lives in
+//! `CERTIFICATES.md` (the `certify` binary).
 
 use mac_bench::HarnessOptions;
 use mac_prob::rng::derive_seed;
 use mac_prob::stats::StreamingStats;
 use mac_protocols::ProtocolKind;
-use mac_sim::{simulate_with_options, AdversaryModel, AdversaryScenario, JamTrigger, RunOptions};
+use mac_sim::{
+    simulate_with_options, worst_case_search, AdversaryModel, AdversaryScenario, JamTrigger,
+    RunOptions,
+};
 use std::fmt::Write as _;
 
 /// The adversary grid of the sweep, scaled to the instance size `k`. The
@@ -169,6 +180,48 @@ fn render_markdown(
     out
 }
 
+/// The jam budgets of the worst-found table, scaled to the instance size.
+fn search_budgets(k: u64) -> [u64; 2] {
+    [(k / 10).max(1), (k / 4).max(2)]
+}
+
+/// Runs the budgeted strategy search for every protocol and renders the
+/// "worst found under budget B vs clean baseline" table.
+fn render_worst_found(protocols: &[ProtocolKind], k: u64, master_seed: u64) -> String {
+    let options = RunOptions::default();
+    let mut out = String::new();
+    writeln!(
+        out,
+        "### Worst found under a jam budget (beam search, best-found bounds)\n"
+    )
+    .expect("writing to a String cannot fail");
+    writeln!(
+        out,
+        "| protocol | budget | worst | clean | worst/clean | jams used |"
+    )
+    .expect("writing to a String cannot fail");
+    writeln!(out, "|---|---|---|---|---|---|").expect("writing to a String cannot fail");
+    for (pi, kind) in protocols.iter().enumerate() {
+        for budget in search_budgets(k) {
+            let seed = derive_seed(master_seed, &[u64::MAX, pi as u64, budget]);
+            let (certificate, _) = worst_case_search(kind, k, budget, seed, &options, 4, 6)
+                .expect("sweep configurations are valid");
+            writeln!(
+                out,
+                "| {} | {} | {} | {} | {:.3} | {} |",
+                certificate.protocol,
+                certificate.budget,
+                certificate.makespan,
+                certificate.clean_makespan,
+                certificate.ratio(),
+                certificate.jam_slots.len(),
+            )
+            .expect("writing to a String cannot fail");
+        }
+    }
+    out
+}
+
 fn main() {
     let options = HarnessOptions::parse(std::env::args().skip(1));
     let k = 10u64.pow(options.max_exp);
@@ -185,6 +238,8 @@ fn main() {
 
     let cells = run_grid(&adversaries, &protocols, k, reps, options.seed);
     print!("{}", render_markdown(&adversaries, &protocols, &cells));
+    println!();
+    print!("{}", render_worst_found(&protocols, k, options.seed));
 }
 
 #[cfg(test)]
@@ -215,5 +270,17 @@ mod tests {
         // >= 3 protocols.
         assert!(adversaries.len() >= 4 && protocols.len() >= 3);
         assert!(render.contains("| clean channel |"));
+    }
+
+    #[test]
+    fn worst_found_table_covers_every_protocol_at_two_budgets() {
+        let protocols = ProtocolKind::robust_lineup();
+        let table = render_worst_found(&protocols, 200, 7);
+        assert_eq!(table, render_worst_found(&protocols, 200, 7));
+        for kind in &protocols {
+            assert!(table.contains(&format!("| {} |", kind.label())), "{table}");
+        }
+        // One row per (protocol, budget) plus caption, header and rule.
+        assert_eq!(table.lines().count(), 4 + protocols.len() * 2);
     }
 }

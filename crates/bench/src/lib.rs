@@ -52,6 +52,8 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod certify;
+
 use mac_protocols::ProtocolKind;
 use mac_sim::{EngineChoice, Experiment, RunOptions};
 

@@ -157,6 +157,17 @@ impl Xoshiro256pp {
         self.s = [s0, s1, s2, s3];
     }
 
+    /// Returns the raw 256-bit state as four words.
+    ///
+    /// Two generators with equal state words produce identical streams
+    /// forever, so the words serve as an *exact* fingerprint of the
+    /// generator's future — used by the adversary strategy search to
+    /// deduplicate game-tree states without any risk of hash collisions.
+    #[inline]
+    pub fn state_words(&self) -> [u64; 4] {
+        self.s
+    }
+
     #[inline]
     fn step(&mut self) -> u64 {
         let result = self.s[0]

@@ -253,6 +253,14 @@ impl FairProtocol for LogFailsAdaptive {
         // is bounded by the fail window, keeping the phase space small.
         self.step % self.bt_period + self.bt_period * self.consecutive_failures
     }
+
+    fn probability_tracks(&self) -> (f64, f64) {
+        // The AT track 1/κ̃ and the (fixed) BT track. The phase already
+        // carries the consecutive-failure count, so phase + these tracks pin
+        // the full state — reporting only the *current* probability would
+        // conflate states whose other track differs.
+        (1.0 / self.kappa_estimate, self.bt_probability)
+    }
 }
 
 #[cfg(test)]

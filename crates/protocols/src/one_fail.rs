@@ -192,6 +192,13 @@ impl FairProtocol for OneFailAdaptive {
         // state, so phase- and track-equal cohorts merge exactly.
         self.step % 2
     }
+
+    fn probability_tracks(&self) -> (f64, f64) {
+        // Both cached tracks, not just the one the current parity uses: at a
+        // fixed parity, (1/κ̃, BT probability) is injective in (κ̃, σ), so
+        // bit equality of phase + tracks is an exact state fingerprint.
+        (1.0 / self.kappa_estimate, self.bt_probability)
+    }
 }
 
 #[cfg(test)]

@@ -78,6 +78,24 @@ pub trait Protocol: Debug {
     fn slot_probability(&self) -> Option<f64> {
         None
     }
+
+    /// An *exact* fingerprint of the station's protocol state, if the
+    /// protocol can produce one: two stations returning equal signatures
+    /// behave identically under identical future inputs (decide draws and
+    /// observations), forever.
+    ///
+    /// This is the per-station analogue of the cohort engine's
+    /// ([`FairProtocol::schedule_phase`], probability tracks) merge key: the
+    /// adversary strategy search uses it to deduplicate game-tree nodes, and
+    /// soundness of the resulting *certificates* requires exactness — a
+    /// lossy hash could merge distinct states and silently prune the true
+    /// worst case. Protocols that cannot pin their state exactly (window
+    /// protocols carry in-window position and the chosen slot, which this
+    /// interface does not expose) return `None`, and the search falls back
+    /// to exploring without deduplication. The default is `None`.
+    fn state_signature(&self) -> Option<Vec<u64>> {
+        None
+    }
 }
 
 impl Protocol for Box<dyn Protocol> {
@@ -95,6 +113,9 @@ impl Protocol for Box<dyn Protocol> {
     }
     fn slot_probability(&self) -> Option<f64> {
         self.as_ref().slot_probability()
+    }
+    fn state_signature(&self) -> Option<Vec<u64>> {
+        self.as_ref().state_signature()
     }
 }
 
@@ -144,6 +165,27 @@ pub trait FairProtocol: Debug {
     fn schedule_phase(&self) -> u64 {
         0
     }
+
+    /// The current value of every probability track of the protocol's
+    /// schedule, as a pair (protocols with a single track report it twice).
+    ///
+    /// The exactness contract extends [`FairProtocol::schedule_phase`]: two
+    /// states reporting the same phase **and** bit-equal track pairs evolve
+    /// in lockstep under identical feedback, forever. For the paper's fair
+    /// line-up the pair is *injective* in the protocol state — One-fail and
+    /// Log-fails Adaptive report their two cached tracks (the AT probability
+    /// `1/κ̃` and the BT probability), the oracle's single track `1/remaining`
+    /// determines its whole state — which is what lets the cohort engine
+    /// merge on bit equality and the adversary search deduplicate game-tree
+    /// nodes without unsoundness.
+    ///
+    /// The default reports the current transmission probability on both
+    /// tracks; protocols whose state carries more than the current
+    /// probability (at a fixed phase) **must** override this.
+    fn probability_tracks(&self) -> (f64, f64) {
+        let p = self.transmission_probability();
+        (p, p)
+    }
 }
 
 impl FairProtocol for Box<dyn FairProtocol> {
@@ -161,6 +203,9 @@ impl FairProtocol for Box<dyn FairProtocol> {
     }
     fn schedule_phase(&self) -> u64 {
         self.as_ref().schedule_phase()
+    }
+    fn probability_tracks(&self) -> (f64, f64) {
+        self.as_ref().probability_tracks()
     }
 }
 
@@ -244,10 +289,23 @@ impl<P: FairProtocol> Protocol for FairNode<P> {
             self.state.transmission_probability()
         })
     }
+
+    fn state_signature(&self) -> Option<Vec<u64>> {
+        // Exact by the `probability_tracks` contract: phase + bit-equal
+        // tracks pin the fair state's entire future, and the delivered flag
+        // is the only per-station addition the adapter makes.
+        let (track_a, track_b) = self.state.probability_tracks();
+        Some(vec![
+            u64::from(self.delivered),
+            self.state.schedule_phase(),
+            track_a.to_bits(),
+            track_b.to_bits(),
+        ])
+    }
 }
 
 /// Adapter that runs a [`WindowSchedule`] as a per-station [`Protocol`].
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct WindowNode<S> {
     schedule: S,
     window_len: u64,

@@ -49,6 +49,13 @@ use rand::Rng;
 
 /// Runs one batched instance of a fair protocol through the aggregate
 /// engine. `state` is the shared common state of all active stations.
+///
+/// `jam_log`, when provided, records the slot index of every jammed
+/// would-be delivery (the *effective* jams — the only adversary actions
+/// with an observable effect). The log is what the strategy search replays
+/// as a [`mac_adversary::AdversaryModel::ScheduledJam`] certificate; the
+/// logging itself consumes no randomness, so a logged run is bit-identical
+/// to an unlogged one.
 pub(crate) fn run_fair_aggregate<P: FairProtocol>(
     mut state: P,
     label: String,
@@ -56,6 +63,7 @@ pub(crate) fn run_fair_aggregate<P: FairProtocol>(
     seed: u64,
     options: &RunOptions,
     rng: &mut Xoshiro256pp,
+    mut jam_log: Option<&mut Vec<u64>>,
 ) -> RunResult {
     let max_slots = options.max_slots(k);
     let mut remaining = k;
@@ -126,6 +134,9 @@ pub(crate) fn run_fair_aggregate<P: FairProtocol>(
                     // active and the slot reads as a collision.
                     collisions += 1;
                     jammed_deliveries += 1;
+                    if let Some(log) = jam_log.as_deref_mut() {
+                        log.push(slot);
+                    }
                 } else {
                     remaining -= 1;
                     m -= 1.0;

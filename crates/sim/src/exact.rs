@@ -152,6 +152,31 @@ impl ExactSimulator {
         Ok(self.run_schedule(&schedule, seed)?.result)
     }
 
+    /// Runs a batched instance and additionally records the slot index of
+    /// every jammed would-be delivery (the adversary's *effective* jams:
+    /// slots in which exactly one station transmitted and the jam turned the
+    /// delivery into a collision).
+    ///
+    /// The returned slot list, replayed as an
+    /// [`mac_adversary::AdversaryModel::ScheduledJam`] on the same seed,
+    /// reproduces this run bit-identically: deterministic jam models consume
+    /// no randomness from either stream, and jamming already-contended slots
+    /// is observably inert. The strategy search uses this to turn a searched
+    /// incumbent into a replayable certificate.
+    ///
+    /// # Errors
+    /// Returns a [`ParameterError`] if the protocol parameters are invalid.
+    pub fn run_logging_jams(
+        &self,
+        k: u64,
+        seed: u64,
+    ) -> Result<(RunResult, Vec<u64>), ParameterError> {
+        let schedule = ArrivalSchedule::new(vec![0; k as usize]);
+        let mut log = Vec::new();
+        let run = self.run_schedule_inner(&schedule, seed, Some(&mut log))?;
+        Ok((run.result, log))
+    }
+
     /// Runs an instance with an arbitrary arrival schedule and returns
     /// per-message detail.
     ///
@@ -167,6 +192,15 @@ impl ExactSimulator {
         schedule: &ArrivalSchedule,
         seed: u64,
     ) -> Result<DetailedRun, ParameterError> {
+        self.run_schedule_inner(schedule, seed, None)
+    }
+
+    fn run_schedule_inner(
+        &self,
+        schedule: &ArrivalSchedule,
+        seed: u64,
+        jam_log: Option<&mut Vec<u64>>,
+    ) -> Result<DetailedRun, ParameterError> {
         let k = schedule.len() as u64;
         let label = self.kind.label();
         match &self.kind {
@@ -177,6 +211,7 @@ impl ExactSimulator {
                     &label,
                     schedule,
                     seed,
+                    jam_log,
                 )
             }
             ProtocolKind::LogFailsAdaptive {
@@ -190,6 +225,7 @@ impl ExactSimulator {
                     &label,
                     schedule,
                     seed,
+                    jam_log,
                 )
             }
             ProtocolKind::KnownKOracle => self.run_generic(
@@ -197,6 +233,7 @@ impl ExactSimulator {
                 &label,
                 schedule,
                 seed,
+                jam_log,
             ),
             ProtocolKind::ExpBackonBackoff { delta } => {
                 let delta = *delta;
@@ -205,6 +242,7 @@ impl ExactSimulator {
                     &label,
                     schedule,
                     seed,
+                    jam_log,
                 )
             }
             ProtocolKind::LoglogIteratedBackoff { r } => {
@@ -214,6 +252,7 @@ impl ExactSimulator {
                     &label,
                     schedule,
                     seed,
+                    jam_log,
                 )
             }
             ProtocolKind::RExponentialBackoff { r } => {
@@ -223,6 +262,7 @@ impl ExactSimulator {
                     &label,
                     schedule,
                     seed,
+                    jam_log,
                 )
             }
         }
@@ -249,7 +289,7 @@ impl ExactSimulator {
         // `Box<dyn Protocol>` implements `Protocol` by forwarding, so the
         // generic driver covers the dynamic case too (with virtual dispatch,
         // as before — custom factories are not on the benchmarked path).
-        self.run_generic(factory, label, schedule, seed)
+        self.run_generic(factory, label, schedule, seed, None)
     }
 
     /// The station-driving loop, generic over the concrete protocol type so
@@ -265,6 +305,7 @@ impl ExactSimulator {
         label: &str,
         schedule: &ArrivalSchedule,
         seed: u64,
+        mut jam_log: Option<&mut Vec<u64>>,
     ) -> Result<DetailedRun, ParameterError> {
         self.options.validate_adversary()?;
         let k = schedule.len() as u64;
@@ -349,6 +390,13 @@ impl ExactSimulator {
             }
 
             let resolution = channel.resolve_slot_by_count(transmitter_count, sole_transmitter);
+            // An effective jam: exactly one transmitter, so without the jam
+            // this slot would have been a delivery.
+            if resolution.jammed && transmitter_count == 1 {
+                if let Some(log) = jam_log.as_deref_mut() {
+                    log.push(slot);
+                }
+            }
 
             // Distribute observations and retire the delivered station. The
             // acknowledged transmitter sees the true outcome (ACKs are

@@ -71,6 +71,37 @@ impl FairSimulator {
     /// Returns a [`ParameterError`] if the protocol parameters are invalid or
     /// the kind is not a fair protocol.
     pub fn run(&self, k: u64, seed: u64) -> Result<RunResult, ParameterError> {
+        self.run_inner(k, seed, None)
+    }
+
+    /// Runs one batched instance and additionally records the slot index of
+    /// every jammed would-be delivery (the adversary's *effective* jams).
+    ///
+    /// The returned slot list, replayed as an
+    /// [`mac_adversary::AdversaryModel::ScheduledJam`] on the same seed,
+    /// reproduces this run bit-identically: deterministic jam models consume
+    /// no randomness from either stream, and jamming already-contended slots
+    /// is observably inert. The strategy search uses this to turn a searched
+    /// incumbent into a replayable certificate.
+    ///
+    /// # Errors
+    /// Same conditions as [`FairSimulator::run`].
+    pub fn run_logging_jams(
+        &self,
+        k: u64,
+        seed: u64,
+    ) -> Result<(RunResult, Vec<u64>), ParameterError> {
+        let mut log = Vec::new();
+        let result = self.run_inner(k, seed, Some(&mut log))?;
+        Ok((result, log))
+    }
+
+    fn run_inner(
+        &self,
+        k: u64,
+        seed: u64,
+        jam_log: Option<&mut Vec<u64>>,
+    ) -> Result<RunResult, ParameterError> {
         self.options.validate_adversary()?;
         let label = self.kind.label();
         let mut rng = Xoshiro256pp::seed_from_u64(seed);
@@ -82,6 +113,7 @@ impl FairSimulator {
                 seed,
                 &self.options,
                 &mut rng,
+                jam_log,
             )),
             ProtocolKind::LogFailsAdaptive {
                 xi_delta,
@@ -96,6 +128,7 @@ impl FairSimulator {
                     seed,
                     &self.options,
                     &mut rng,
+                    jam_log,
                 ))
             }
             ProtocolKind::KnownKOracle => Ok(run_fair_aggregate(
@@ -105,6 +138,7 @@ impl FairSimulator {
                 seed,
                 &self.options,
                 &mut rng,
+                jam_log,
             )),
             _ => Err(ParameterError::new(
                 "protocol",

@@ -26,7 +26,12 @@
 //!   protocols × instance sizes with deterministic per-run seeds;
 //! * [`report`] — CSV / markdown / gnuplot-ready rendering of sweep results;
 //! * [`dynamic`] — latency-oriented measurements for the dynamic-arrival
-//!   extension discussed in the paper's conclusions.
+//!   extension discussed in the paper's conclusions;
+//! * [`stepper`] / [`search`] — the adversary strategy search: a resumable
+//!   step/snapshot driver over the exact engine ([`ExactStepper`]) feeding
+//!   `mac-adversary`'s exhaustive game-tree tier, and the fast-engine
+//!   bindings for its budgeted beam tier, both emitting replayable
+//!   worst-case jamming certificates.
 //!
 //! Every simulator additionally accepts an adversarial scenario
 //! ([`RunOptions::adversary`], types re-exported from `mac-adversary` under
@@ -64,6 +69,8 @@ pub mod fair;
 pub mod report;
 pub mod result;
 pub mod runner;
+pub mod search;
+pub mod stepper;
 pub mod window;
 
 pub use cohort::{CohortRun, CohortSimulator};
@@ -71,6 +78,8 @@ pub use exact::ExactSimulator;
 pub use fair::FairSimulator;
 pub use result::{RunOptions, RunResult};
 pub use runner::{EngineChoice, Experiment, ExperimentCell, ExperimentResults};
+pub use search::{worst_case_exhaustive, worst_case_search, BudgetedSearchCost};
+pub use stepper::{ExactStepper, MAX_STEPPER_STATIONS};
 pub use window::WindowSimulator;
 
 /// Re-export of the adversarial channel models (`mac-adversary`) so that

@@ -76,6 +76,37 @@ impl WindowSimulator {
     /// Returns a [`ParameterError`] if the protocol parameters are invalid or
     /// the kind is not a window protocol.
     pub fn run(&self, k: u64, seed: u64) -> Result<RunResult, ParameterError> {
+        self.run_inner(k, seed, None)
+    }
+
+    /// Runs one batched instance and additionally records the slot index of
+    /// every jammed singleton (the adversary's *effective* jams).
+    ///
+    /// The returned slot list, replayed as an
+    /// [`mac_adversary::AdversaryModel::ScheduledJam`] on the same seed,
+    /// reproduces this run bit-identically: deterministic jam models consume
+    /// no randomness from either stream, and jamming already-contended bins
+    /// is observably inert. The strategy search uses this to turn a searched
+    /// incumbent into a replayable certificate.
+    ///
+    /// # Errors
+    /// Same conditions as [`WindowSimulator::run`].
+    pub fn run_logging_jams(
+        &self,
+        k: u64,
+        seed: u64,
+    ) -> Result<(RunResult, Vec<u64>), ParameterError> {
+        let mut log = Vec::new();
+        let result = self.run_inner(k, seed, Some(&mut log))?;
+        Ok((result, log))
+    }
+
+    fn run_inner(
+        &self,
+        k: u64,
+        seed: u64,
+        jam_log: Option<&mut Vec<u64>>,
+    ) -> Result<RunResult, ParameterError> {
         self.options.validate_adversary()?;
         let schedule = self.kind.build_window()?.ok_or_else(|| {
             ParameterError::new(
@@ -92,6 +123,7 @@ impl WindowSimulator {
             seed,
             &self.options,
             &mut rng,
+            jam_log,
         ))
     }
 }
@@ -103,6 +135,7 @@ pub(crate) fn run_window(
     seed: u64,
     options: &RunOptions,
     rng: &mut Xoshiro256pp,
+    mut jam_log: Option<&mut Vec<u64>>,
 ) -> RunResult {
     let max_slots = options.max_slots(k);
     let mut remaining = k;
@@ -159,6 +192,9 @@ pub(crate) fn run_window(
                 for &bin in walk_scratch.singleton_bins() {
                     if adversarial && adversary.jams_slot(elapsed + bin, SlotClass::Single) {
                         jammed_singletons += 1;
+                        if let Some(log) = jam_log.as_deref_mut() {
+                            log.push(elapsed + bin);
+                        }
                     } else {
                         delivered += 1;
                         last = Some(bin);
