@@ -95,6 +95,38 @@ impl AdversaryState {
         self.budget_left
     }
 
+    /// Captures the mutable run state — four RNG words, remaining budget,
+    /// schedule cursor — for an exact checkpoint. The jamming model and
+    /// feedback fault are configuration, not state: callers record the
+    /// [`AdversaryScenario`] separately (e.g. via its config-string round
+    /// trip) and rebuild the state with [`AdversaryState::new`] before
+    /// calling [`AdversaryState::restore_state_words`].
+    pub fn state_words(&self) -> [u64; 6] {
+        let rng = self.rng.state_words();
+        [
+            rng[0],
+            rng[1],
+            rng[2],
+            rng[3],
+            self.budget_left,
+            self.schedule_cursor as u64,
+        ]
+    }
+
+    /// Restores the mutable run state captured by
+    /// [`AdversaryState::state_words`]; resumption is then bit-identical to
+    /// the uninterrupted run. Returns `false` if the cursor does not fit in
+    /// `usize` on this platform.
+    pub fn restore_state_words(&mut self, words: &[u64; 6]) -> bool {
+        let Ok(cursor) = usize::try_from(words[5]) else {
+            return false;
+        };
+        self.rng = Xoshiro256pp::from_state_words([words[0], words[1], words[2], words[3]]);
+        self.budget_left = words[4];
+        self.schedule_cursor = cursor;
+        true
+    }
+
     /// Decides whether the adversary jams the given **busy** slot.
     ///
     /// Must be called in strictly increasing slot order (the scheduled

@@ -43,6 +43,19 @@
 //!   adversarial bursts of `k/10` messages spaced `0.8·k` slots apart
 //!   (even offsets, mostly-draining spacing).
 //!
+//! **Streaming-session** rows (the §9 session layer) drive the same engines
+//! through `mac_sim::Session` in 2¹⁶-slot bursts, reading the live quantile
+//! sketch at every pause, at `k = 10⁴ … 10^max_exp`:
+//!
+//! * **session-fair** — `Session::batched` running One-fail Adaptive; its
+//!   ratio to the matching **fair** row is the streaming overhead (burst
+//!   loop + live statistics instead of a latency vector);
+//! * **session-cohort** — `Session::dynamic` running One-fail Adaptive on
+//!   the ten-burst schedule shape of **cohort-bursts**;
+//! * **sharded-2 / sharded-8** — `ShardedSession` on the same burst
+//!   schedule hashed across 2 and 8 channels, scoped threads, merged
+//!   sketches; throughput is per-channel slots (merged makespan) per second.
+//!
 //! The throughput figure is `makespan / wall_time` of a complete run — slots
 //! simulated per second, best over the repetitions (the least-noise
 //! estimator for a quantity bounded above by the hardware). The cohort
@@ -52,7 +65,10 @@ use mac_bench::HarnessOptions;
 use mac_channel::ArrivalModel;
 use mac_prob::rng::Xoshiro256pp;
 use mac_protocols::ProtocolKind;
-use mac_sim::{CohortSimulator, ExactSimulator, FairSimulator, RunOptions, WindowSimulator};
+use mac_sim::{
+    CohortSimulator, ExactSimulator, FairSimulator, RunOptions, Session, SessionStatus,
+    ShardedSession, WindowSimulator,
+};
 use rand::SeedableRng;
 use std::fmt::Write as _;
 use std::time::Instant;
@@ -334,6 +350,100 @@ fn main() {
             best_seconds: secs,
             slots_per_sec: slots as f64 / secs,
         });
+    }
+
+    // Streaming-session rows: the same engines driven through the session
+    // layer in bounded bursts with the live sketch read at every pause. The
+    // session-fair / fair ratio (and session-cohort / cohort-bursts) is the
+    // streaming overhead; the sharded rows measure the scoped-thread
+    // multi-channel driver end to end, merged statistics included.
+    let session_burst = 1u64 << 16;
+    let ten_bursts = |k: u64| {
+        let burst = k / 10;
+        ArrivalModel::Bursts {
+            bursts: (0..10).map(|i| (i * 8 * burst, burst)).collect(),
+        }
+    };
+    for &k in &fast_ks {
+        let (slots, secs) = measure(reps, |rep| {
+            let mut session = Session::batched(
+                &fair_kind,
+                k,
+                options.seed.wrapping_add(rep),
+                &RunOptions::default(),
+            )
+            .expect("valid");
+            while session.advance(session_burst).expect("advance") == SessionStatus::Paused {
+                std::hint::black_box(session.live_stats().map(|s| s.quantile(0.95)));
+            }
+            let result = session.result();
+            assert!(result.completed);
+            result.makespan
+        });
+        points.push(Point {
+            simulator: "session-fair",
+            protocol: fair_kind.label(),
+            k,
+            slots,
+            best_seconds: secs,
+            slots_per_sec: slots as f64 / secs,
+        });
+
+        let model = ten_bursts(k);
+        let (slots, secs) = measure(reps, |rep| {
+            let mut session = Session::dynamic(
+                &fair_kind,
+                &model,
+                options.seed.wrapping_add(rep),
+                &RunOptions::default(),
+            )
+            .expect("valid");
+            while session.advance(session_burst).expect("advance") == SessionStatus::Paused {
+                std::hint::black_box(session.live_stats().map(|s| s.quantile(0.95)));
+            }
+            let result = session.result();
+            assert!(result.completed);
+            result.makespan
+        });
+        points.push(Point {
+            simulator: "session-cohort",
+            protocol: fair_kind.label(),
+            k,
+            slots,
+            best_seconds: secs,
+            slots_per_sec: slots as f64 / secs,
+        });
+    }
+    for shards in [2u32, 8] {
+        for &k in &fast_ks {
+            let model = ten_bursts(k);
+            let (slots, secs) = measure(reps, |rep| {
+                let mut driver = ShardedSession::new(
+                    &fair_kind,
+                    &model,
+                    options.seed.wrapping_add(rep),
+                    &RunOptions::default(),
+                    shards,
+                )
+                .expect("valid");
+                driver.run_to_completion().expect("run");
+                let result = driver.merged_result();
+                assert!(result.completed);
+                result.makespan
+            });
+            points.push(Point {
+                simulator: if shards == 2 {
+                    "sharded-2"
+                } else {
+                    "sharded-8"
+                },
+                protocol: fair_kind.label(),
+                k,
+                slots,
+                best_seconds: secs,
+                slots_per_sec: slots as f64 / secs,
+            });
+        }
     }
 
     if let Some(baseline) = check_path {

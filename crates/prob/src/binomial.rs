@@ -37,6 +37,7 @@
 
 use crate::outcome::{slot_outcome_probabilities, SlotOutcome};
 use crate::special::ln_gamma;
+use crate::wire::{Decoder, Encoder, WireError};
 use rand::Rng;
 use std::sync::OnceLock;
 
@@ -359,6 +360,46 @@ impl SlotKernel {
         self.rebase(m, p);
     }
 
+    /// Serialises the complete kernel state.
+    ///
+    /// Every field is captured verbatim — including the Taylor-maintained
+    /// `lnq`/`ell_base`/`t0_base` and the rebase countdown — because a kernel
+    /// rebuilt fresh from `(m, p)` would re-anchor *exactly* and then follow
+    /// a (minutely) different threshold trajectory than the incrementally
+    /// maintained original. Checkpoint/resume bit-identity requires the
+    /// incremental state itself.
+    pub fn encode(&self, enc: &mut Encoder) {
+        enc.put_f64(self.m);
+        enc.put_f64(self.p);
+        enc.put_f64(self.lnq);
+        enc.put_f64(self.ell_base);
+        enc.put_f64(self.t0_base);
+        enc.put_f64(self.thresholds.t0);
+        enc.put_f64(self.thresholds.t1);
+        enc.put_bool(self.dead);
+        enc.put_u32(self.updates_since_rebase);
+    }
+
+    /// Restores a kernel serialised by [`SlotKernel::encode`].
+    ///
+    /// # Errors
+    /// [`WireError`] on a truncated or malformed stream.
+    pub fn decode(dec: &mut Decoder<'_>) -> Result<Self, WireError> {
+        Ok(Self {
+            m: dec.take_f64()?,
+            p: dec.take_f64()?,
+            lnq: dec.take_f64()?,
+            ell_base: dec.take_f64()?,
+            t0_base: dec.take_f64()?,
+            thresholds: SlotThresholds {
+                t0: dec.take_f64()?,
+                t1: dec.take_f64()?,
+            },
+            dead: dec.take_bool()?,
+            updates_since_rebase: dec.take_u32()?,
+        })
+    }
+
     /// Exact re-anchoring at `(m, p)`.
     #[cold]
     fn rebase(&mut self, m: f64, p: f64) {
@@ -444,6 +485,24 @@ impl SlotKernelCache {
         } else {
             (b, a)
         }
+    }
+
+    /// Serialises both cache lines (see [`SlotKernel::encode`] for why the
+    /// incremental state is captured verbatim).
+    pub fn encode(&self, enc: &mut Encoder) {
+        self.line_a.encode(enc);
+        self.line_b.encode(enc);
+    }
+
+    /// Restores a cache serialised by [`SlotKernelCache::encode`].
+    ///
+    /// # Errors
+    /// [`WireError`] on a truncated or malformed stream.
+    pub fn decode(dec: &mut Decoder<'_>) -> Result<Self, WireError> {
+        Ok(Self {
+            line_a: SlotKernel::decode(dec)?,
+            line_b: SlotKernel::decode(dec)?,
+        })
     }
 }
 

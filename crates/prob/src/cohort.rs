@@ -31,6 +31,7 @@
 //! cohort decomposition.
 
 use crate::binomial::{SlotKernelCache, SlotThresholds};
+use crate::wire::{Decoder, Encoder, WireError};
 
 /// Incrementally maintained slot classification for a set of cohorts.
 ///
@@ -213,6 +214,37 @@ impl CohortKernel {
         // f64 rounding pushed x past the accumulated sum: attribute the
         // delivery to the last cohort with positive weight.
         (fallback, 0.0)
+    }
+
+    /// Serialises the per-cohort kernel caches.
+    ///
+    /// Only the caches carry state that must survive a checkpoint — the
+    /// `t0`/`d1`/`weights`/`delivery` buffers are scratch refreshed from
+    /// scratch by every [`CohortKernel::classify`] call.
+    pub fn encode(&self, enc: &mut Encoder) {
+        enc.put_usize(self.caches.len());
+        for cache in &self.caches {
+            cache.encode(enc);
+        }
+    }
+
+    /// Restores a kernel serialised by [`CohortKernel::encode`].
+    ///
+    /// # Errors
+    /// [`WireError`] on a truncated or malformed stream.
+    pub fn decode(dec: &mut Decoder<'_>) -> Result<Self, WireError> {
+        let n = dec.take_usize()?;
+        let mut caches = Vec::with_capacity(n.min(1 << 20));
+        for _ in 0..n {
+            caches.push(SlotKernelCache::decode(dec)?);
+        }
+        Ok(Self {
+            caches,
+            t0: Vec::new(),
+            d1: Vec::new(),
+            weights: Vec::new(),
+            delivery: 0.0,
+        })
     }
 }
 

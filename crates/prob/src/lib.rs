@@ -23,6 +23,11 @@
 //! * [`stats`] — streaming (Welford) and batch summary statistics, percentiles
 //!   and normal-approximation confidence intervals used by the experiment
 //!   runner;
+//! * [`sketch`] — a mergeable KLL-style streaming quantile sketch with a
+//!   deterministic rank-error ledger, the bounded-memory latency path of the
+//!   streaming simulation sessions;
+//! * [`wire`] — the hand-rolled word-oriented checkpoint codec those sessions
+//!   serialise their engine state with;
 //! * [`special`] — log-factorials, log-binomial coefficients and
 //!   Chernoff–Hoeffding tail helpers used by the analytical-bound module of
 //!   `mac-protocols`.
@@ -59,8 +64,10 @@ pub mod histogram;
 pub mod outcome;
 pub mod rng;
 pub mod sampling;
+pub mod sketch;
 pub mod special;
 pub mod stats;
+pub mod wire;
 
 pub use balls::{
     occupancy_counts, throw_balls, throw_balls_into, walk_window, BinsOccupancy, OccupancyCounts,
@@ -76,4 +83,6 @@ pub use outcome::{
 };
 pub use rng::{derive_seed, SeedSequence, SplitMix64, Xoshiro256pp};
 pub use sampling::{sample_bernoulli, sample_binomial, sample_geometric, sample_poisson};
+pub use sketch::{QuantileSketch, StreamingLatencyStats};
 pub use stats::{ConfidenceInterval, StreamingStats, Summary};
+pub use wire::{Decoder, Encoder, WireError};

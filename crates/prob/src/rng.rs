@@ -45,6 +45,17 @@ impl SplitMix64 {
         Self { state: seed }
     }
 
+    /// Returns the raw 64-bit state.
+    ///
+    /// Together with [`SplitMix64::new`] this makes the generator exactly
+    /// checkpointable: `SplitMix64::new(g.state())` produces the same future
+    /// stream as `g`. Used by the streaming quantile sketch so that its
+    /// compaction randomness survives checkpoint/resume bit-identically.
+    #[inline]
+    pub fn state(&self) -> u64 {
+        self.state
+    }
+
     /// Returns the next 64-bit output.
     // The name follows the SplitMix64 reference implementation; the type is
     // not an `Iterator` (`RngCore::next_u64` is the iterator-safe spelling).
@@ -166,6 +177,18 @@ impl Xoshiro256pp {
     #[inline]
     pub fn state_words(&self) -> [u64; 4] {
         self.s
+    }
+
+    /// Rebuilds a generator from the words of [`Xoshiro256pp::state_words`],
+    /// continuing the original stream exactly. The all-zero state (a fixed
+    /// point that [`Xoshiro256pp::new`] can never produce) falls back to the
+    /// seed-0 generator.
+    #[inline]
+    pub fn from_state_words(s: [u64; 4]) -> Self {
+        if s == [0, 0, 0, 0] {
+            return Self::new(0);
+        }
+        Self { s }
     }
 
     #[inline]

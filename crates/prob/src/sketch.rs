@@ -1,0 +1,666 @@
+//! Mergeable streaming quantile sketch with a proven rank-error ledger.
+//!
+//! The dynamic-arrival simulators used to accumulate every delivery latency
+//! in a `Vec<u64>` and sort it at the end — O(arrivals) memory, which is
+//! exactly what a 10⁹-slot sustained-traffic run cannot afford. This module
+//! replaces that path with a KLL-style compacting sketch
+//! ([`QuantileSketch`]) plus an exact-moment wrapper
+//! ([`StreamingLatencyStats`]):
+//!
+//! * **Structure.** Level `h` holds items of weight `2^h`. New observations
+//!   enter level 0 with weight 1. When a level reaches the per-level
+//!   capacity it is *compacted*: the level is sorted, an even prefix is
+//!   paired up, and one survivor per pair — odds or evens, chosen by a fair
+//!   coin — is promoted to level `h + 1` with doubled weight. Total weight
+//!   is conserved, so the sketch always represents exactly `count`
+//!   observations.
+//!
+//! * **Proven error bound.** For any threshold `v`, a single compaction at
+//!   level `h` changes the estimated rank `R̂(v) = Σ weight(items ≤ v)` by
+//!   at most `2^h`: after sorting, pairs entirely below `v` keep their total
+//!   weight, pairs entirely above contribute nothing, and only the one pair
+//!   straddling `v` can gain or lose one item-weight. The sketch therefore
+//!   maintains a deterministic *ledger* — the sum of `2^h` over every
+//!   compaction it (or any sketch merged into it) has performed — and
+//!   guarantees `|R̂(v) − R(v)| ≤ ledger` for every `v` simultaneously,
+//!   where `R` is the exact rank function of the full stream. The ledger is
+//!   exposed as [`QuantileSketch::rank_error_bound`] and is the bound the
+//!   conformance suite asserts against. (The random survivor choice makes
+//!   compaction errors zero-mean, so typical error is far below the ledger;
+//!   the ledger is the *worst-case certificate*.)
+//!
+//! * **Mergeability.** Merging concatenates levels — which introduces *no*
+//!   error — and re-compacts; the merged ledger is the sum of the two input
+//!   ledgers plus any new compactions. This is what lets the sharded
+//!   multi-channel driver combine per-shard statistics exactly.
+//!
+//! * **Checkpointability.** The compaction coin is a [`SplitMix64`] whose
+//!   state is part of the encoded form, so a sketch restored from a
+//!   checkpoint continues bit-identically — the same contract the session
+//!   engines obey for their main RNG streams.
+//!
+//! Memory is O(capacity · log(n / capacity)) items: with the default
+//! capacity of 1024, a 10⁹-observation stream retains ~20k items (~160 KiB)
+//! and carries a ledger below 2% of `n`.
+
+use crate::rng::SplitMix64;
+use crate::wire::{Decoder, Encoder, WireError};
+
+/// Default per-level capacity: ledger ≈ `log2(n/1024) · n / 1024`, i.e.
+/// ≤ 2% of `n` for streams up to 10⁹ observations, with ~20k retained items.
+pub const DEFAULT_SKETCH_CAPACITY: usize = 1024;
+
+/// Smallest accepted per-level capacity (below this the ledger bound is
+/// useless and the even-pairing compaction degenerates).
+const MIN_SKETCH_CAPACITY: usize = 8;
+
+/// KLL-style mergeable quantile sketch over `u64` observations.
+///
+/// # Example
+/// ```
+/// use mac_prob::sketch::QuantileSketch;
+/// let mut sketch = QuantileSketch::new(7);
+/// for v in 0..100_000u64 {
+///     sketch.push(v);
+/// }
+/// let p50 = sketch.quantile(0.50).unwrap();
+/// // The returned value's true rank is within the proven ledger bound of
+/// // the target rank.
+/// let bound = sketch.rank_error_bound();
+/// assert!(p50.abs_diff(50_000) <= bound + 1);
+/// ```
+#[derive(Debug, Clone)]
+pub struct QuantileSketch {
+    capacity: usize,
+    /// `levels[h]` holds items of weight `2^h`; only level boundaries are
+    /// sorted lazily (at compaction and query time).
+    levels: Vec<Vec<u64>>,
+    count: u64,
+    min: u64,
+    max: u64,
+    /// Compaction coin; checkpointed so resume is bit-identical.
+    rng: SplitMix64,
+    /// Proven worst-case rank error: Σ 2^h over all compactions performed.
+    rank_error: u64,
+}
+
+impl QuantileSketch {
+    /// Creates an empty sketch with the default capacity.
+    ///
+    /// `seed` drives the compaction coin only — it affects which survivor of
+    /// each pair is kept, never the correctness bound.
+    pub fn new(seed: u64) -> Self {
+        Self::with_capacity(DEFAULT_SKETCH_CAPACITY, seed)
+    }
+
+    /// Creates an empty sketch with an explicit per-level capacity (clamped
+    /// to at least 8). Larger capacities tighten the ledger (error ∝ 1/c)
+    /// at proportional memory cost.
+    pub fn with_capacity(capacity: usize, seed: u64) -> Self {
+        Self {
+            capacity: capacity.max(MIN_SKETCH_CAPACITY),
+            levels: vec![Vec::new()],
+            count: 0,
+            min: u64::MAX,
+            max: 0,
+            rng: SplitMix64::new(seed),
+            rank_error: 0,
+        }
+    }
+
+    /// Number of observations pushed (or merged) so far.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Exact minimum observation, if any. Tracked outside the compactor, so
+    /// it is never lost to compaction.
+    pub fn min(&self) -> Option<u64> {
+        (self.count > 0).then_some(self.min)
+    }
+
+    /// Exact maximum observation, if any.
+    pub fn max(&self) -> Option<u64> {
+        (self.count > 0).then_some(self.max)
+    }
+
+    /// Number of items currently retained across all levels (the memory
+    /// footprint, up to constant factors).
+    pub fn retained_items(&self) -> usize {
+        self.levels.iter().map(Vec::len).sum()
+    }
+
+    /// The proven worst-case rank error: for every threshold `v`,
+    /// `|estimated_rank(v) − true_rank(v)| ≤ rank_error_bound()`.
+    pub fn rank_error_bound(&self) -> u64 {
+        self.rank_error
+    }
+
+    /// Adds one observation.
+    pub fn push(&mut self, v: u64) {
+        self.count += 1;
+        self.min = self.min.min(v);
+        self.max = self.max.max(v);
+        self.levels[0].push(v);
+        if self.levels[0].len() >= self.capacity {
+            self.compress();
+        }
+    }
+
+    /// Merges another sketch into this one.
+    ///
+    /// Concatenating levels is error-free; the merged ledger is the sum of
+    /// both ledgers plus whatever new compactions the merge triggers. The
+    /// capacity and compaction coin of `self` are kept.
+    pub fn merge(&mut self, other: &QuantileSketch) {
+        if other.count == 0 {
+            return;
+        }
+        if self.levels.len() < other.levels.len() {
+            self.levels.resize(other.levels.len(), Vec::new());
+        }
+        for (h, level) in other.levels.iter().enumerate() {
+            self.levels[h].extend_from_slice(level);
+        }
+        self.count += other.count;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+        self.rank_error += other.rank_error;
+        self.compress();
+    }
+
+    /// Compacts every level at or above capacity, cascading upward.
+    fn compress(&mut self) {
+        let mut h = 0;
+        while h < self.levels.len() {
+            if self.levels[h].len() >= self.capacity {
+                self.compact_level(h);
+            }
+            h += 1;
+        }
+    }
+
+    /// Compacts level `h`: sorts it, pairs up an even prefix, promotes one
+    /// randomly chosen survivor per pair to level `h + 1` with doubled
+    /// weight. An odd leftover item (the largest, after sorting) stays at
+    /// level `h`, so total weight is conserved exactly.
+    fn compact_level(&mut self, h: usize) {
+        if self.levels.len() == h + 1 {
+            self.levels.push(Vec::new());
+        }
+        let offset = (self.rng.next() & 1) as usize;
+        let (level, upper) = {
+            let (lo, hi) = self.levels.split_at_mut(h + 1);
+            (&mut lo[h], &mut hi[0])
+        };
+        level.sort_unstable();
+        let paired = level.len() & !1;
+        for i in (0..paired).step_by(2) {
+            upper.push(level[i + offset]);
+        }
+        let leftover = (paired < level.len()).then(|| level[level.len() - 1]);
+        level.clear();
+        level.extend(leftover);
+        // Each compaction perturbs any rank query by at most one item-weight
+        // at this level (only the pair straddling the query threshold can
+        // gain or lose weight — see the module docs for the argument).
+        self.rank_error += 1u64 << h;
+    }
+
+    /// Estimated rank of `v`: the total weight of retained items ≤ `v`.
+    ///
+    /// Within [`QuantileSketch::rank_error_bound`] of the exact rank of `v`
+    /// in the full stream, for every `v` simultaneously.
+    pub fn estimated_rank(&self, v: u64) -> u64 {
+        self.levels
+            .iter()
+            .enumerate()
+            .map(|(h, level)| (level.iter().filter(|&&x| x <= v).count() as u64) << h)
+            .sum()
+    }
+
+    /// The value whose estimated rank first reaches `⌈q · count⌉`
+    /// (clamped to `[1, count]`), or `None` on an empty sketch.
+    ///
+    /// `q ≤ 0` returns the exact minimum and `q ≥ 1` the exact maximum.
+    pub fn quantile(&self, q: f64) -> Option<u64> {
+        if self.count == 0 {
+            return None;
+        }
+        if q <= 0.0 {
+            return Some(self.min);
+        }
+        if q >= 1.0 {
+            return Some(self.max);
+        }
+        let target = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut items: Vec<(u64, u64)> = Vec::with_capacity(self.retained_items());
+        for (h, level) in self.levels.iter().enumerate() {
+            items.extend(level.iter().map(|&v| (v, 1u64 << h)));
+        }
+        items.sort_unstable_by_key(|&(v, _)| v);
+        let mut cumulative = 0u64;
+        for (v, w) in &items {
+            cumulative += w;
+            if cumulative >= target {
+                return Some(*v);
+            }
+        }
+        Some(self.max)
+    }
+
+    /// Serialises the full sketch state (compaction coin included).
+    pub fn encode(&self, enc: &mut Encoder) {
+        enc.put_usize(self.capacity);
+        enc.put_u64(self.count);
+        enc.put_u64(self.min);
+        enc.put_u64(self.max);
+        enc.put_u64(self.rng.state());
+        enc.put_u64(self.rank_error);
+        enc.put_usize(self.levels.len());
+        for level in &self.levels {
+            enc.put_words(level);
+        }
+    }
+
+    /// Restores a sketch serialised by [`QuantileSketch::encode`].
+    ///
+    /// # Errors
+    /// [`WireError`] on a truncated or malformed stream.
+    pub fn decode(dec: &mut Decoder<'_>) -> Result<Self, WireError> {
+        let capacity = dec.take_usize()?;
+        if capacity < MIN_SKETCH_CAPACITY {
+            return Err(WireError::Malformed("sketch capacity below minimum"));
+        }
+        let count = dec.take_u64()?;
+        let min = dec.take_u64()?;
+        let max = dec.take_u64()?;
+        let rng = SplitMix64::new(dec.take_u64()?);
+        let rank_error = dec.take_u64()?;
+        let n_levels = dec.take_usize()?;
+        if n_levels == 0 || n_levels > 64 {
+            return Err(WireError::Malformed("sketch level count out of range"));
+        }
+        let mut levels = Vec::with_capacity(n_levels);
+        for _ in 0..n_levels {
+            levels.push(dec.take_words()?.to_vec());
+        }
+        Ok(Self {
+            capacity,
+            levels,
+            count,
+            min,
+            max,
+            rng,
+            rank_error,
+        })
+    }
+}
+
+/// Streaming latency statistics: an exact mean/max/count beside a
+/// [`QuantileSketch`] for percentiles — the bounded-memory replacement for
+/// the sort-everything latency path of the dynamic-arrival reports.
+///
+/// The sum is held as a `u128`, matching the integer-exact mean semantics of
+/// `DynamicReport` (latencies near `2^63` still produce the exactly rounded
+/// mean).
+///
+/// # Example
+/// ```
+/// use mac_prob::sketch::StreamingLatencyStats;
+/// let mut stats = StreamingLatencyStats::new(1);
+/// for v in [2u64, 4, 9] {
+///     stats.push(v);
+/// }
+/// assert_eq!(stats.count(), 3);
+/// assert_eq!(stats.max(), 9);
+/// assert!((stats.mean() - 5.0).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone)]
+pub struct StreamingLatencyStats {
+    sketch: QuantileSketch,
+    sum: u128,
+}
+
+impl StreamingLatencyStats {
+    /// Creates an empty accumulator; `seed` drives the sketch's compaction
+    /// coin.
+    pub fn new(seed: u64) -> Self {
+        Self {
+            sketch: QuantileSketch::new(seed),
+            sum: 0,
+        }
+    }
+
+    /// Adds one latency observation.
+    pub fn push(&mut self, latency: u64) {
+        self.sketch.push(latency);
+        self.sum += u128::from(latency);
+    }
+
+    /// Merges another accumulator (shard) into this one.
+    pub fn merge(&mut self, other: &StreamingLatencyStats) {
+        self.sketch.merge(&other.sketch);
+        self.sum += other.sum;
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> u64 {
+        self.sketch.count()
+    }
+
+    /// Integer-exact mean (0 if empty), with the same `u128` accumulation as
+    /// the monolithic report path.
+    pub fn mean(&self) -> f64 {
+        if self.count() == 0 {
+            0.0
+        } else {
+            (self.sum as f64) / (self.count() as f64)
+        }
+    }
+
+    /// Exact maximum (0 if empty).
+    pub fn max(&self) -> u64 {
+        self.sketch.max().unwrap_or(0)
+    }
+
+    /// Sketch quantile (0 if empty); see [`QuantileSketch::quantile`].
+    pub fn quantile(&self, q: f64) -> u64 {
+        self.sketch.quantile(q).unwrap_or(0)
+    }
+
+    /// The proven rank-error certificate of the underlying sketch.
+    pub fn rank_error_bound(&self) -> u64 {
+        self.sketch.rank_error_bound()
+    }
+
+    /// Access to the underlying sketch (for conformance checks).
+    pub fn sketch(&self) -> &QuantileSketch {
+        &self.sketch
+    }
+
+    /// Serialises the accumulator.
+    pub fn encode(&self, enc: &mut Encoder) {
+        enc.put_u64(self.sum as u64);
+        enc.put_u64((self.sum >> 64) as u64);
+        self.sketch.encode(enc);
+    }
+
+    /// Restores an accumulator serialised by
+    /// [`StreamingLatencyStats::encode`].
+    ///
+    /// # Errors
+    /// [`WireError`] on a truncated or malformed stream.
+    pub fn decode(dec: &mut Decoder<'_>) -> Result<Self, WireError> {
+        let lo = dec.take_u64()?;
+        let hi = dec.take_u64()?;
+        let sketch = QuantileSketch::decode(dec)?;
+        Ok(Self {
+            sketch,
+            sum: (u128::from(hi) << 64) | u128::from(lo),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::Xoshiro256pp;
+    use rand::{Rng, SeedableRng};
+
+    /// Exact rank (count of elements ≤ v) in a sorted reference vector.
+    fn exact_rank(sorted: &[u64], v: u64) -> u64 {
+        sorted.partition_point(|&x| x <= v) as u64
+    }
+
+    #[test]
+    fn small_streams_are_exact() {
+        // Below capacity nothing is ever compacted: every quantile is the
+        // exact order statistic and the ledger is zero.
+        let mut sketch = QuantileSketch::with_capacity(64, 3);
+        for v in [5u64, 1, 9, 3, 7] {
+            sketch.push(v);
+        }
+        assert_eq!(sketch.rank_error_bound(), 0);
+        assert_eq!(sketch.quantile(0.0), Some(1));
+        assert_eq!(sketch.quantile(0.2), Some(1));
+        assert_eq!(sketch.quantile(0.5), Some(5));
+        assert_eq!(sketch.quantile(0.95), Some(9));
+        assert_eq!(sketch.quantile(1.0), Some(9));
+        assert_eq!(sketch.min(), Some(1));
+        assert_eq!(sketch.max(), Some(9));
+        assert_eq!(sketch.count(), 5);
+    }
+
+    #[test]
+    fn empty_sketch_has_no_quantiles() {
+        let sketch = QuantileSketch::new(0);
+        assert_eq!(sketch.quantile(0.5), None);
+        assert_eq!(sketch.min(), None);
+        assert_eq!(sketch.max(), None);
+    }
+
+    #[test]
+    fn weight_is_conserved_across_compactions() {
+        let mut sketch = QuantileSketch::with_capacity(16, 9);
+        for v in 0..10_000u64 {
+            sketch.push(v * 31 % 10_000);
+        }
+        let total_weight: u64 = sketch
+            .levels
+            .iter()
+            .enumerate()
+            .map(|(h, level)| (level.len() as u64) << h)
+            .sum();
+        assert_eq!(total_weight, sketch.count());
+        assert_eq!(sketch.count(), 10_000);
+    }
+
+    #[test]
+    fn rank_estimates_respect_the_ledger_everywhere() {
+        // The ledger must bound the rank error at *every* threshold, not
+        // just at queried quantiles, across adversarial input orderings.
+        let n = 50_000u64;
+        let orderings: [Box<dyn Fn(u64) -> u64>; 3] = [
+            Box::new(|i| i),                          // sorted
+            Box::new(move |i| n - 1 - i),             // reverse sorted
+            Box::new(|i| i.wrapping_mul(0x9E37) % n), // scrambled
+        ];
+        for (case, order) in orderings.iter().enumerate() {
+            let mut sketch = QuantileSketch::with_capacity(128, case as u64);
+            let mut reference: Vec<u64> = Vec::with_capacity(n as usize);
+            for i in 0..n {
+                let v = order(i);
+                sketch.push(v);
+                reference.push(v);
+            }
+            reference.sort_unstable();
+            let bound = sketch.rank_error_bound();
+            assert!(bound > 0, "capacity 128 at n = {n} must compact");
+            assert!(bound < n / 4, "ledger uselessly large: {bound}");
+            for probe in (0..n).step_by(997) {
+                let est = sketch.estimated_rank(probe);
+                let exact = exact_rank(&reference, probe);
+                assert!(
+                    est.abs_diff(exact) <= bound,
+                    "case {case}: rank({probe}) est {est} vs exact {exact}, bound {bound}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn quantiles_hit_the_target_rank_within_the_ledger() {
+        let mut rng = Xoshiro256pp::seed_from_u64(2026);
+        let n = 100_000u64;
+        let mut sketch = QuantileSketch::new(5);
+        let mut reference = Vec::with_capacity(n as usize);
+        for _ in 0..n {
+            let v = rng.gen::<u64>() >> 20;
+            sketch.push(v);
+            reference.push(v);
+        }
+        reference.sort_unstable();
+        let bound = sketch.rank_error_bound();
+        for q in [0.01, 0.25, 0.50, 0.75, 0.95, 0.99] {
+            let answer = sketch.quantile(q).unwrap();
+            let target = (q * n as f64).ceil() as u64;
+            let exact = exact_rank(&reference, answer);
+            // The answer's exact rank must be within ledger + one max item
+            // weight of the target (the walk can overshoot by the weight of
+            // the item it stops on).
+            let max_weight = 1u64 << (sketch.levels.len() - 1);
+            assert!(
+                exact.abs_diff(target) <= bound + max_weight,
+                "q {q}: rank {exact} vs target {target}, bound {bound}"
+            );
+        }
+    }
+
+    #[test]
+    fn merge_agrees_with_single_stream_within_both_ledgers() {
+        let mut rng = Xoshiro256pp::seed_from_u64(17);
+        let n = 40_000u64;
+        let mut whole = QuantileSketch::new(100);
+        let mut shards: Vec<QuantileSketch> =
+            (0..4).map(|i| QuantileSketch::new(200 + i)).collect();
+        let mut reference = Vec::with_capacity(n as usize);
+        for i in 0..n {
+            let v = rng.gen::<u64>() >> 32;
+            whole.push(v);
+            shards[(i % 4) as usize].push(v);
+            reference.push(v);
+        }
+        reference.sort_unstable();
+        let mut merged = shards.remove(0);
+        for shard in &shards {
+            merged.merge(shard);
+        }
+        assert_eq!(merged.count(), whole.count());
+        assert_eq!(merged.min(), whole.min());
+        assert_eq!(merged.max(), whole.max());
+        for q in [0.5, 0.95] {
+            let target = (q * n as f64).ceil() as u64;
+            for (label, sketch) in [("whole", &whole), ("merged", &merged)] {
+                let answer = sketch.quantile(q).unwrap();
+                let exact = exact_rank(&reference, answer);
+                let max_weight = 1u64 << (sketch.levels.len() - 1);
+                let bound = sketch.rank_error_bound() + max_weight;
+                assert!(
+                    exact.abs_diff(target) <= bound,
+                    "{label} q {q}: rank {exact} vs target {target}, bound {bound}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn checkpoint_resume_is_bit_identical() {
+        // Interrupting a sketch mid-stream, encoding, decoding and pushing
+        // the remaining items must equal the uninterrupted sketch exactly —
+        // levels, ledger and compaction-coin state included.
+        let mut rng = Xoshiro256pp::seed_from_u64(55);
+        let values: Vec<u64> = (0..30_000).map(|_| rng.gen::<u64>() >> 24).collect();
+        let mut unbroken = QuantileSketch::with_capacity(64, 8);
+        let mut first_half = QuantileSketch::with_capacity(64, 8);
+        for &v in &values {
+            unbroken.push(v);
+        }
+        for &v in &values[..15_000] {
+            first_half.push(v);
+        }
+        let mut enc = Encoder::new();
+        first_half.encode(&mut enc);
+        let words = enc.finish();
+        let mut dec = Decoder::new(&words);
+        let mut resumed = QuantileSketch::decode(&mut dec).unwrap();
+        dec.finish().unwrap();
+        for &v in &values[15_000..] {
+            resumed.push(v);
+        }
+        assert_eq!(resumed.levels, unbroken.levels);
+        assert_eq!(resumed.count, unbroken.count);
+        assert_eq!(resumed.rank_error, unbroken.rank_error);
+        assert_eq!(resumed.rng, unbroken.rng);
+        assert_eq!(resumed.min, unbroken.min);
+        assert_eq!(resumed.max, unbroken.max);
+    }
+
+    #[test]
+    fn decode_rejects_corrupt_streams() {
+        let mut enc = Encoder::new();
+        QuantileSketch::new(1).encode(&mut enc);
+        let words = enc.finish();
+        // Truncation at every prefix length must error, never panic.
+        for cut in 0..words.len() {
+            let mut dec = Decoder::new(&words[..cut]);
+            assert!(QuantileSketch::decode(&mut dec).is_err());
+        }
+        // A capacity below the minimum is malformed.
+        let mut bad = words.clone();
+        bad[0] = 1;
+        assert!(QuantileSketch::decode(&mut Decoder::new(&bad)).is_err());
+    }
+
+    #[test]
+    fn memory_stays_logarithmic() {
+        let mut sketch = QuantileSketch::new(4);
+        for v in 0..2_000_000u64 {
+            sketch.push(v);
+        }
+        // ~20 levels × 1024 capacity is the ceiling; well under 64k items.
+        assert!(
+            sketch.retained_items() < 32 * DEFAULT_SKETCH_CAPACITY,
+            "retained {}",
+            sketch.retained_items()
+        );
+    }
+
+    #[test]
+    fn latency_stats_mean_is_u128_exact() {
+        // Mirrors the dynamic-report exactness test: latencies near 2^63
+        // must produce the exactly rounded mean, not a f64-accumulation one.
+        let huge = u64::MAX / 2;
+        let mut stats = StreamingLatencyStats::new(0);
+        for v in [huge, 2, 4] {
+            stats.push(v);
+        }
+        let expected = ((huge as u128 + 6) as f64) / 3.0;
+        assert_eq!(stats.mean(), expected);
+        assert_eq!(stats.max(), huge);
+        assert_eq!(stats.count(), 3);
+    }
+
+    #[test]
+    fn latency_stats_round_trip_and_merge() {
+        let mut a = StreamingLatencyStats::new(1);
+        let mut b = StreamingLatencyStats::new(2);
+        for v in 0..5_000u64 {
+            a.push(v);
+            b.push(v + 5_000);
+        }
+        a.merge(&b);
+        assert_eq!(a.count(), 10_000);
+        assert_eq!(a.max(), 9_999);
+        assert!((a.mean() - 4_999.5).abs() < 1e-9);
+
+        let mut enc = Encoder::new();
+        a.encode(&mut enc);
+        let words = enc.finish();
+        let mut dec = Decoder::new(&words);
+        let restored = StreamingLatencyStats::decode(&mut dec).unwrap();
+        dec.finish().unwrap();
+        assert_eq!(restored.count(), a.count());
+        assert_eq!(restored.sum, a.sum);
+        assert_eq!(restored.quantile(0.5), a.quantile(0.5));
+        assert_eq!(restored.rank_error_bound(), a.rank_error_bound());
+    }
+
+    #[test]
+    fn empty_latency_stats_report_zeros() {
+        let stats = StreamingLatencyStats::new(0);
+        assert_eq!(stats.mean(), 0.0);
+        assert_eq!(stats.max(), 0);
+        assert_eq!(stats.quantile(0.5), 0);
+    }
+}

@@ -8,8 +8,11 @@ use mac_prob::binomial::{sample_binomial_fast, ModeKernel, SlotKernel, SlotThres
 use mac_prob::outcome::{sample_slot_outcome, slot_outcome_probabilities, SlotOutcome};
 use mac_prob::rng::{derive_seed, Xoshiro256pp};
 use mac_prob::sampling::{sample_binomial, sample_geometric, sample_poisson};
+use mac_prob::sketch::{QuantileSketch, StreamingLatencyStats};
 use mac_prob::special::{binomial_pmf, ln_binomial, ln_factorial};
-use mac_prob::stats::{chi_square_test, conformance, percentile, StreamingStats};
+use mac_prob::stats::{
+    chi_square_test, conformance, percentile, two_sample_ks_test, StreamingStats,
+};
 use proptest::prelude::*;
 use rand::{Rng, SeedableRng};
 
@@ -244,6 +247,173 @@ fn walk_window_slot_classes_match_per_ball_across_dispatch_bands() {
     }
 }
 
+/// Exact rank of `v` in a sorted stream: `|{x : x ≤ v}|`.
+fn true_rank(sorted: &[u64], v: u64) -> u64 {
+    sorted.partition_point(|&x| x <= v) as u64
+}
+
+/// Asserts the sketch's proven ledger against the exact sorted stream: for
+/// each probed quantile, the returned value's *true* rank must be within
+/// `rank_error_bound()` of the target rank (the defining guarantee), and
+/// the estimated rank of arbitrary thresholds must match the exact rank
+/// within the same ledger.
+fn assert_sketch_within_ledger(sketch: &QuantileSketch, mut sorted: Vec<u64>, label: &str) {
+    sorted.sort_unstable();
+    let n = sorted.len() as u64;
+    assert_eq!(sketch.count(), n, "{label}: count");
+    assert_eq!(sketch.min(), sorted.first().copied(), "{label}: min");
+    assert_eq!(sketch.max(), sorted.last().copied(), "{label}: max");
+    let bound = sketch.rank_error_bound();
+    for &q in &[0.01, 0.10, 0.25, 0.50, 0.75, 0.90, 0.95, 0.99] {
+        let target = ((q * n as f64).ceil() as u64).clamp(1, n);
+        let v = sketch.quantile(q).unwrap();
+        // A tied value occupies a rank *interval*; the certificate says the
+        // target rank is within the ledger of some rank of `v`.
+        let lo = sorted.partition_point(|&x| x < v) as u64;
+        let hi = true_rank(&sorted, v);
+        assert!(
+            lo <= target + bound && hi + bound + 1 >= target,
+            "{label}: q={q} returned ranks [{lo}, {hi}], target {target}, ledger {bound}"
+        );
+    }
+    // Rank estimates at data-driven thresholds obey the same certificate.
+    for &v in sorted.iter().step_by((sorted.len() / 64).max(1)) {
+        let est = sketch.estimated_rank(v);
+        assert!(
+            est.abs_diff(true_rank(&sorted, v)) <= bound,
+            "{label}: rank estimate at {v} off by more than the ledger {bound}"
+        );
+    }
+}
+
+#[test]
+fn quantile_sketch_ledger_holds_at_scale() {
+    // 10⁴ … 10⁶ i.i.d. samples: the deterministic worst-case certificate
+    // must hold, and must stay useful (ledger ≤ 2% of the stream at 10⁶
+    // with the default capacity).
+    for &(n, seed) in &[(10_000u64, 1u64), (100_000, 2), (1_000_000, 3)] {
+        let mut rng = Xoshiro256pp::seed_from_u64(seed);
+        let mut sketch = QuantileSketch::new(seed ^ 0x5CE7);
+        let mut data = Vec::with_capacity(n as usize);
+        for _ in 0..n {
+            let v = rng.gen_range(0..1_000_000u64);
+            sketch.push(v);
+            data.push(v);
+        }
+        assert!(
+            sketch.rank_error_bound() * 50 <= n,
+            "ledger {} exceeds 2% of n={n}",
+            sketch.rank_error_bound()
+        );
+        assert!(
+            sketch.retained_items() < 64 * 1024,
+            "sketch memory must stay bounded"
+        );
+        assert_sketch_within_ledger(&sketch, data, &format!("iid n={n}"));
+    }
+}
+
+#[test]
+fn quantile_sketch_survives_adversarial_orderings() {
+    // Compaction must not exploit input order: sorted, reversed,
+    // organ-pipe, alternating-extremes and heavily duplicated streams all
+    // carry the same certificate.
+    let n = 100_000u64;
+    let ascending: Vec<u64> = (0..n).collect();
+    let descending: Vec<u64> = (0..n).rev().collect();
+    let organ_pipe: Vec<u64> = (0..n / 2).chain((0..n / 2).rev()).collect();
+    let alternating: Vec<u64> = (0..n).map(|i| if i % 2 == 0 { i } else { n - i }).collect();
+    let duplicated: Vec<u64> = (0..n).map(|i| i % 17).collect();
+    for (label, data) in [
+        ("ascending", ascending),
+        ("descending", descending),
+        ("organ-pipe", organ_pipe),
+        ("alternating", alternating),
+        ("duplicated", duplicated),
+    ] {
+        let mut sketch = QuantileSketch::new(0xADAD);
+        for &v in &data {
+            sketch.push(v);
+        }
+        assert_sketch_within_ledger(&sketch, data, label);
+    }
+}
+
+#[test]
+fn sharded_sketch_merge_agrees_with_single_stream() {
+    // Round-robin the stream over 8 shard sketches (the sharded driver's
+    // shape), merge, and hold the merged ledger against the exact stream.
+    // Mean and max stay exact through the merge.
+    let n = 200_000u64;
+    let shards = 8usize;
+    let mut rng = Xoshiro256pp::seed_from_u64(77);
+    let mut single = StreamingLatencyStats::new(7);
+    let mut parts: Vec<StreamingLatencyStats> = (0..shards)
+        .map(|i| StreamingLatencyStats::new(1_000 + i as u64))
+        .collect();
+    let mut data = Vec::with_capacity(n as usize);
+    for i in 0..n {
+        let v = rng.gen_range(0..1_000_000u64);
+        single.push(v);
+        parts[(i as usize) % shards].push(v);
+        data.push(v);
+    }
+    let mut merged = StreamingLatencyStats::new(0);
+    for part in &parts {
+        merged.merge(part);
+    }
+    assert_eq!(merged.count(), single.count());
+    assert_eq!(merged.max(), single.max());
+    assert!(
+        (merged.mean() - single.mean()).abs() < 1e-9,
+        "mean is exact"
+    );
+    data.sort_unstable();
+    let exact_mean = data.iter().sum::<u64>() as f64 / n as f64;
+    assert!((merged.mean() - exact_mean).abs() < 1e-6);
+    // Both sketches' quantiles sit within their own ledgers of the exact
+    // ranks, so they agree with each other within the summed ledgers.
+    let merged_bound = merged.rank_error_bound();
+    let single_bound = single.rank_error_bound();
+    for &q in &[0.50, 0.95, 0.99] {
+        let target = ((q * n as f64).ceil() as u64).clamp(1, n);
+        for (label, v, bound) in [
+            ("merged", merged.quantile(q), merged_bound),
+            ("single", single.quantile(q), single_bound),
+        ] {
+            let lo = data.partition_point(|&x| x < v) as u64;
+            let hi = true_rank(&data, v);
+            assert!(
+                lo <= target + bound && hi + bound + 1 >= target,
+                "{label}: q={q} ranks [{lo}, {hi}] vs target {target} (ledger {bound})"
+            );
+        }
+    }
+}
+
+#[test]
+fn sketch_reconstruction_passes_ks_conformance() {
+    // Distribution-level check through the shared conformance gate: a
+    // sample reconstructed from the sketch's quantile function must be
+    // KS-indistinguishable from the original stream.
+    let n = 50_000u64;
+    let mut rng = Xoshiro256pp::seed_from_u64(99);
+    let mut sketch = QuantileSketch::new(9);
+    let mut data = Vec::with_capacity(n as usize);
+    for _ in 0..n {
+        // Geometric-flavoured latencies: heavy tail like a backoff run.
+        let v = sample_geometric(0.001, &mut rng).min(100_000);
+        sketch.push(v);
+        data.push(v as f64);
+    }
+    let m = 2_000usize;
+    let reconstructed: Vec<f64> = (0..m)
+        .map(|i| sketch.quantile((i as f64 + 0.5) / m as f64).unwrap() as f64)
+        .collect();
+    let result = two_sample_ks_test(&data, &reconstructed);
+    conformance::Conformance::new(0.001).assert_consistent(&result, "sketch reconstruction KS");
+}
+
 proptest! {
     #[test]
     fn outcome_probabilities_form_a_distribution(m in 0u64..=10_000_000, p in 0.0f64..=1.0) {
@@ -433,6 +603,52 @@ proptest! {
     #[test]
     fn ln_factorial_is_monotone(n in 1u64..10_000) {
         prop_assert!(ln_factorial(n) >= ln_factorial(n - 1));
+    }
+
+    #[test]
+    fn sketch_quantiles_stay_within_the_ledger(
+        xs in prop::collection::vec(0u64..1_000_000, 1..3_000),
+        seed in any::<u64>(),
+        q in 0.0f64..=1.0,
+    ) {
+        let mut sketch = QuantileSketch::with_capacity(64, seed);
+        for &v in &xs {
+            sketch.push(v);
+        }
+        let mut xs = xs;
+        xs.sort_unstable();
+        let n = xs.len() as u64;
+        let bound = sketch.rank_error_bound();
+        let target = ((q * n as f64).ceil() as u64).clamp(1, n);
+        let v = sketch.quantile(q).unwrap();
+        // Tie-aware: the target rank must fall within the ledger of the
+        // returned value's rank interval.
+        let lo = xs.partition_point(|&x| x < v) as u64;
+        let hi = xs.partition_point(|&x| x <= v) as u64;
+        prop_assert!(lo <= target + bound && hi + bound + 1 >= target);
+        prop_assert_eq!(sketch.min(), xs.first().copied());
+        prop_assert_eq!(sketch.max(), xs.last().copied());
+    }
+
+    #[test]
+    fn sketch_merge_conserves_weight_and_sums_ledgers(
+        xs in prop::collection::vec(0u64..1_000, 0..500),
+        ys in prop::collection::vec(0u64..1_000, 0..500),
+    ) {
+        let mut left = QuantileSketch::with_capacity(64, 1);
+        for &v in &xs { left.push(v); }
+        let mut right = QuantileSketch::with_capacity(64, 2);
+        for &v in &ys { right.push(v); }
+        let ledgers_before = left.rank_error_bound() + right.rank_error_bound();
+        left.merge(&right);
+        prop_assert_eq!(left.count(), (xs.len() + ys.len()) as u64);
+        // Merging concatenates levels without loss: the ledger only grows
+        // by compactions the merge itself triggers.
+        prop_assert!(left.rank_error_bound() >= ledgers_before);
+        if !xs.is_empty() || !ys.is_empty() {
+            let exact_max = xs.iter().chain(ys.iter()).copied().max();
+            prop_assert_eq!(left.max(), exact_max);
+        }
     }
 
     #[test]

@@ -125,6 +125,24 @@ impl WindowSchedule for ExpBackonBackoff {
         // the u64 slot arithmetic of the simulator.
         window.min(u64::MAX as f64 / 4.0) as u64
     }
+
+    fn checkpoint_words(&self) -> Option<Vec<u64>> {
+        // `w` is a running product of (1 − δ) factors — captured verbatim,
+        // since recomputing it from the phase would round differently.
+        Some(vec![u64::from(self.phase), self.w.to_bits()])
+    }
+
+    fn restore_words(&mut self, words: &[u64]) -> bool {
+        let [phase, w] = words else {
+            return false;
+        };
+        let Ok(phase) = u32::try_from(*phase) else {
+            return false;
+        };
+        self.phase = phase;
+        self.w = f64::from_bits(*w);
+        true
+    }
 }
 
 #[cfg(test)]

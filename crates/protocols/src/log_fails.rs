@@ -261,6 +261,27 @@ impl FairProtocol for LogFailsAdaptive {
         // conflate states whose other track differs.
         (1.0 / self.kappa_estimate, self.bt_probability)
     }
+
+    fn checkpoint_words(&self) -> Option<Vec<u64>> {
+        // `fail_window`, `bt_probability` and `bt_period` are pure functions
+        // of the configuration, re-derived at construction; only the three
+        // mutable fields travel.
+        Some(vec![
+            self.kappa_estimate.to_bits(),
+            self.consecutive_failures,
+            self.step,
+        ])
+    }
+
+    fn restore_words(&mut self, words: &[u64]) -> bool {
+        let [kappa, failures, step] = words else {
+            return false;
+        };
+        self.kappa_estimate = f64::from_bits(*kappa);
+        self.consecutive_failures = *failures;
+        self.step = *step;
+        true
+    }
 }
 
 #[cfg(test)]

@@ -93,6 +93,18 @@ impl WindowSchedule for RExponentialBackoff {
         self.current = (self.current * self.r).min(WINDOW_CAP);
         window as u64
     }
+
+    fn checkpoint_words(&self) -> Option<Vec<u64>> {
+        Some(vec![self.current.to_bits()])
+    }
+
+    fn restore_words(&mut self, words: &[u64]) -> bool {
+        let [current] = words else {
+            return false;
+        };
+        self.current = f64::from_bits(*current);
+        true
+    }
 }
 
 /// Window schedule of Loglog-iterated Back-off (reconstruction, default
@@ -183,6 +195,22 @@ impl WindowSchedule for LoglogIteratedBackoff {
         }
         self.repeats_left -= 1;
         self.current.floor().clamp(1.0, WINDOW_CAP) as u64
+    }
+
+    fn checkpoint_words(&self) -> Option<Vec<u64>> {
+        Some(vec![self.current.to_bits(), u64::from(self.repeats_left)])
+    }
+
+    fn restore_words(&mut self, words: &[u64]) -> bool {
+        let [current, repeats] = words else {
+            return false;
+        };
+        let Ok(repeats_left) = u32::try_from(*repeats) else {
+            return false;
+        };
+        self.current = f64::from_bits(*current);
+        self.repeats_left = repeats_left;
+        true
     }
 }
 

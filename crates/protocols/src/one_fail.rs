@@ -199,6 +199,32 @@ impl FairProtocol for OneFailAdaptive {
         // bit equality of phase + tracks is an exact state fingerprint.
         (1.0 / self.kappa_estimate, self.bt_probability)
     }
+
+    fn checkpoint_words(&self) -> Option<Vec<u64>> {
+        // The cached log₂(σ+1) and BT probability are Taylor-maintained with
+        // periodic exact re-anchoring; they are captured verbatim because a
+        // recomputation at restore time would re-anchor and then drift
+        // differently from the unbroken run.
+        Some(vec![
+            self.kappa_estimate.to_bits(),
+            self.received,
+            self.step,
+            self.log2_sigma.to_bits(),
+            self.bt_probability.to_bits(),
+        ])
+    }
+
+    fn restore_words(&mut self, words: &[u64]) -> bool {
+        let [kappa, received, step, log2_sigma, bt] = words else {
+            return false;
+        };
+        self.kappa_estimate = f64::from_bits(*kappa);
+        self.received = *received;
+        self.step = *step;
+        self.log2_sigma = f64::from_bits(*log2_sigma);
+        self.bt_probability = f64::from_bits(*bt);
+        true
+    }
 }
 
 #[cfg(test)]

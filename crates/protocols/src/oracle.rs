@@ -71,6 +71,19 @@ impl FairProtocol for KnownKOracle {
     fn steps_elapsed(&self) -> u64 {
         self.steps
     }
+
+    fn checkpoint_words(&self) -> Option<Vec<u64>> {
+        Some(vec![self.remaining, self.steps])
+    }
+
+    fn restore_words(&mut self, words: &[u64]) -> bool {
+        let [remaining, steps] = words else {
+            return false;
+        };
+        self.remaining = *remaining;
+        self.steps = *steps;
+        true
+    }
 }
 
 #[cfg(test)]

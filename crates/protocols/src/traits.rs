@@ -129,7 +129,11 @@ impl Protocol for Box<dyn Protocol> {
 ///    [`FairProtocol::transmission_probability`];
 /// 2. after the slot, [`FairProtocol::advance`] is called with `delivered =
 ///    true` iff some station's message was delivered in the slot.
-pub trait FairProtocol: Debug {
+///
+/// `Send` is a supertrait so that engine states built over fair protocols
+/// can be driven on the multi-threaded runner (the sharded multi-channel
+/// sessions move each shard's state onto a worker thread).
+pub trait FairProtocol: Debug + Send {
     /// A short human-readable protocol name.
     fn name(&self) -> &'static str;
 
@@ -186,6 +190,33 @@ pub trait FairProtocol: Debug {
         let p = self.transmission_probability();
         (p, p)
     }
+
+    /// Serialises the protocol's *mutable* state as raw words, or `None` if
+    /// the protocol does not support checkpointing.
+    ///
+    /// The contract is exact resumption: feeding the returned words to
+    /// [`FairProtocol::restore_words`] on a freshly constructed instance with
+    /// identical parameters must yield a state whose future behaviour —
+    /// every transmission probability, bit for bit — equals the original's.
+    /// Incrementally maintained fields (Taylor-tracked estimators, rebase
+    /// countdowns) must therefore be captured verbatim, never recomputed.
+    /// Constructor parameters are *not* part of the words; the session layer
+    /// records the [`ProtocolKind`] separately and rebuilds from it.
+    ///
+    /// The default is `None` (not checkpointable); every protocol in the
+    /// paper line-up overrides it.
+    fn checkpoint_words(&self) -> Option<Vec<u64>> {
+        None
+    }
+
+    /// Restores state captured by [`FairProtocol::checkpoint_words`] into
+    /// this instance. Returns `false` (leaving the state untouched or
+    /// partially default — callers must treat it as unusable) if the words
+    /// are malformed or the protocol does not support checkpointing.
+    fn restore_words(&mut self, words: &[u64]) -> bool {
+        let _ = words;
+        false
+    }
 }
 
 impl FairProtocol for Box<dyn FairProtocol> {
@@ -207,6 +238,12 @@ impl FairProtocol for Box<dyn FairProtocol> {
     fn probability_tracks(&self) -> (f64, f64) {
         self.as_ref().probability_tracks()
     }
+    fn checkpoint_words(&self) -> Option<Vec<u64>> {
+        self.as_ref().checkpoint_words()
+    }
+    fn restore_words(&mut self, words: &[u64]) -> bool {
+        self.as_mut().restore_words(words)
+    }
 }
 
 /// A window-based protocol, described by its (deterministic, possibly
@@ -216,12 +253,28 @@ impl FairProtocol for Box<dyn FairProtocol> {
 /// inside each successive window and transmits only in that slot; the only
 /// feedback it reacts to is the delivery of its own message, upon which it
 /// stops.
-pub trait WindowSchedule: Debug {
+pub trait WindowSchedule: Debug + Send {
     /// A short human-readable protocol name.
     fn name(&self) -> &'static str;
 
     /// Returns the length (≥ 1) of the next window.
     fn next_window(&mut self) -> u64;
+
+    /// Serialises the schedule's mutable state as raw words, or `None` if
+    /// the schedule does not support checkpointing. Same exact-resumption
+    /// contract as [`FairProtocol::checkpoint_words`]: restoring the words
+    /// into a freshly constructed schedule with identical parameters must
+    /// reproduce the remaining window sequence bit for bit.
+    fn checkpoint_words(&self) -> Option<Vec<u64>> {
+        None
+    }
+
+    /// Restores state captured by [`WindowSchedule::checkpoint_words`].
+    /// Returns `false` on malformed words or an unsupported schedule.
+    fn restore_words(&mut self, words: &[u64]) -> bool {
+        let _ = words;
+        false
+    }
 }
 
 /// Adapter that runs a [`FairProtocol`] as a per-station [`Protocol`].

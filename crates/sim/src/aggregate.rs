@@ -7,13 +7,14 @@
 //! [`mac_prob::binomial`]). This engine adds the two ingredients that make
 //! the *whole run* fast, not just each slot O(1):
 //!
-//! * a **two-line threshold cache** of [`SlotKernel`]s. Fair protocols
-//!   interleave at most two probability tracks per feedback event (e.g.
-//!   One-fail Adaptive's AT/BT parity), and each track either repeats its
-//!   probability exactly (BT between deliveries, Log-fails within a failure
-//!   window, the oracle always) — a bit-equality cache hit — or drifts by
-//!   `O(p/κ̃)` per slot, which the kernel follows with short Taylor updates.
-//!   `exp`/`ln` are paid a few times per *delivery* instead of per slot.
+//! * a **two-line threshold cache** of [`SlotKernel`](mac_prob::binomial::SlotKernel)s.
+//!   Fair protocols interleave at most two probability tracks per feedback
+//!   event (e.g. One-fail Adaptive's AT/BT parity), and each track either
+//!   repeats its probability exactly (BT between deliveries, Log-fails
+//!   within a failure window, the oracle always) — a bit-equality cache hit
+//!   — or drifts by `O(p/κ̃)` per slot, which the kernel follows with short
+//!   Taylor updates. `exp`/`ln` are paid a few times per *delivery* instead
+//!   of per slot.
 //! * **dead-slot elision**: when `P(T ≤ 1)` underflows to `0.0` (a few
 //!   thousand stations at a BT-scale probability already do), no uniform
 //!   draw can change the outcome and the collision is recorded without
@@ -23,6 +24,20 @@
 //! The engine is generic over the concrete [`FairProtocol`] so the per-slot
 //! protocol calls inline into the loop (no virtual dispatch); `FairSimulator`
 //! instantiates it once per protocol kind.
+//!
+//! ## Resumable core
+//!
+//! The loop state lives in [`FairEngineCore`]: the monolithic
+//! [`run_fair_aggregate`] entry point constructs a core and drives it to
+//! completion in one [`FairEngineCore::advance`] call, while the streaming
+//! session layer (`crate::session`) drives the *same* core in bounded
+//! bursts with checkpoints in between — so a checkpointed run is
+//! bit-identical to an unbroken one by construction, not by a parallel
+//! reimplementation. The checkpoint captures every incrementally-maintained
+//! quantity verbatim (protocol state words, the RNG, the adversary's
+//! dynamic state, both kernel cache lines): rebuilding any of them from
+//! their defining parameters would re-anchor the Taylor maintenance and
+//! diverge bitwise.
 //!
 //! ## Contract
 //!
@@ -41,14 +56,17 @@
 //! own RNG stream.
 
 use crate::result::{RunOptions, RunResult, MAX_PREALLOC_ENTRIES};
-use mac_adversary::{SlotClass, ADVERSARY_STREAM};
+use mac_adversary::{AdversaryScenario, AdversaryState, SlotClass, ADVERSARY_STREAM};
 use mac_prob::binomial::SlotKernelCache;
 use mac_prob::rng::{derive_seed, Xoshiro256pp};
-use mac_protocols::FairProtocol;
-use rand::Rng;
+use mac_prob::sketch::StreamingLatencyStats;
+use mac_prob::wire::{Decoder, Encoder, WireError};
+use mac_protocols::{FairProtocol, ParameterError};
+use rand::{Rng, SeedableRng};
 
 /// Runs one batched instance of a fair protocol through the aggregate
-/// engine. `state` is the shared common state of all active stations.
+/// engine to completion. `state` is the shared common state of all active
+/// stations.
 ///
 /// `jam_log`, when provided, records the slot index of every jammed
 /// would-be delivery (the *effective* jams — the only adversary actions
@@ -57,120 +75,361 @@ use rand::Rng;
 /// logging itself consumes no randomness, so a logged run is bit-identical
 /// to an unlogged one.
 pub(crate) fn run_fair_aggregate<P: FairProtocol>(
-    mut state: P,
+    state: P,
     label: String,
     k: u64,
     seed: u64,
     options: &RunOptions,
-    rng: &mut Xoshiro256pp,
-    mut jam_log: Option<&mut Vec<u64>>,
+    jam_log: Option<&mut Vec<u64>>,
 ) -> RunResult {
-    let max_slots = options.max_slots(k);
-    let mut remaining = k;
-    let mut m = k as f64;
-    let mut slot: u64 = 0;
-    let mut makespan = 0;
-    let mut collisions = 0;
-    let mut silent = 0;
-    let mut jammed_deliveries = 0;
-    // The adversary draws from its own derived stream, so the protocol RNG
-    // is consumed identically whether or not an adversary is configured.
-    let mut adversary = options
-        .adversary
-        .state(derive_seed(seed, &[ADVERSARY_STREAM]));
-    let adversarial = adversary.is_active();
-    let mut delivery_slots = options
-        .record_deliveries
-        .then(|| Vec::with_capacity(k.min(MAX_PREALLOC_ENTRIES) as usize));
+    let mut core = FairEngineCore::new(state, k, seed, options);
+    core.advance(u64::MAX, jam_log);
+    core.into_result(label)
+}
 
-    // The two cached probability tracks (see `SlotKernelCache`: exact hit
-    // on either line, else the line nearest in *relative* probability moves
-    // — the protocols' tracks live at very different scales). Both lines
-    // start on the protocol's first probability; the nearest-probability
-    // rule sorts the tracks out within the first two slots.
-    let p0 = if remaining > 0 {
-        state.transmission_probability()
-    } else {
-        0.0
-    };
-    let mut cache = SlotKernelCache::new(k, p0);
+/// The complete loop state of one aggregate fair run, advanceable in
+/// bounded slot bursts (see the module documentation).
+#[derive(Debug)]
+pub(crate) struct FairEngineCore<P> {
+    state: P,
+    k: u64,
+    seed: u64,
+    max_slots: u64,
+    remaining: u64,
+    m: f64,
+    slot: u64,
+    makespan: u64,
+    collisions: u64,
+    silent: u64,
+    jammed_deliveries: u64,
+    adversary: AdversaryState,
+    adversarial: bool,
+    cache: SlotKernelCache,
+    rng: Xoshiro256pp,
+    delivery_slots: Option<Vec<u64>>,
+    stats: Option<StreamingLatencyStats>,
+}
 
-    while remaining > 0 && slot < max_slots {
-        let p = state.transmission_probability();
-        debug_assert!((0.0..=1.0).contains(&p), "invalid probability {p}");
-        let line = cache.select(m, p);
-
-        let mut delivered = false;
-        if line.is_dead() {
-            // Certain collision at f64 resolution: no draw can fall below
-            // the thresholds, so none is consumed.
-            collisions += 1;
-            if adversarial {
-                // Jamming an already-contended slot changes nothing but a
-                // reactive jammer's budget.
-                adversary.jams_slot(slot, SlotClass::Contended);
-            }
+impl<P: FairProtocol> FairEngineCore<P> {
+    /// Builds the initial loop state — bit-identical to the state the
+    /// monolithic runner entered its loop with.
+    pub(crate) fn new(state: P, k: u64, seed: u64, options: &RunOptions) -> Self {
+        let max_slots = options.max_slots(k);
+        // The adversary draws from its own derived stream, so the protocol
+        // RNG is consumed identically whether or not an adversary is
+        // configured.
+        let adversary = options
+            .adversary
+            .state(derive_seed(seed, &[ADVERSARY_STREAM]));
+        let adversarial = adversary.is_active();
+        let delivery_slots = options
+            .record_deliveries
+            .then(|| Vec::with_capacity(k.min(MAX_PREALLOC_ENTRIES) as usize));
+        // The two cached probability tracks (see `SlotKernelCache`: exact
+        // hit on either line, else the line nearest in *relative*
+        // probability moves — the protocols' tracks live at very different
+        // scales). Both lines start on the protocol's first probability;
+        // the nearest-probability rule sorts the tracks out within the
+        // first two slots.
+        let p0 = if k > 0 {
+            state.transmission_probability()
         } else {
-            let thresholds = line.thresholds();
-            let u = rng.gen::<f64>();
-            let is_delivery = u >= thresholds.t0 && u < thresholds.t1;
-            if !adversarial {
-                // Branchless silence/collision split: only the (rarer)
-                // delivery takes a data-dependent branch.
-                silent += u64::from(u < thresholds.t0);
-                collisions += u64::from(u >= thresholds.t1);
-                if is_delivery {
-                    remaining -= 1;
-                    m -= 1.0;
-                    makespan = slot + 1;
-                    if let Some(slots) = delivery_slots.as_mut() {
-                        slots.push(slot);
-                    }
-                    delivered = true;
-                }
-            } else if is_delivery {
-                if adversary.jams_slot(slot, SlotClass::Single) {
-                    // The jam destroys the delivery: the transmitter stays
-                    // active and the slot reads as a collision.
-                    collisions += 1;
-                    jammed_deliveries += 1;
-                    if let Some(log) = jam_log.as_deref_mut() {
-                        log.push(slot);
-                    }
-                } else {
-                    remaining -= 1;
-                    m -= 1.0;
-                    makespan = slot + 1;
-                    if let Some(slots) = delivery_slots.as_mut() {
-                        slots.push(slot);
-                    }
-                    // Acknowledgements are reliable; only the broadcast
-                    // feedback to the remaining stations can be lost.
-                    delivered = !adversary.misses_delivery();
-                }
-            } else if u >= thresholds.t1 {
-                adversary.jams_slot(slot, SlotClass::Contended);
-                collisions += 1;
-            } else {
-                silent += 1;
-            }
+            0.0
+        };
+        Self {
+            state,
+            k,
+            seed,
+            max_slots,
+            remaining: k,
+            m: k as f64,
+            slot: 0,
+            makespan: 0,
+            collisions: 0,
+            silent: 0,
+            jammed_deliveries: 0,
+            adversary,
+            adversarial,
+            cache: SlotKernelCache::new(k, p0),
+            rng: Xoshiro256pp::seed_from_u64(seed),
+            delivery_slots,
+            stats: None,
         }
-        state.advance(delivered);
-        slot += 1;
     }
 
-    let completed = remaining == 0;
-    RunResult {
-        protocol: label,
-        k,
-        seed,
-        makespan: if completed { makespan } else { max_slots },
-        completed,
-        delivered: k - remaining,
-        collisions,
-        silent_slots: silent,
-        jammed_deliveries,
-        never_activated: 0,
-        delivery_slots,
+    /// Attaches a streaming latency accumulator: every delivery pushes its
+    /// slot index (= latency, since batched arrivals happen at slot 0).
+    /// Consumes no protocol randomness, so the trajectory is unchanged.
+    pub(crate) fn set_streaming_stats(&mut self, stats: StreamingLatencyStats) {
+        self.stats = Some(stats);
+    }
+
+    pub(crate) fn is_finished(&self) -> bool {
+        self.remaining == 0 || self.slot >= self.max_slots
+    }
+
+    pub(crate) fn slot(&self) -> u64 {
+        self.slot
+    }
+
+    pub(crate) fn delivered(&self) -> u64 {
+        self.k - self.remaining
+    }
+
+    pub(crate) fn remaining(&self) -> u64 {
+        self.remaining
+    }
+
+    pub(crate) fn streaming_stats(&self) -> Option<&StreamingLatencyStats> {
+        self.stats.as_ref()
+    }
+
+    /// Advances up to `budget` slots (fewer if the run finishes first) and
+    /// returns the number of slots executed.
+    pub(crate) fn advance(&mut self, budget: u64, mut jam_log: Option<&mut Vec<u64>>) -> u64 {
+        let mut executed: u64 = 0;
+        while self.remaining > 0 && self.slot < self.max_slots && executed < budget {
+            let p = self.state.transmission_probability();
+            debug_assert!((0.0..=1.0).contains(&p), "invalid probability {p}");
+            let line = self.cache.select(self.m, p);
+
+            let mut delivered = false;
+            if line.is_dead() {
+                // Certain collision at f64 resolution: no draw can fall
+                // below the thresholds, so none is consumed.
+                self.collisions += 1;
+                if self.adversarial {
+                    // Jamming an already-contended slot changes nothing but
+                    // a reactive jammer's budget.
+                    self.adversary.jams_slot(self.slot, SlotClass::Contended);
+                }
+            } else {
+                let thresholds = line.thresholds();
+                let u = self.rng.gen::<f64>();
+                let is_delivery = u >= thresholds.t0 && u < thresholds.t1;
+                if !self.adversarial {
+                    // Branchless silence/collision split: only the (rarer)
+                    // delivery takes a data-dependent branch.
+                    self.silent += u64::from(u < thresholds.t0);
+                    self.collisions += u64::from(u >= thresholds.t1);
+                    if is_delivery {
+                        self.remaining -= 1;
+                        self.m -= 1.0;
+                        self.makespan = self.slot + 1;
+                        if let Some(slots) = self.delivery_slots.as_mut() {
+                            slots.push(self.slot);
+                        }
+                        if let Some(stats) = self.stats.as_mut() {
+                            stats.push(self.slot);
+                        }
+                        delivered = true;
+                    }
+                } else if is_delivery {
+                    if self.adversary.jams_slot(self.slot, SlotClass::Single) {
+                        // The jam destroys the delivery: the transmitter
+                        // stays active and the slot reads as a collision.
+                        self.collisions += 1;
+                        self.jammed_deliveries += 1;
+                        if let Some(log) = jam_log.as_deref_mut() {
+                            log.push(self.slot);
+                        }
+                    } else {
+                        self.remaining -= 1;
+                        self.m -= 1.0;
+                        self.makespan = self.slot + 1;
+                        if let Some(slots) = self.delivery_slots.as_mut() {
+                            slots.push(self.slot);
+                        }
+                        if let Some(stats) = self.stats.as_mut() {
+                            stats.push(self.slot);
+                        }
+                        // Acknowledgements are reliable; only the broadcast
+                        // feedback to the remaining stations can be lost.
+                        delivered = !self.adversary.misses_delivery();
+                    }
+                } else if u >= thresholds.t1 {
+                    self.adversary.jams_slot(self.slot, SlotClass::Contended);
+                    self.collisions += 1;
+                } else {
+                    self.silent += 1;
+                }
+            }
+            self.state.advance(delivered);
+            self.slot += 1;
+            executed += 1;
+        }
+        executed
+    }
+
+    /// The run's aggregate result. Valid at any point; before the run
+    /// finishes it reports the capped-run convention (`completed = false`,
+    /// `makespan = max_slots`) on the slots executed so far.
+    pub(crate) fn into_result(self, label: String) -> RunResult {
+        let completed = self.remaining == 0;
+        RunResult {
+            protocol: label,
+            k: self.k,
+            seed: self.seed,
+            makespan: if completed {
+                self.makespan
+            } else {
+                self.max_slots
+            },
+            completed,
+            delivered: self.k - self.remaining,
+            collisions: self.collisions,
+            silent_slots: self.silent,
+            jammed_deliveries: self.jammed_deliveries,
+            never_activated: 0,
+            delivery_slots: self.delivery_slots,
+        }
+    }
+
+    /// Non-consuming form of [`FairEngineCore::into_result`] for sessions,
+    /// which keep the core alive after reporting.
+    pub(crate) fn result_snapshot(&self, label: &str) -> RunResult {
+        let completed = self.remaining == 0;
+        RunResult {
+            protocol: label.to_string(),
+            k: self.k,
+            seed: self.seed,
+            makespan: if completed {
+                self.makespan
+            } else {
+                self.max_slots
+            },
+            completed,
+            delivered: self.k - self.remaining,
+            collisions: self.collisions,
+            silent_slots: self.silent,
+            jammed_deliveries: self.jammed_deliveries,
+            never_activated: 0,
+            delivery_slots: self.delivery_slots.clone(),
+        }
+    }
+
+    /// Serialises the full loop state. Returns `false` (leaving the encoder
+    /// untouched beyond the attempt) if the protocol does not support state
+    /// extraction.
+    pub(crate) fn encode(&self, out: &mut Encoder) -> bool {
+        let Some(protocol_words) = self.state.checkpoint_words() else {
+            return false;
+        };
+        out.put_u64(self.k);
+        out.put_u64(self.seed);
+        out.put_u64(self.max_slots);
+        out.put_u64(self.remaining);
+        out.put_f64(self.m);
+        out.put_u64(self.slot);
+        out.put_u64(self.makespan);
+        out.put_u64(self.collisions);
+        out.put_u64(self.silent);
+        out.put_u64(self.jammed_deliveries);
+        out.put_words(&protocol_words);
+        for w in self.rng.state_words() {
+            out.put_u64(w);
+        }
+        for w in self.adversary.state_words() {
+            out.put_u64(w);
+        }
+        self.cache.encode(out);
+        encode_optional_slots(self.delivery_slots.as_deref(), out);
+        match &self.stats {
+            Some(stats) => {
+                out.put_bool(true);
+                stats.encode(out);
+            }
+            None => out.put_bool(false),
+        }
+        true
+    }
+
+    /// Rebuilds a core from [`FairEngineCore::encode`]d words. `build`
+    /// constructs a fresh protocol for the recorded `k` (its incremental
+    /// state is then overwritten verbatim from the checkpoint), and
+    /// `scenario` must be the run's original adversary configuration.
+    pub(crate) fn decode(
+        input: &mut Decoder<'_>,
+        build: impl FnOnce(u64) -> Result<P, ParameterError>,
+        scenario: &AdversaryScenario,
+    ) -> Result<Self, WireError> {
+        let k = input.take_u64()?;
+        let seed = input.take_u64()?;
+        let max_slots = input.take_u64()?;
+        let remaining = input.take_u64()?;
+        let m = input.take_f64()?;
+        let slot = input.take_u64()?;
+        let makespan = input.take_u64()?;
+        let collisions = input.take_u64()?;
+        let silent = input.take_u64()?;
+        let jammed_deliveries = input.take_u64()?;
+        let protocol_words = input.take_words()?;
+        let mut rng_words = [0u64; 4];
+        for w in &mut rng_words {
+            *w = input.take_u64()?;
+        }
+        let mut adversary_words = [0u64; 6];
+        for w in &mut adversary_words {
+            *w = input.take_u64()?;
+        }
+        let cache = SlotKernelCache::decode(input)?;
+        let delivery_slots = decode_optional_slots(input)?;
+        let stats = if input.take_bool()? {
+            Some(StreamingLatencyStats::decode(input)?)
+        } else {
+            None
+        };
+
+        let mut state =
+            build(k).map_err(|_| WireError::Malformed("protocol reconstruction failed"))?;
+        if !state.restore_words(protocol_words) {
+            return Err(WireError::Malformed("protocol state words rejected"));
+        }
+        let mut adversary = scenario.state(0);
+        if !adversary.restore_state_words(&adversary_words) {
+            return Err(WireError::Malformed("adversary state words rejected"));
+        }
+        let adversarial = adversary.is_active();
+        Ok(Self {
+            state,
+            k,
+            seed,
+            max_slots,
+            remaining,
+            m,
+            slot,
+            makespan,
+            collisions,
+            silent,
+            jammed_deliveries,
+            adversary,
+            adversarial,
+            cache,
+            rng: Xoshiro256pp::from_state_words(rng_words),
+            delivery_slots,
+            stats,
+        })
+    }
+}
+
+/// Shared codec for the optional per-delivery slot list the cores carry.
+pub(crate) fn encode_optional_slots(slots: Option<&[u64]>, out: &mut Encoder) {
+    match slots {
+        Some(slots) => {
+            out.put_bool(true);
+            out.put_words(slots);
+        }
+        None => out.put_bool(false),
+    }
+}
+
+/// Inverse of [`encode_optional_slots`].
+pub(crate) fn decode_optional_slots(
+    input: &mut Decoder<'_>,
+) -> Result<Option<Vec<u64>>, WireError> {
+    if input.take_bool()? {
+        Ok(Some(input.take_words()?.to_vec()))
+    } else {
+        Ok(None)
     }
 }

@@ -39,16 +39,31 @@
 //! probability perturbation at merge time for a smaller cohort count; see
 //! `DESIGN.md` §6 for the contract.
 //!
+//! ## Resumable core
+//!
+//! The loop state lives in [`CohortEngineCore`]: arrivals are consumed from
+//! an [`ArrivalFeed`] (a sorted slice for the monolithic runner, a lazy
+//! [`mac_channel::ArrivalStream`] adapter in the session layer), latencies
+//! go to a [`LatencyRecorder`] (an exact vector, a bounded-memory
+//! [`StreamingLatencyStats`], or both), and `advance(budget)` runs the same
+//! loop body the monolithic runner uses — so a checkpointed run is
+//! bit-identical to an unbroken one by construction. A checkpoint captures
+//! every cohort's protocol state words, the kernel caches, the RNG and the
+//! adversary's dynamic state verbatim.
+//!
 //! Window protocols are *not* servable here (their per-slot decisions are
 //! not independent Bernoulli trials, `Protocol::slot_probability` is
 //! `None`): [`CohortSimulator`] rejects them and `simulate_dynamic` routes
 //! them to the exact per-station engine instead.
 
+use crate::aggregate::{decode_optional_slots, encode_optional_slots};
 use crate::result::{RunOptions, RunResult, MAX_PREALLOC_ENTRIES};
-use mac_adversary::{SlotClass, ADVERSARY_STREAM};
+use mac_adversary::{AdversaryScenario, AdversaryState, SlotClass, ADVERSARY_STREAM};
 use mac_channel::ArrivalSchedule;
 use mac_prob::cohort::CohortKernel;
 use mac_prob::rng::{derive_seed, Xoshiro256pp};
+use mac_prob::sketch::StreamingLatencyStats;
+use mac_prob::wire::{Decoder, Encoder, WireError};
 use mac_protocols::{
     FairProtocol, KnownKOracle, LogFailsAdaptive, LogFailsConfig, OneFailAdaptive, ParameterError,
     ProtocolKind,
@@ -69,7 +84,8 @@ pub struct CohortRun {
     /// Aggregate result, identical in shape to the other simulators'.
     pub result: RunResult,
     /// Latency (delivery slot − arrival slot) of every delivered message,
-    /// in delivery order.
+    /// in delivery order. Empty when the run recorded latencies into a
+    /// streaming sketch instead (session runs).
     pub latencies: Vec<u64>,
     /// Number of cohort merges performed (diagnostic).
     pub merges: u64,
@@ -91,6 +107,122 @@ struct Cohort<P> {
     /// after a merge. Members are exchangeable, so a delivery picks a
     /// sub-group with probability proportional to its count.
     groups: Vec<(u64, u64)>,
+}
+
+/// A source of arrivals consumed in slot order. The engine's contract:
+/// [`ArrivalFeed::take_due`] is called with non-decreasing slots and removes
+/// everything at or before the given slot; [`ArrivalFeed::peek_slot`] is the
+/// slot of the next pending arrival (it may advance lazy generators but must
+/// not consume the arrival).
+pub(crate) trait ArrivalFeed {
+    /// Removes and counts every pending arrival at or before `slot`.
+    fn take_due(&mut self, slot: u64) -> u64;
+    /// The slot of the next pending arrival, if any.
+    fn peek_slot(&mut self) -> Option<u64>;
+    /// Messages not yet handed to the engine (for `never_activated`).
+    fn pending_messages(&mut self) -> u64;
+}
+
+/// [`ArrivalFeed`] over a sorted arrival-slot slice (the monolithic path).
+#[derive(Debug)]
+pub(crate) struct SliceFeed<'a> {
+    arrivals: &'a [u64],
+    next: usize,
+}
+
+impl<'a> SliceFeed<'a> {
+    pub(crate) fn new(arrivals: &'a [u64]) -> Self {
+        Self { arrivals, next: 0 }
+    }
+}
+
+impl ArrivalFeed for SliceFeed<'_> {
+    fn take_due(&mut self, slot: u64) -> u64 {
+        let mut count = 0u64;
+        while self.next < self.arrivals.len() && self.arrivals[self.next] <= slot {
+            count += 1;
+            self.next += 1;
+        }
+        count
+    }
+
+    fn peek_slot(&mut self) -> Option<u64> {
+        self.arrivals.get(self.next).copied()
+    }
+
+    fn pending_messages(&mut self) -> u64 {
+        (self.arrivals.len() - self.next) as u64
+    }
+}
+
+/// A fallible protocol-state constructor: one fresh state per arrival burst.
+/// Closures get a blanket implementation; the session layer provides a
+/// named, checkpoint-reconstructible factory.
+pub(crate) trait BuildState<P> {
+    fn build(&self) -> Result<P, ParameterError>;
+}
+
+impl<P, F: Fn() -> Result<P, ParameterError>> BuildState<P> for F {
+    fn build(&self) -> Result<P, ParameterError> {
+        self()
+    }
+}
+
+/// Where per-delivery latencies go: an exact in-order vector (the
+/// monolithic path), a bounded-memory quantile sketch (session runs), or
+/// both (conformance tests).
+#[derive(Debug)]
+pub(crate) struct LatencyRecorder {
+    exact: Option<Vec<u64>>,
+    streaming: Option<StreamingLatencyStats>,
+}
+
+impl LatencyRecorder {
+    /// Records every latency exactly, in delivery order.
+    pub(crate) fn exact(capacity: usize) -> Self {
+        Self {
+            exact: Some(Vec::with_capacity(capacity)),
+            streaming: None,
+        }
+    }
+
+    /// Records latencies into a mergeable streaming sketch only.
+    pub(crate) fn streaming(stats: StreamingLatencyStats) -> Self {
+        Self {
+            exact: None,
+            streaming: Some(stats),
+        }
+    }
+
+    fn push(&mut self, latency: u64) {
+        if let Some(exact) = self.exact.as_mut() {
+            exact.push(latency);
+        }
+        if let Some(streaming) = self.streaming.as_mut() {
+            streaming.push(latency);
+        }
+    }
+
+    fn encode(&self, out: &mut Encoder) {
+        encode_optional_slots(self.exact.as_deref(), out);
+        match &self.streaming {
+            Some(stats) => {
+                out.put_bool(true);
+                stats.encode(out);
+            }
+            None => out.put_bool(false),
+        }
+    }
+
+    fn decode(input: &mut Decoder<'_>) -> Result<Self, WireError> {
+        let exact = decode_optional_slots(input)?;
+        let streaming = if input.take_bool()? {
+            Some(StreamingLatencyStats::decode(input)?)
+        } else {
+            None
+        };
+        Ok(Self { exact, streaming })
+    }
 }
 
 /// Fast simulator for fair protocols under **arbitrary arrival schedules**.
@@ -224,103 +356,208 @@ impl CohortSimulator {
     ) -> Result<CohortRun, ParameterError> {
         self.options.validate_adversary()?;
         let k = schedule.len() as u64;
-        let mut rng = Xoshiro256pp::seed_from_u64(seed);
-        let mut adversary = self
-            .options
-            .adversary
-            .state(derive_seed(seed, &[ADVERSARY_STREAM]));
-        let adversarial = adversary.is_active();
         // Same cap convention as the exact simulator: the per-message budget
         // is granted on top of the arrival horizon.
         let max_slots = self
             .options
             .max_slots(k)
             .saturating_add(schedule.last_arrival().unwrap_or(0));
-
-        let arrivals = schedule.arrival_slots();
-        let mut next_arrival = 0usize;
-        let mut cohorts: Vec<Cohort<P>> = Vec::new();
-        let mut kernel = CohortKernel::new();
-        let mut ms: Vec<f64> = Vec::new();
-        let mut ps: Vec<f64> = Vec::new();
-
-        let mut remaining = k;
-        let mut slot: u64 = 0;
-        let mut makespan: u64 = 0;
-        let mut collisions: u64 = 0;
-        let mut silent: u64 = 0;
-        let mut jammed_deliveries: u64 = 0;
-        let mut merges: u64 = 0;
-        let mut peak_cohorts: usize = 0;
         let prealloc = k.min(MAX_PREALLOC_ENTRIES) as usize;
-        let mut latencies: Vec<u64> = Vec::with_capacity(prealloc);
-        let mut delivery_slots = self
-            .options
+        let mut core = CohortEngineCore::new(
+            SliceFeed::new(schedule.arrival_slots()),
+            factory,
+            k,
+            seed,
+            max_slots,
+            &self.options,
+            self.merge_tolerance,
+            LatencyRecorder::exact(prealloc),
+        );
+        core.advance(u64::MAX)?;
+        Ok(core.into_run(label))
+    }
+}
+
+/// The complete loop state of one cohort-engine run, advanceable in bounded
+/// slot bursts. Silent fast-forwards are clamped to the budget (they consume
+/// no randomness, so resuming mid-gap is bit-safe); processed slots advance
+/// one at a time, so the executed count never overshoots.
+#[derive(Debug)]
+pub(crate) struct CohortEngineCore<P, A, F> {
+    feed: A,
+    factory: F,
+    k: u64,
+    seed: u64,
+    max_slots: u64,
+    merge_tolerance: f64,
+    cohorts: Vec<Cohort<P>>,
+    kernel: CohortKernel,
+    ms: Vec<f64>,
+    ps: Vec<f64>,
+    remaining: u64,
+    slot: u64,
+    makespan: u64,
+    collisions: u64,
+    silent: u64,
+    jammed_deliveries: u64,
+    merges: u64,
+    peak_cohorts: usize,
+    slots_to_merge_scan: u64,
+    adversary: AdversaryState,
+    adversarial: bool,
+    rng: Xoshiro256pp,
+    recorder: LatencyRecorder,
+    delivery_slots: Option<Vec<u64>>,
+}
+
+impl<P: FairProtocol, A: ArrivalFeed, F: BuildState<P>> CohortEngineCore<P, A, F> {
+    /// Builds the initial loop state — bit-identical to the state the
+    /// monolithic runner entered its loop with.
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn new(
+        feed: A,
+        factory: F,
+        k: u64,
+        seed: u64,
+        max_slots: u64,
+        options: &RunOptions,
+        merge_tolerance: f64,
+        recorder: LatencyRecorder,
+    ) -> Self {
+        let rng = Xoshiro256pp::seed_from_u64(seed);
+        let adversary = options
+            .adversary
+            .state(derive_seed(seed, &[ADVERSARY_STREAM]));
+        let adversarial = adversary.is_active();
+        let prealloc = k.min(MAX_PREALLOC_ENTRIES) as usize;
+        let delivery_slots = options
             .record_deliveries
             .then(|| Vec::with_capacity(prealloc));
-        let mut slots_to_merge_scan = MERGE_SCAN_PERIOD;
+        Self {
+            feed,
+            factory,
+            k,
+            seed,
+            max_slots,
+            merge_tolerance,
+            cohorts: Vec::new(),
+            kernel: CohortKernel::new(),
+            ms: Vec::new(),
+            ps: Vec::new(),
+            remaining: k,
+            slot: 0,
+            makespan: 0,
+            collisions: 0,
+            silent: 0,
+            jammed_deliveries: 0,
+            merges: 0,
+            peak_cohorts: 0,
+            slots_to_merge_scan: MERGE_SCAN_PERIOD,
+            adversary,
+            adversarial,
+            rng,
+            recorder,
+            delivery_slots,
+        }
+    }
 
-        while remaining > 0 && slot < max_slots {
+    pub(crate) fn is_finished(&self) -> bool {
+        self.remaining == 0 || self.slot >= self.max_slots
+    }
+
+    pub(crate) fn feed(&self) -> &A {
+        &self.feed
+    }
+
+    pub(crate) fn slot(&self) -> u64 {
+        self.slot
+    }
+
+    pub(crate) fn delivered(&self) -> u64 {
+        self.k - self.remaining
+    }
+
+    pub(crate) fn remaining(&self) -> u64 {
+        self.remaining
+    }
+
+    pub(crate) fn streaming_stats(&self) -> Option<&StreamingLatencyStats> {
+        self.recorder.streaming.as_ref()
+    }
+
+    /// Advances until at least `budget` slots have elapsed or the run
+    /// finishes; returns the number of slots executed.
+    ///
+    /// # Errors
+    /// Propagates a [`ParameterError`] from the state factory (never fires
+    /// after the first burst activated successfully — factories are
+    /// deterministic).
+    pub(crate) fn advance(&mut self, budget: u64) -> Result<u64, ParameterError> {
+        let start = self.slot;
+        let cap = start.saturating_add(budget);
+        while self.remaining > 0 && self.slot < self.max_slots && self.slot < cap {
             // Activate the arrival burst of this slot as one fresh cohort
-            // (the schedule is sorted, so all due arrivals share the slot
+            // (arrivals are sorted, so all due arrivals share the slot
             // after the fast-forward below).
-            if next_arrival < arrivals.len() && arrivals[next_arrival] <= slot {
-                let mut count = 0u64;
-                while next_arrival < arrivals.len() && arrivals[next_arrival] <= slot {
-                    count += 1;
-                    next_arrival += 1;
-                }
-                let state = factory()?;
-                kernel.push(count, state.transmission_probability());
-                cohorts.push(Cohort {
+            if self.feed.peek_slot().is_some_and(|due| due <= self.slot) {
+                let count = self.feed.take_due(self.slot);
+                let state = self.factory.build()?;
+                self.kernel.push(count, state.transmission_probability());
+                self.cohorts.push(Cohort {
                     state,
                     m: count,
-                    groups: vec![(slot, count)],
+                    groups: vec![(self.slot, count)],
                 });
-                peak_cohorts = peak_cohorts.max(cohorts.len());
+                self.peak_cohorts = self.peak_cohorts.max(self.cohorts.len());
             }
 
             // Fast-forward an empty channel to the next arrival: the slots
             // in between are silent by definition, and the adversary is only
-            // ever consulted about busy slots.
-            if cohorts.is_empty() {
-                let next = arrivals[next_arrival].min(max_slots);
-                silent += next - slot;
-                slot = next;
+            // ever consulted about busy slots. Clamping to the budget is
+            // bit-safe — no randomness is consumed, and the next advance
+            // resumes the fast-forward from the clamp point.
+            if self.cohorts.is_empty() {
+                let due = self
+                    .feed
+                    .peek_slot()
+                    .expect("remaining > 0 with no active cohorts implies pending arrivals");
+                let next = due.min(self.max_slots).min(cap);
+                self.silent += next - self.slot;
+                self.slot = next;
                 continue;
             }
 
-            ms.clear();
-            ps.clear();
-            for cohort in &cohorts {
-                ms.push(cohort.m as f64);
-                ps.push(cohort.state.transmission_probability());
+            self.ms.clear();
+            self.ps.clear();
+            for cohort in &self.cohorts {
+                self.ms.push(cohort.m as f64);
+                self.ps.push(cohort.state.transmission_probability());
             }
-            let thresholds = kernel.classify(&ms, &ps);
+            let thresholds = self.kernel.classify(&self.ms, &self.ps);
 
             let mut delivered_feedback = false;
             if thresholds.is_dead() {
                 // Certain collision at f64 resolution: no draw is consumed.
-                collisions += 1;
-                if adversarial {
-                    adversary.jams_slot(slot, SlotClass::Contended);
+                self.collisions += 1;
+                if self.adversarial {
+                    self.adversary.jams_slot(self.slot, SlotClass::Contended);
                 }
             } else {
-                let u = rng.gen::<f64>();
+                let u = self.rng.gen::<f64>();
                 if u < thresholds.t0 {
-                    silent += 1;
+                    self.silent += 1;
                 } else if u < thresholds.t1 {
-                    if adversarial && adversary.jams_slot(slot, SlotClass::Single) {
+                    if self.adversarial && self.adversary.jams_slot(self.slot, SlotClass::Single) {
                         // The jam destroys the delivery: the transmitter
                         // stays active and the slot reads as a collision.
-                        collisions += 1;
-                        jammed_deliveries += 1;
+                        self.collisions += 1;
+                        self.jammed_deliveries += 1;
                     } else {
                         // Which cohort delivered, and — through the leftover
                         // uniform fraction — which arrival sub-group within
                         // it (members are exchangeable).
-                        let (ci, fraction) = kernel.delivering_cohort(u - thresholds.t0);
-                        let cohort = &mut cohorts[ci];
+                        let (ci, fraction) = self.kernel.delivering_cohort(u - thresholds.t0);
+                        let cohort = &mut self.cohorts[ci];
                         let mut index = ((fraction * cohort.m as f64) as u64).min(cohort.m - 1);
                         let group = cohort
                             .groups
@@ -334,68 +571,236 @@ impl CohortSimulator {
                                 }
                             })
                             .expect("group counts sum to the cohort size");
-                        latencies.push(slot - group.0);
+                        self.recorder.push(self.slot - group.0);
                         group.1 -= 1;
                         if group.1 == 0 && cohort.groups.len() > 1 {
                             cohort.groups.retain(|&(_, count)| count > 0);
                         }
                         cohort.m -= 1;
-                        remaining -= 1;
-                        makespan = slot + 1;
-                        if let Some(slots) = delivery_slots.as_mut() {
-                            slots.push(slot);
+                        self.remaining -= 1;
+                        self.makespan = self.slot + 1;
+                        if let Some(slots) = self.delivery_slots.as_mut() {
+                            slots.push(self.slot);
                         }
                         // Acknowledgements are reliable; only the broadcast
                         // feedback to the remaining stations can be lost.
-                        delivered_feedback = !adversarial || !adversary.misses_delivery();
+                        delivered_feedback = !self.adversarial || !self.adversary.misses_delivery();
                         if cohort.m == 0 {
-                            cohorts.swap_remove(ci);
-                            kernel.swap_remove(ci);
+                            self.cohorts.swap_remove(ci);
+                            self.kernel.swap_remove(ci);
                         }
                     }
                 } else {
-                    collisions += 1;
-                    if adversarial {
-                        adversary.jams_slot(slot, SlotClass::Contended);
+                    self.collisions += 1;
+                    if self.adversarial {
+                        self.adversary.jams_slot(self.slot, SlotClass::Contended);
                     }
                 }
             }
 
             // Every active station observes the same public feedback.
-            for cohort in &mut cohorts {
+            for cohort in &mut self.cohorts {
                 cohort.state.advance(delivered_feedback);
             }
-            slot += 1;
+            self.slot += 1;
 
-            slots_to_merge_scan -= 1;
-            if slots_to_merge_scan == 0 {
-                slots_to_merge_scan = MERGE_SCAN_PERIOD;
-                if cohorts.len() > 1 {
-                    merges +=
-                        merge_converged_cohorts(&mut cohorts, &mut kernel, self.merge_tolerance);
+            self.slots_to_merge_scan -= 1;
+            if self.slots_to_merge_scan == 0 {
+                self.slots_to_merge_scan = MERGE_SCAN_PERIOD;
+                if self.cohorts.len() > 1 {
+                    self.merges += merge_converged_cohorts(
+                        &mut self.cohorts,
+                        &mut self.kernel,
+                        self.merge_tolerance,
+                    );
                 }
             }
         }
+        Ok(self.slot - start)
+    }
 
-        let completed = remaining == 0;
+    /// The run's aggregate result plus latency detail (capped-run convention
+    /// before completion).
+    pub(crate) fn into_run(mut self, label: &str) -> CohortRun {
+        let completed = self.remaining == 0;
+        let never_activated = self.feed.pending_messages();
         let result = RunResult {
             protocol: label.to_string(),
+            k: self.k,
+            seed: self.seed,
+            makespan: if completed { self.makespan } else { self.slot },
+            completed,
+            delivered: self.k - self.remaining,
+            collisions: self.collisions,
+            silent_slots: self.silent,
+            jammed_deliveries: self.jammed_deliveries,
+            never_activated,
+            delivery_slots: self.delivery_slots,
+        };
+        CohortRun {
+            result,
+            latencies: self.recorder.exact.take().unwrap_or_default(),
+            merges: self.merges,
+            peak_cohorts: self.peak_cohorts,
+        }
+    }
+
+    /// Non-consuming form of [`CohortEngineCore::into_run`] for sessions.
+    pub(crate) fn run_snapshot(&mut self, label: &str) -> CohortRun {
+        let completed = self.remaining == 0;
+        let never_activated = self.feed.pending_messages();
+        let result = RunResult {
+            protocol: label.to_string(),
+            k: self.k,
+            seed: self.seed,
+            makespan: if completed { self.makespan } else { self.slot },
+            completed,
+            delivered: self.k - self.remaining,
+            collisions: self.collisions,
+            silent_slots: self.silent,
+            jammed_deliveries: self.jammed_deliveries,
+            never_activated,
+            delivery_slots: self.delivery_slots.clone(),
+        };
+        CohortRun {
+            result,
+            latencies: self.recorder.exact.clone().unwrap_or_default(),
+            merges: self.merges,
+            peak_cohorts: self.peak_cohorts,
+        }
+    }
+
+    /// Serialises the full loop state except the feed and the factory,
+    /// which the session layer reconstructs and restores separately
+    /// (`false` if the protocol does not support state extraction).
+    pub(crate) fn encode(&self, out: &mut Encoder) -> bool {
+        let mut cohort_words: Vec<Vec<u64>> = Vec::with_capacity(self.cohorts.len());
+        for cohort in &self.cohorts {
+            let Some(words) = cohort.state.checkpoint_words() else {
+                return false;
+            };
+            cohort_words.push(words);
+        }
+        out.put_u64(self.k);
+        out.put_u64(self.seed);
+        out.put_u64(self.max_slots);
+        out.put_f64(self.merge_tolerance);
+        out.put_u64(self.remaining);
+        out.put_u64(self.slot);
+        out.put_u64(self.makespan);
+        out.put_u64(self.collisions);
+        out.put_u64(self.silent);
+        out.put_u64(self.jammed_deliveries);
+        out.put_u64(self.merges);
+        out.put_u64(self.peak_cohorts as u64);
+        out.put_u64(self.slots_to_merge_scan);
+        out.put_usize(self.cohorts.len());
+        for (cohort, words) in self.cohorts.iter().zip(&cohort_words) {
+            out.put_words(words);
+            out.put_u64(cohort.m);
+            out.put_usize(cohort.groups.len());
+            for &(arrival, count) in &cohort.groups {
+                out.put_u64(arrival);
+                out.put_u64(count);
+            }
+        }
+        self.kernel.encode(out);
+        for w in self.rng.state_words() {
+            out.put_u64(w);
+        }
+        for w in self.adversary.state_words() {
+            out.put_u64(w);
+        }
+        encode_optional_slots(self.delivery_slots.as_deref(), out);
+        self.recorder.encode(out);
+        true
+    }
+
+    /// Rebuilds a core from [`CohortEngineCore::encode`]d words. `feed` must
+    /// already be restored to its checkpointed position, `factory` must be
+    /// the run's original state factory, and `scenario` the run's original
+    /// adversary configuration.
+    pub(crate) fn decode(
+        input: &mut Decoder<'_>,
+        feed: A,
+        factory: F,
+        scenario: &AdversaryScenario,
+    ) -> Result<Self, WireError> {
+        let k = input.take_u64()?;
+        let seed = input.take_u64()?;
+        let max_slots = input.take_u64()?;
+        let merge_tolerance = input.take_f64()?;
+        let remaining = input.take_u64()?;
+        let slot = input.take_u64()?;
+        let makespan = input.take_u64()?;
+        let collisions = input.take_u64()?;
+        let silent = input.take_u64()?;
+        let jammed_deliveries = input.take_u64()?;
+        let merges = input.take_u64()?;
+        let peak_cohorts = usize::try_from(input.take_u64()?)
+            .map_err(|_| WireError::Malformed("peak cohort count exceeds usize"))?;
+        let slots_to_merge_scan = input.take_u64()?;
+        let cohort_count = input.take_usize()?;
+        let mut cohorts = Vec::with_capacity(cohort_count.min(1 << 20));
+        for _ in 0..cohort_count {
+            let words = input.take_words()?.to_vec();
+            let m = input.take_u64()?;
+            let group_count = input.take_usize()?;
+            let mut groups = Vec::with_capacity(group_count.min(1 << 20));
+            for _ in 0..group_count {
+                let arrival = input.take_u64()?;
+                let count = input.take_u64()?;
+                groups.push((arrival, count));
+            }
+            let mut state = factory
+                .build()
+                .map_err(|_| WireError::Malformed("protocol parameters rejected on restore"))?;
+            if !state.restore_words(&words) {
+                return Err(WireError::Malformed("protocol state words rejected"));
+            }
+            cohorts.push(Cohort { state, m, groups });
+        }
+        let kernel = CohortKernel::decode(input)?;
+        let mut rng_words = [0u64; 4];
+        for w in &mut rng_words {
+            *w = input.take_u64()?;
+        }
+        let mut adversary_words = [0u64; 6];
+        for w in &mut adversary_words {
+            *w = input.take_u64()?;
+        }
+        let delivery_slots = decode_optional_slots(input)?;
+        let recorder = LatencyRecorder::decode(input)?;
+        let mut adversary = scenario.state(0);
+        if !adversary.restore_state_words(&adversary_words) {
+            return Err(WireError::Malformed("adversary state words rejected"));
+        }
+        let adversarial = adversary.is_active();
+        Ok(Self {
+            feed,
+            factory,
             k,
             seed,
-            makespan: if completed { makespan } else { slot },
-            completed,
-            delivered: k - remaining,
+            max_slots,
+            merge_tolerance,
+            cohorts,
+            kernel,
+            ms: Vec::new(),
+            ps: Vec::new(),
+            remaining,
+            slot,
+            makespan,
             collisions,
-            silent_slots: silent,
+            silent,
             jammed_deliveries,
-            never_activated: (arrivals.len() - next_arrival) as u64,
-            delivery_slots,
-        };
-        Ok(CohortRun {
-            result,
-            latencies,
             merges,
             peak_cohorts,
+            slots_to_merge_scan,
+            adversary,
+            adversarial,
+            rng: Xoshiro256pp::from_state_words(rng_words),
+            recorder,
+            delivery_slots,
         })
     }
 }
@@ -542,6 +947,38 @@ mod tests {
         assert_eq!(a, b);
         let c = sim.run_schedule(&schedule, 10).unwrap();
         assert_ne!(a.result.makespan, c.result.makespan);
+    }
+
+    #[test]
+    fn bounded_advance_matches_single_shot_run() {
+        // Driving the core in small bursts must land on the same run as one
+        // uninterrupted advance — the session layer depends on it. The gap
+        // before the straggler exercises the budget-clamped fast-forward.
+        let model = ArrivalModel::Bursts {
+            bursts: vec![(0, 40), (100, 40), (50_000, 1)],
+        };
+        let schedule = model.sample(&mut Xoshiro256pp::seed_from_u64(3));
+        let sim = cohort(ofa());
+        let single = sim.run_schedule(&schedule, 9).unwrap();
+        let options = RunOptions::default();
+        let k = schedule.len() as u64;
+        let max_slots = options
+            .max_slots(k)
+            .saturating_add(schedule.last_arrival().unwrap_or(0));
+        let mut core = CohortEngineCore::new(
+            SliceFeed::new(schedule.arrival_slots()),
+            move || OneFailAdaptive::try_new(2.72),
+            k,
+            9,
+            max_slots,
+            &options,
+            0.0,
+            LatencyRecorder::exact(k as usize),
+        );
+        while !core.is_finished() {
+            core.advance(37).unwrap();
+        }
+        assert_eq!(core.into_run("One-fail Adaptive"), single);
     }
 
     #[test]

@@ -20,10 +20,22 @@ use crate::exact::{DetailedRun, ExactSimulator};
 use crate::result::{RunOptions, RunResult};
 use mac_channel::ArrivalModel;
 use mac_prob::rng::{derive_seed, Xoshiro256pp};
+use mac_prob::sketch::StreamingLatencyStats;
 use mac_prob::stats::percentile_sorted_u64;
 use mac_protocols::{ParameterError, ProtocolFamily, ProtocolKind};
 use rand::SeedableRng;
 use serde::{Deserialize, Serialize};
+
+/// Derivation-path constant for the arrival-schedule RNG stream: the
+/// schedule is sampled with `derive_seed(seed, &[ARRIVAL_STREAM])`, so two
+/// protocols evaluated with the same seed see the same arrival pattern.
+/// The session layer ([`crate::session`]) uses the same constant to stay
+/// stream-identical to [`simulate_dynamic`].
+pub const ARRIVAL_STREAM: u64 = 0xA11;
+
+/// Derivation-path constant for the protocol-run RNG stream (independent of
+/// the arrival stream by construction).
+pub const RUN_STREAM: u64 = 0x51A;
 
 /// Latency and throughput summary of a dynamic-arrival run.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -64,9 +76,45 @@ impl DynamicReport {
         Self::from_parts(&run.result, run.latencies())
     }
 
-    /// Builds the report from a cohort-engine run.
-    pub fn from_cohort_run(run: &CohortRun) -> Self {
-        Self::from_parts(&run.result, run.latencies.clone())
+    /// Builds the report from a cohort-engine run, taking ownership so the
+    /// latency vector moves into the percentile computation instead of
+    /// being cloned (it can hold one entry per delivered message).
+    pub fn from_cohort_run(run: CohortRun) -> Self {
+        Self::from_parts(&run.result, run.latencies)
+    }
+
+    /// Builds the report from a bounded-memory streaming accumulator
+    /// (session runs): mean/max/count are exact, the percentiles carry the
+    /// sketch's deterministic rank-error bound
+    /// ([`StreamingLatencyStats::rank_error_bound`]).
+    pub fn from_streaming(result: &RunResult, stats: &StreamingLatencyStats) -> Self {
+        let (mean_latency, p50_latency, p95_latency, max_latency) = if stats.count() == 0 {
+            (0.0, 0.0, 0.0, 0)
+        } else {
+            (
+                stats.mean(),
+                stats.quantile(0.50) as f64,
+                stats.quantile(0.95) as f64,
+                stats.max(),
+            )
+        };
+        Self {
+            protocol: result.protocol.clone(),
+            messages: result.k,
+            delivered: result.delivered,
+            makespan: result.makespan,
+            mean_latency,
+            p50_latency,
+            p95_latency,
+            max_latency,
+            throughput: if result.makespan == 0 {
+                0.0
+            } else {
+                result.delivered as f64 / result.makespan as f64
+            },
+            jammed_deliveries: result.jammed_deliveries,
+            never_activated: result.never_activated,
+        }
     }
 
     /// Builds the report from an aggregate result and the (unsorted)
@@ -130,16 +178,14 @@ pub fn simulate_dynamic(
     seed: u64,
     options: &RunOptions,
 ) -> Result<DynamicReport, ParameterError> {
-    let mut arrival_rng = Xoshiro256pp::seed_from_u64(derive_seed(seed, &[0xA11]));
+    let mut arrival_rng = Xoshiro256pp::seed_from_u64(derive_seed(seed, &[ARRIVAL_STREAM]));
     let schedule = model.sample(&mut arrival_rng);
-    let run_seed = derive_seed(seed, &[0x51A]);
+    let run_seed = derive_seed(seed, &[RUN_STREAM]);
     match kind.family() {
         ProtocolFamily::Fair => {
             let sim = CohortSimulator::new(kind.clone(), options.clone());
             let run = sim.run_schedule(&schedule, run_seed)?;
-            // The run is discarded here, so move its latency vector into the
-            // report instead of paying `from_cohort_run`'s borrow-and-clone.
-            Ok(DynamicReport::from_parts(&run.result, run.latencies))
+            Ok(DynamicReport::from_cohort_run(run))
         }
         ProtocolFamily::Window => {
             let sim = ExactSimulator::new(kind.clone(), options.clone());

@@ -27,11 +27,9 @@
 
 use crate::aggregate::run_fair_aggregate;
 use crate::result::{RunOptions, RunResult};
-use mac_prob::rng::Xoshiro256pp;
 use mac_protocols::{
     KnownKOracle, LogFailsAdaptive, LogFailsConfig, OneFailAdaptive, ParameterError, ProtocolKind,
 };
-use rand::SeedableRng;
 
 /// Fast simulator for fair protocols (One-fail Adaptive, Log-fails Adaptive,
 /// the known-k oracle) on a batched instance.
@@ -104,7 +102,6 @@ impl FairSimulator {
     ) -> Result<RunResult, ParameterError> {
         self.options.validate_adversary()?;
         let label = self.kind.label();
-        let mut rng = Xoshiro256pp::seed_from_u64(seed);
         match &self.kind {
             ProtocolKind::OneFailAdaptive { delta } => Ok(run_fair_aggregate(
                 OneFailAdaptive::try_new(*delta)?,
@@ -112,7 +109,6 @@ impl FairSimulator {
                 k,
                 seed,
                 &self.options,
-                &mut rng,
                 jam_log,
             )),
             ProtocolKind::LogFailsAdaptive {
@@ -127,7 +123,6 @@ impl FairSimulator {
                     k,
                     seed,
                     &self.options,
-                    &mut rng,
                     jam_log,
                 ))
             }
@@ -137,7 +132,6 @@ impl FairSimulator {
                 k,
                 seed,
                 &self.options,
-                &mut rng,
                 jam_log,
             )),
             _ => Err(ParameterError::new(

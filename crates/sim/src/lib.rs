@@ -27,6 +27,9 @@
 //! * [`report`] — CSV / markdown / gnuplot-ready rendering of sweep results;
 //! * [`dynamic`] — latency-oriented measurements for the dynamic-arrival
 //!   extension discussed in the paper's conclusions;
+//! * [`session`] — streaming sessions: the same engines driven in bounded
+//!   slot bursts with live bounded-memory latency statistics, bit-exact
+//!   checkpoint/resume, and a sharded multi-channel driver;
 //! * [`stepper`] / [`search`] — the adversary strategy search: a resumable
 //!   step/snapshot driver over the exact engine ([`ExactStepper`]) feeding
 //!   `mac-adversary`'s exhaustive game-tree tier, and the fast-engine
@@ -70,6 +73,7 @@ pub mod report;
 pub mod result;
 pub mod runner;
 pub mod search;
+pub mod session;
 pub mod stepper;
 pub mod window;
 
@@ -79,6 +83,7 @@ pub use fair::FairSimulator;
 pub use result::{RunOptions, RunResult};
 pub use runner::{EngineChoice, Experiment, ExperimentCell, ExperimentResults};
 pub use search::{worst_case_exhaustive, worst_case_search, BudgetedSearchCost};
+pub use session::{Checkpoint, Session, SessionError, SessionStatus, ShardedSession};
 pub use stepper::{ExactStepper, MAX_STEPPER_STATIONS};
 pub use window::WindowSimulator;
 

@@ -1,0 +1,1354 @@
+//! Streaming simulation sessions: resumable engines, bounded-memory live
+//! statistics, and a sharded multi-channel driver.
+//!
+//! The monolithic runners (`FairSimulator`, `WindowSimulator`,
+//! `CohortSimulator`) drive their engine cores from slot 0 to completion in
+//! one call. A [`Session`] wraps the *same* cores — the fair aggregate
+//! engine, the window balls-in-bins engine, and the cohort engine under
+//! dynamic arrivals — behind an incremental interface:
+//!
+//! * [`Session::advance`] runs a bounded number of slots and returns
+//!   [`SessionStatus::Paused`] or [`SessionStatus::Finished`]; because the
+//!   session drives the identical loop body the monolithic runner uses, the
+//!   finished run is **bit-identical** to the one-shot run — results *and*
+//!   RNG streams (enforced by `tests/session_identity.rs`).
+//! * [`Session::checkpoint`] serialises the full engine state — every RNG
+//!   stream, the protocol's incremental state words, the adversary's
+//!   dynamic state, the arrival stream's cursor, the latency sketch — into
+//!   a portable word buffer ([`Checkpoint`]); [`Session::resume`] rebuilds
+//!   a session that continues bit-identically to the uninterrupted run.
+//!   Incrementally-maintained quantities (the fair engine's Taylor-rebased
+//!   slot kernel, One-fail Adaptive's κ/σ trackers, Exp Back-on/Back-off's
+//!   running `w` product) are captured **verbatim**: recomputing them from
+//!   their defining parameters would re-anchor the maintenance recurrences
+//!   and diverge bitwise. See `DESIGN.md` §9.
+//! * Dynamic sessions feed arrivals lazily from a
+//!   [`mac_channel::ArrivalStream`] — stream-identical to the eager
+//!   schedule expansion of [`crate::dynamic::simulate_dynamic`] — and
+//!   record latencies into a bounded-memory
+//!   [`StreamingLatencyStats`] (exact mean/max/count, KLL-style quantile
+//!   sketch with a deterministic rank-error ledger) instead of a per-message
+//!   vector, so a 10⁹-slot run holds O(sketch) memory with live statistics
+//!   available at every pause ([`Session::live_stats`]).
+//! * [`ShardedSession`] drives N independent channels: stations are hashed
+//!   across shards by global arrival index, each shard runs its own
+//!   [`Session`] on a derived RNG stream, shards advance in parallel on
+//!   scoped threads, and the per-shard sketches merge losslessly
+//!   ([`ShardedSession::merged_report`]).
+//!
+//! Seed derivation is compatible with `simulate_dynamic`: the arrival
+//! stream uses `derive_seed(seed, &[ARRIVAL_STREAM])` and the (unsharded)
+//! protocol run `derive_seed(seed, &[RUN_STREAM])`, so a one-shard dynamic
+//! session sees exactly the arrivals of the monolithic path. Shard `i`
+//! instead runs on `derive_seed(seed, &[SHARD_STREAM, i])`, and the
+//! station-to-shard hash is salted with `derive_seed(seed,
+//! &[SHARD_STREAM])`.
+
+use crate::aggregate::FairEngineCore;
+use crate::cohort::{ArrivalFeed, BuildState, CohortEngineCore, CohortRun, LatencyRecorder};
+use crate::dynamic::{DynamicReport, ARRIVAL_STREAM, RUN_STREAM};
+use crate::result::{RunOptions, RunResult};
+use crate::window::WindowEngineCore;
+use mac_adversary::{AdversaryModel, AdversaryScenario, FeedbackFault};
+use mac_channel::{ArrivalModel, ArrivalStream, ShardedArrivalStream};
+use mac_prob::rng::derive_seed;
+use mac_prob::sketch::StreamingLatencyStats;
+use mac_prob::wire::{self, Decoder, Encoder, WireError};
+use mac_protocols::{
+    KnownKOracle, LogFailsAdaptive, LogFailsConfig, OneFailAdaptive, ParameterError,
+    ProtocolFamily, ProtocolKind,
+};
+use std::fmt;
+use std::str::FromStr;
+
+/// Seed-derivation path tag for the sharded driver: shard `i` of a
+/// [`ShardedSession`] runs on `derive_seed(seed, &[SHARD_STREAM, i])`, and
+/// the station-to-shard hash salt is `derive_seed(seed, &[SHARD_STREAM])`.
+pub const SHARD_STREAM: u64 = 0x5AAD;
+
+/// Seed-derivation path tag for the latency sketch's compaction coin
+/// (independent of every simulation stream, so attaching live statistics
+/// never perturbs a run).
+const SKETCH_STREAM: u64 = 0x5CE7;
+
+/// First word of every serialised session checkpoint.
+const CHECKPOINT_MAGIC: u64 = 0x4D41_4353_4553_5331; // "MACSESS1"
+
+/// First word of every serialised sharded-driver checkpoint.
+const SHARDED_MAGIC: u64 = 0x4D41_4353_4841_5244; // "MACSHARD"
+
+/// Checkpoint format version (bumped on any layout change).
+const CHECKPOINT_VERSION: u64 = 1;
+
+/// Outcome of one [`Session::advance`] call.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SessionStatus {
+    /// The slot budget ran out before the run finished; the session can be
+    /// advanced again (or checkpointed and resumed later).
+    Paused,
+    /// The run reached completion (every message delivered) or its slot
+    /// cap; further advances are no-ops.
+    Finished,
+}
+
+/// Errors surfaced by the session layer.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SessionError {
+    /// A checkpoint buffer was malformed or truncated.
+    Wire(WireError),
+    /// Protocol or adversary parameters were rejected.
+    Parameter(ParameterError),
+    /// The requested configuration has no streaming-session support.
+    Unsupported(&'static str),
+}
+
+impl fmt::Display for SessionError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SessionError::Wire(e) => write!(f, "checkpoint wire error: {e}"),
+            SessionError::Parameter(e) => write!(f, "parameter error: {e}"),
+            SessionError::Unsupported(what) => write!(f, "unsupported session: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for SessionError {}
+
+impl From<WireError> for SessionError {
+    fn from(e: WireError) -> Self {
+        SessionError::Wire(e)
+    }
+}
+
+impl From<ParameterError> for SessionError {
+    fn from(e: ParameterError) -> Self {
+        SessionError::Parameter(e)
+    }
+}
+
+/// A serialised session state: a self-describing `u64` word buffer (magic,
+/// version, protocol and adversary configuration, full engine state) that
+/// [`Session::resume`] turns back into a running session.
+///
+/// Checkpoints are plain data — they can cross processes or hosts of the
+/// same build. [`Checkpoint::to_bytes`] / [`Checkpoint::from_bytes`] give a
+/// little-endian byte serialisation for storage.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Checkpoint {
+    words: Vec<u64>,
+}
+
+impl Checkpoint {
+    /// The raw checkpoint words.
+    pub fn words(&self) -> &[u64] {
+        &self.words
+    }
+
+    /// Checkpoint size in bytes (8 per word).
+    pub fn size_bytes(&self) -> usize {
+        self.words.len() * 8
+    }
+
+    /// Little-endian byte serialisation.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        wire::words_to_bytes(&self.words)
+    }
+
+    /// Parses a checkpoint from [`Checkpoint::to_bytes`] output.
+    ///
+    /// # Errors
+    /// Returns a [`SessionError::Wire`] if the byte length is not a
+    /// multiple of 8.
+    pub fn from_bytes(bytes: &[u8]) -> Result<Self, SessionError> {
+        Ok(Self {
+            words: wire::bytes_to_words(bytes)?,
+        })
+    }
+}
+
+/// Protocol-state factory for cohort sessions: rebuilds a fresh fair
+/// protocol state per arrival burst from the session's [`ProtocolKind`] and
+/// message count — the checkpoint-reconstructible counterpart of the
+/// closures `CohortSimulator` uses.
+#[derive(Debug, Clone)]
+pub(crate) struct KindFactory {
+    kind: ProtocolKind,
+    k: u64,
+}
+
+impl BuildState<OneFailAdaptive> for KindFactory {
+    fn build(&self) -> Result<OneFailAdaptive, ParameterError> {
+        match &self.kind {
+            ProtocolKind::OneFailAdaptive { delta } => OneFailAdaptive::try_new(*delta),
+            _ => Err(factory_mismatch()),
+        }
+    }
+}
+
+impl BuildState<LogFailsAdaptive> for KindFactory {
+    fn build(&self) -> Result<LogFailsAdaptive, ParameterError> {
+        match &self.kind {
+            ProtocolKind::LogFailsAdaptive {
+                xi_delta,
+                xi_beta,
+                xi_t,
+            } => LogFailsAdaptive::try_new(LogFailsConfig::for_instance(
+                *xi_delta, *xi_beta, *xi_t, self.k,
+            )),
+            _ => Err(factory_mismatch()),
+        }
+    }
+}
+
+impl BuildState<KnownKOracle> for KindFactory {
+    fn build(&self) -> Result<KnownKOracle, ParameterError> {
+        match &self.kind {
+            ProtocolKind::KnownKOracle => Ok(KnownKOracle::new(self.k)),
+            _ => Err(factory_mismatch()),
+        }
+    }
+}
+
+fn factory_mismatch() -> ParameterError {
+    ParameterError::new(
+        "protocol",
+        f64::NAN,
+        "session factory kind does not match the requested protocol state",
+    )
+}
+
+/// Lazy arrival source of a dynamic session: a plain or sharded
+/// [`ArrivalStream`] adapted to the cohort engine's [`ArrivalFeed`]
+/// contract, with one burst of lookahead (checkpointed alongside the
+/// stream cursor).
+#[derive(Debug)]
+pub(crate) struct StreamFeed {
+    source: StreamSource,
+    total: u64,
+    activated: u64,
+    pending: Option<(u64, u64)>,
+}
+
+#[derive(Debug)]
+enum StreamSource {
+    Plain(ArrivalStream),
+    Sharded(ShardedArrivalStream),
+}
+
+impl StreamSource {
+    fn next_burst(&mut self) -> Option<(u64, u64)> {
+        match self {
+            StreamSource::Plain(s) => s.next_burst(),
+            StreamSource::Sharded(s) => s.next_burst(),
+        }
+    }
+}
+
+impl StreamFeed {
+    fn plain(stream: ArrivalStream, total: u64) -> Self {
+        Self {
+            source: StreamSource::Plain(stream),
+            total,
+            activated: 0,
+            pending: None,
+        }
+    }
+
+    fn sharded(stream: ShardedArrivalStream, total: u64) -> Self {
+        Self {
+            source: StreamSource::Sharded(stream),
+            total,
+            activated: 0,
+            pending: None,
+        }
+    }
+
+    fn fill(&mut self) {
+        if self.pending.is_none() {
+            self.pending = self.source.next_burst();
+        }
+    }
+
+    fn encode(&self, out: &mut Encoder) {
+        match &self.source {
+            StreamSource::Plain(s) => {
+                out.put_u32(0);
+                s.encode(out);
+            }
+            StreamSource::Sharded(s) => {
+                out.put_u32(1);
+                s.encode(out);
+            }
+        }
+        out.put_u64(self.total);
+        out.put_u64(self.activated);
+        match self.pending {
+            Some((slot, count)) => {
+                out.put_bool(true);
+                out.put_u64(slot);
+                out.put_u64(count);
+            }
+            None => out.put_bool(false),
+        }
+    }
+
+    fn decode(input: &mut Decoder<'_>) -> Result<Self, WireError> {
+        let source = match input.take_u32()? {
+            0 => StreamSource::Plain(ArrivalStream::decode(input)?),
+            1 => StreamSource::Sharded(ShardedArrivalStream::decode(input)?),
+            _ => return Err(WireError::Malformed("unknown arrival source tag")),
+        };
+        let total = input.take_u64()?;
+        let activated = input.take_u64()?;
+        let pending = if input.take_bool()? {
+            let slot = input.take_u64()?;
+            let count = input.take_u64()?;
+            Some((slot, count))
+        } else {
+            None
+        };
+        Ok(Self {
+            source,
+            total,
+            activated,
+            pending,
+        })
+    }
+}
+
+impl ArrivalFeed for StreamFeed {
+    fn take_due(&mut self, slot: u64) -> u64 {
+        let mut count = 0u64;
+        loop {
+            self.fill();
+            match self.pending {
+                Some((burst_slot, burst_count)) if burst_slot <= slot => {
+                    count += burst_count;
+                    self.activated += burst_count;
+                    self.pending = None;
+                }
+                _ => break,
+            }
+        }
+        count
+    }
+
+    fn peek_slot(&mut self) -> Option<u64> {
+        self.fill();
+        self.pending.map(|(slot, _)| slot)
+    }
+
+    fn pending_messages(&mut self) -> u64 {
+        self.total - self.activated
+    }
+}
+
+type CohortCore<P> = CohortEngineCore<P, StreamFeed, KindFactory>;
+
+/// The session's engine, monomorphised per protocol state so the hot loops
+/// stay identical to the monolithic runners'. Boxed: the cores carry their
+/// full loop state inline.
+#[derive(Debug)]
+enum EngineState {
+    FairOneFail(Box<FairEngineCore<OneFailAdaptive>>),
+    FairLogFails(Box<FairEngineCore<LogFailsAdaptive>>),
+    FairOracle(Box<FairEngineCore<KnownKOracle>>),
+    Window(Box<WindowEngineCore>),
+    CohortOneFail(Box<CohortCore<OneFailAdaptive>>),
+    CohortLogFails(Box<CohortCore<LogFailsAdaptive>>),
+    CohortOracle(Box<CohortCore<KnownKOracle>>),
+}
+
+/// Dispatches a read-only method over every engine variant.
+macro_rules! on_engine {
+    ($engine:expr, $core:ident => $body:expr) => {
+        match $engine {
+            EngineState::FairOneFail($core) => $body,
+            EngineState::FairLogFails($core) => $body,
+            EngineState::FairOracle($core) => $body,
+            EngineState::Window($core) => $body,
+            EngineState::CohortOneFail($core) => $body,
+            EngineState::CohortLogFails($core) => $body,
+            EngineState::CohortOracle($core) => $body,
+        }
+    };
+}
+
+/// A resumable simulation run: one of the fast engines driven in bounded
+/// slot bursts, with live streaming statistics and exact checkpoint/resume.
+///
+/// # Example
+/// ```
+/// use mac_protocols::ProtocolKind;
+/// use mac_sim::{RunOptions, Session, SessionStatus};
+///
+/// let kind = ProtocolKind::OneFailAdaptive { delta: 2.72 };
+/// let mut session = Session::batched(&kind, 500, 7, &RunOptions::default()).unwrap();
+/// // Drive in 1000-slot bursts, checkpointing between bursts.
+/// while session.advance(1_000).unwrap() == SessionStatus::Paused {
+///     let checkpoint = session.checkpoint().unwrap();
+///     session = Session::resume(&checkpoint).unwrap();
+/// }
+/// let result = session.result();
+/// assert!(result.completed);
+/// // Bit-identical to the uninterrupted monolithic run.
+/// assert_eq!(result, mac_sim::simulate(&kind, 500, 7).unwrap());
+/// ```
+#[derive(Debug)]
+pub struct Session {
+    label: String,
+    kind: ProtocolKind,
+    options: RunOptions,
+    engine: EngineState,
+}
+
+impl Session {
+    /// Creates a resumable batched (static k-selection) session: fair
+    /// protocols on the aggregate engine, window protocols on the
+    /// balls-in-bins engine — the same cores [`crate::simulate`] uses, so a
+    /// session run is bit-identical to the monolithic one.
+    ///
+    /// # Errors
+    /// Returns a [`SessionError::Parameter`] if the protocol or adversary
+    /// parameters are invalid.
+    pub fn batched(
+        kind: &ProtocolKind,
+        k: u64,
+        seed: u64,
+        options: &RunOptions,
+    ) -> Result<Self, SessionError> {
+        options.validate_adversary()?;
+        let stats = StreamingLatencyStats::new(derive_seed(seed, &[SKETCH_STREAM]));
+        let engine = match kind {
+            ProtocolKind::OneFailAdaptive { delta } => {
+                let mut core =
+                    FairEngineCore::new(OneFailAdaptive::try_new(*delta)?, k, seed, options);
+                core.set_streaming_stats(stats);
+                EngineState::FairOneFail(Box::new(core))
+            }
+            ProtocolKind::LogFailsAdaptive {
+                xi_delta,
+                xi_beta,
+                xi_t,
+            } => {
+                let config = LogFailsConfig::for_instance(*xi_delta, *xi_beta, *xi_t, k);
+                let mut core =
+                    FairEngineCore::new(LogFailsAdaptive::try_new(config)?, k, seed, options);
+                core.set_streaming_stats(stats);
+                EngineState::FairLogFails(Box::new(core))
+            }
+            ProtocolKind::KnownKOracle => {
+                let mut core = FairEngineCore::new(KnownKOracle::new(k), k, seed, options);
+                core.set_streaming_stats(stats);
+                EngineState::FairOracle(Box::new(core))
+            }
+            _ => {
+                let schedule = kind
+                    .build_window()?
+                    .expect("non-fair kinds build window schedules");
+                let mut core = WindowEngineCore::new(schedule, k, seed, options);
+                core.set_streaming_stats(stats);
+                EngineState::Window(Box::new(core))
+            }
+        };
+        Ok(Self {
+            label: kind.label(),
+            kind: kind.clone(),
+            options: options.clone(),
+            engine,
+        })
+    }
+
+    /// Creates a resumable dynamic-arrival session on the cohort engine,
+    /// feeding arrivals incrementally from a [`mac_channel::ArrivalStream`]
+    /// and recording latencies into a bounded-memory sketch.
+    ///
+    /// Seed derivation matches [`crate::dynamic::simulate_dynamic`]
+    /// (arrival stream on [`ARRIVAL_STREAM`], run on [`RUN_STREAM`]), so
+    /// the session sees the same arrivals, drives the same RNG streams, and
+    /// its aggregate [`RunResult`] is bit-identical to the monolithic
+    /// cohort run.
+    ///
+    /// # Errors
+    /// Returns [`SessionError::Unsupported`] for window protocols (their
+    /// dynamic runs are per-station on the exact engine, which is not
+    /// resumable) and [`SessionError::Parameter`] for invalid parameters.
+    pub fn dynamic(
+        kind: &ProtocolKind,
+        model: &ArrivalModel,
+        seed: u64,
+        options: &RunOptions,
+    ) -> Result<Self, SessionError> {
+        if kind.family() != ProtocolFamily::Fair {
+            return Err(SessionError::Unsupported(
+                "dynamic sessions serve fair protocols on the cohort engine; window protocols run per-station on the exact engine",
+            ));
+        }
+        options.validate_adversary()?;
+        let arrival_seed = derive_seed(seed, &[ARRIVAL_STREAM]);
+        let run_seed = derive_seed(seed, &[RUN_STREAM]);
+        let summary = ArrivalStream::summarise(model, arrival_seed);
+        let feed = StreamFeed::plain(ArrivalStream::new(model, arrival_seed), summary.messages);
+        Self::dynamic_on_feed(
+            kind,
+            feed,
+            summary.messages,
+            summary.last_arrival,
+            run_seed,
+            options,
+        )
+    }
+
+    /// Shared dynamic-session constructor over an arbitrary feed (plain for
+    /// [`Session::dynamic`], sharded for [`ShardedSession`]).
+    fn dynamic_on_feed(
+        kind: &ProtocolKind,
+        feed: StreamFeed,
+        k: u64,
+        last_arrival: Option<u64>,
+        run_seed: u64,
+        options: &RunOptions,
+    ) -> Result<Self, SessionError> {
+        // Same cap convention as the monolithic cohort runner: the
+        // per-message budget is granted on top of the arrival horizon.
+        let max_slots = options
+            .max_slots(k)
+            .saturating_add(last_arrival.unwrap_or(0));
+        let factory = KindFactory {
+            kind: kind.clone(),
+            k,
+        };
+        let recorder = LatencyRecorder::streaming(StreamingLatencyStats::new(derive_seed(
+            run_seed,
+            &[SKETCH_STREAM],
+        )));
+        let engine = match kind {
+            ProtocolKind::OneFailAdaptive { .. } => {
+                EngineState::CohortOneFail(Box::new(CohortEngineCore::new(
+                    feed, factory, k, run_seed, max_slots, options, 0.0, recorder,
+                )))
+            }
+            ProtocolKind::LogFailsAdaptive { .. } => {
+                EngineState::CohortLogFails(Box::new(CohortEngineCore::new(
+                    feed, factory, k, run_seed, max_slots, options, 0.0, recorder,
+                )))
+            }
+            ProtocolKind::KnownKOracle => {
+                EngineState::CohortOracle(Box::new(CohortEngineCore::new(
+                    feed, factory, k, run_seed, max_slots, options, 0.0, recorder,
+                )))
+            }
+            _ => unreachable!("family checked by the caller"),
+        };
+        Ok(Self {
+            label: kind.label(),
+            kind: kind.clone(),
+            options: options.clone(),
+            engine,
+        })
+    }
+
+    /// Advances the run by (at least) `max_slots` slots. Window sessions
+    /// treat windows as atomic and may overshoot by up to one window;
+    /// dynamic sessions clamp silent fast-forwards to the budget.
+    ///
+    /// # Errors
+    /// Returns a [`SessionError::Parameter`] only if a cohort state factory
+    /// rejects its parameters (never after construction succeeded).
+    pub fn advance(&mut self, max_slots: u64) -> Result<SessionStatus, SessionError> {
+        match &mut self.engine {
+            EngineState::FairOneFail(core) => {
+                core.advance(max_slots, None);
+            }
+            EngineState::FairLogFails(core) => {
+                core.advance(max_slots, None);
+            }
+            EngineState::FairOracle(core) => {
+                core.advance(max_slots, None);
+            }
+            EngineState::Window(core) => {
+                core.advance(max_slots, None);
+            }
+            EngineState::CohortOneFail(core) => {
+                core.advance(max_slots)?;
+            }
+            EngineState::CohortLogFails(core) => {
+                core.advance(max_slots)?;
+            }
+            EngineState::CohortOracle(core) => {
+                core.advance(max_slots)?;
+            }
+        }
+        Ok(self.status())
+    }
+
+    /// Runs the session to completion (or its slot cap) in one call.
+    ///
+    /// # Errors
+    /// Same conditions as [`Session::advance`].
+    pub fn run_to_completion(&mut self) -> Result<RunResult, SessionError> {
+        self.advance(u64::MAX)?;
+        Ok(self.result())
+    }
+
+    /// [`SessionStatus::Finished`] once the run completed or hit its cap.
+    pub fn status(&self) -> SessionStatus {
+        if self.is_finished() {
+            SessionStatus::Finished
+        } else {
+            SessionStatus::Paused
+        }
+    }
+
+    /// True once the run completed or hit its slot cap.
+    pub fn is_finished(&self) -> bool {
+        on_engine!(&self.engine, core => core.is_finished())
+    }
+
+    /// The current slot clock.
+    pub fn slot(&self) -> u64 {
+        on_engine!(&self.engine, core => core.slot())
+    }
+
+    /// Messages delivered so far.
+    pub fn delivered(&self) -> u64 {
+        on_engine!(&self.engine, core => core.delivered())
+    }
+
+    /// Activated-but-undelivered messages.
+    pub fn remaining(&self) -> u64 {
+        on_engine!(&self.engine, core => core.remaining())
+    }
+
+    /// The protocol configuration label.
+    pub fn label(&self) -> &str {
+        &self.label
+    }
+
+    /// The protocol kind this session runs.
+    pub fn kind(&self) -> &ProtocolKind {
+        &self.kind
+    }
+
+    /// Live streaming latency statistics (exact mean/max/count plus
+    /// sketched quantiles), available at any pause. Batched sessions push
+    /// the delivery slot (equal to the latency for slot-0 arrivals);
+    /// dynamic sessions push delivery − arrival.
+    pub fn live_stats(&self) -> Option<&StreamingLatencyStats> {
+        on_engine!(&self.engine, core => core.streaming_stats())
+    }
+
+    /// Snapshot of the aggregate result at the current slot (capped-run
+    /// convention while unfinished).
+    pub fn result(&mut self) -> RunResult {
+        let label = self.label.clone();
+        match &mut self.engine {
+            EngineState::FairOneFail(core) => core.result_snapshot(&label),
+            EngineState::FairLogFails(core) => core.result_snapshot(&label),
+            EngineState::FairOracle(core) => core.result_snapshot(&label),
+            EngineState::Window(core) => core.result_snapshot(&label),
+            EngineState::CohortOneFail(core) => core.run_snapshot(&label).result,
+            EngineState::CohortLogFails(core) => core.run_snapshot(&label).result,
+            EngineState::CohortOracle(core) => core.run_snapshot(&label).result,
+        }
+    }
+
+    /// Snapshot of the full cohort run detail (dynamic sessions only).
+    pub fn cohort_run(&mut self) -> Option<CohortRun> {
+        let label = self.label.clone();
+        match &mut self.engine {
+            EngineState::CohortOneFail(core) => Some(core.run_snapshot(&label)),
+            EngineState::CohortLogFails(core) => Some(core.run_snapshot(&label)),
+            EngineState::CohortOracle(core) => Some(core.run_snapshot(&label)),
+            _ => None,
+        }
+    }
+
+    /// Latency/throughput report from the streaming statistics: exact
+    /// mean/max, sketched p50/p95 (deterministic rank-error bound via
+    /// [`StreamingLatencyStats::rank_error_bound`]).
+    pub fn live_report(&mut self) -> DynamicReport {
+        let result = self.result();
+        match self.live_stats() {
+            Some(stats) => DynamicReport::from_streaming(&result, stats),
+            None => DynamicReport::from_parts(&result, Vec::new()),
+        }
+    }
+
+    /// Serialises the complete session state. Resuming from the returned
+    /// checkpoint continues **bit-identically** to the uninterrupted run.
+    ///
+    /// # Errors
+    /// Returns [`SessionError::Unsupported`] if the protocol does not
+    /// expose checkpointable state (all built-in protocols do).
+    pub fn checkpoint(&self) -> Result<Checkpoint, SessionError> {
+        let mut out = Encoder::new();
+        out.put_u64(CHECKPOINT_MAGIC);
+        out.put_u64(CHECKPOINT_VERSION);
+        out.put_str(&self.label);
+        encode_kind(&self.kind, &mut out);
+        encode_options(&self.options, &mut out);
+        let ok = match &self.engine {
+            EngineState::FairOneFail(core) => {
+                out.put_u32(0);
+                core.encode(&mut out)
+            }
+            EngineState::FairLogFails(core) => {
+                out.put_u32(1);
+                core.encode(&mut out)
+            }
+            EngineState::FairOracle(core) => {
+                out.put_u32(2);
+                core.encode(&mut out)
+            }
+            EngineState::Window(core) => {
+                out.put_u32(3);
+                core.encode(&mut out)
+            }
+            EngineState::CohortOneFail(core) => {
+                out.put_u32(4);
+                encode_cohort_prefix(core, &mut out);
+                core.encode(&mut out)
+            }
+            EngineState::CohortLogFails(core) => {
+                out.put_u32(5);
+                encode_cohort_prefix(core, &mut out);
+                core.encode(&mut out)
+            }
+            EngineState::CohortOracle(core) => {
+                out.put_u32(6);
+                encode_cohort_prefix(core, &mut out);
+                core.encode(&mut out)
+            }
+        };
+        if !ok {
+            return Err(SessionError::Unsupported(
+                "protocol does not expose checkpointable state",
+            ));
+        }
+        Ok(Checkpoint {
+            words: out.finish(),
+        })
+    }
+
+    /// Rebuilds a session from a [`Session::checkpoint`]. The resumed
+    /// session continues bit-identically to the uninterrupted original.
+    ///
+    /// # Errors
+    /// Returns a [`SessionError::Wire`] on a malformed or truncated
+    /// checkpoint.
+    pub fn resume(checkpoint: &Checkpoint) -> Result<Self, SessionError> {
+        let mut input = Decoder::new(&checkpoint.words);
+        if input.take_u64()? != CHECKPOINT_MAGIC {
+            return Err(SessionError::Wire(WireError::Malformed(
+                "not a session checkpoint (bad magic)",
+            )));
+        }
+        if input.take_u64()? != CHECKPOINT_VERSION {
+            return Err(SessionError::Wire(WireError::Malformed(
+                "unsupported checkpoint version",
+            )));
+        }
+        let label = input.take_str()?;
+        let kind = decode_kind(&mut input)?;
+        let options = decode_options(&mut input)?;
+        let scenario = options.adversary.clone();
+        let engine = match input.take_u32()? {
+            0 => {
+                let kind = kind.clone();
+                EngineState::FairOneFail(Box::new(FairEngineCore::decode(
+                    &mut input,
+                    move |_| match kind {
+                        ProtocolKind::OneFailAdaptive { delta } => OneFailAdaptive::try_new(delta),
+                        _ => Err(factory_mismatch()),
+                    },
+                    &scenario,
+                )?))
+            }
+            1 => {
+                let kind = kind.clone();
+                EngineState::FairLogFails(Box::new(FairEngineCore::decode(
+                    &mut input,
+                    move |k| match kind {
+                        ProtocolKind::LogFailsAdaptive {
+                            xi_delta,
+                            xi_beta,
+                            xi_t,
+                        } => LogFailsAdaptive::try_new(LogFailsConfig::for_instance(
+                            xi_delta, xi_beta, xi_t, k,
+                        )),
+                        _ => Err(factory_mismatch()),
+                    },
+                    &scenario,
+                )?))
+            }
+            2 => EngineState::FairOracle(Box::new(FairEngineCore::decode(
+                &mut input,
+                |k| Ok(KnownKOracle::new(k)),
+                &scenario,
+            )?)),
+            3 => {
+                let schedule =
+                    kind.build_window()?
+                        .ok_or(SessionError::Wire(WireError::Malformed(
+                            "window engine tag with a fair protocol kind",
+                        )))?;
+                EngineState::Window(Box::new(WindowEngineCore::decode(
+                    &mut input, schedule, &scenario,
+                )?))
+            }
+            tag @ (4..=6) => {
+                let k = input.take_u64()?;
+                let feed = StreamFeed::decode(&mut input)?;
+                let factory = KindFactory {
+                    kind: kind.clone(),
+                    k,
+                };
+                match tag {
+                    4 => EngineState::CohortOneFail(Box::new(CohortEngineCore::decode(
+                        &mut input, feed, factory, &scenario,
+                    )?)),
+                    5 => EngineState::CohortLogFails(Box::new(CohortEngineCore::decode(
+                        &mut input, feed, factory, &scenario,
+                    )?)),
+                    _ => EngineState::CohortOracle(Box::new(CohortEngineCore::decode(
+                        &mut input, feed, factory, &scenario,
+                    )?)),
+                }
+            }
+            _ => {
+                return Err(SessionError::Wire(WireError::Malformed(
+                    "unknown engine tag",
+                )))
+            }
+        };
+        input.finish()?;
+        Ok(Self {
+            label,
+            kind,
+            options,
+            engine,
+        })
+    }
+}
+
+/// The session-level prefix of a cohort engine payload: the message count
+/// (needed to rebuild the state factory before the core decodes) and the
+/// arrival feed.
+fn encode_cohort_prefix<P: mac_protocols::FairProtocol>(core: &CohortCore<P>, out: &mut Encoder)
+where
+    KindFactory: BuildState<P>,
+{
+    out.put_u64(core.delivered() + core.remaining());
+    core.feed().encode(out);
+}
+
+fn encode_kind(kind: &ProtocolKind, out: &mut Encoder) {
+    match kind {
+        ProtocolKind::OneFailAdaptive { delta } => {
+            out.put_u32(0);
+            out.put_f64(*delta);
+        }
+        ProtocolKind::ExpBackonBackoff { delta } => {
+            out.put_u32(1);
+            out.put_f64(*delta);
+        }
+        ProtocolKind::LogFailsAdaptive {
+            xi_delta,
+            xi_beta,
+            xi_t,
+        } => {
+            out.put_u32(2);
+            out.put_f64(*xi_delta);
+            out.put_f64(*xi_beta);
+            out.put_f64(*xi_t);
+        }
+        ProtocolKind::LoglogIteratedBackoff { r } => {
+            out.put_u32(3);
+            out.put_f64(*r);
+        }
+        ProtocolKind::RExponentialBackoff { r } => {
+            out.put_u32(4);
+            out.put_f64(*r);
+        }
+        ProtocolKind::KnownKOracle => out.put_u32(5),
+    }
+}
+
+fn decode_kind(input: &mut Decoder<'_>) -> Result<ProtocolKind, WireError> {
+    Ok(match input.take_u32()? {
+        0 => ProtocolKind::OneFailAdaptive {
+            delta: input.take_f64()?,
+        },
+        1 => ProtocolKind::ExpBackonBackoff {
+            delta: input.take_f64()?,
+        },
+        2 => ProtocolKind::LogFailsAdaptive {
+            xi_delta: input.take_f64()?,
+            xi_beta: input.take_f64()?,
+            xi_t: input.take_f64()?,
+        },
+        3 => ProtocolKind::LoglogIteratedBackoff {
+            r: input.take_f64()?,
+        },
+        4 => ProtocolKind::RExponentialBackoff {
+            r: input.take_f64()?,
+        },
+        5 => ProtocolKind::KnownKOracle,
+        _ => return Err(WireError::Malformed("unknown protocol kind tag")),
+    })
+}
+
+/// Run options travel in the checkpoint so a resume needs nothing but the
+/// buffer. The jamming model rides its config-string round trip (the state
+/// words capture the dynamic part; [`mac_adversary::AdversaryState::new`]
+/// normalises the model, and `Display`/`FromStr` round-trip the normalised
+/// form, so the restored cursor semantics match exactly).
+fn encode_options(options: &RunOptions, out: &mut Encoder) {
+    out.put_u64(options.slot_cap_per_message);
+    out.put_u64(options.min_slot_cap);
+    out.put_bool(options.record_deliveries);
+    out.put_str(&options.adversary.jamming.to_string());
+    out.put_f64(options.adversary.feedback.confuse_collision_empty);
+    out.put_f64(options.adversary.feedback.miss_delivery);
+}
+
+fn decode_options(input: &mut Decoder<'_>) -> Result<RunOptions, WireError> {
+    let slot_cap_per_message = input.take_u64()?;
+    let min_slot_cap = input.take_u64()?;
+    let record_deliveries = input.take_bool()?;
+    let jamming = AdversaryModel::from_str(&input.take_str()?)
+        .map_err(|_| WireError::Malformed("unparseable jamming model config"))?;
+    let confuse_collision_empty = input.take_f64()?;
+    let miss_delivery = input.take_f64()?;
+    Ok(RunOptions {
+        slot_cap_per_message,
+        min_slot_cap,
+        record_deliveries,
+        adversary: AdversaryScenario {
+            jamming,
+            feedback: FeedbackFault {
+                confuse_collision_empty,
+                miss_delivery,
+            },
+        },
+    })
+}
+
+/// N independent channels driven in parallel: stations are hashed across
+/// shards by global arrival index (salted per experiment), each shard runs
+/// its own dynamic [`Session`] on a derived RNG stream, and the per-shard
+/// latency sketches merge losslessly into fleet-level statistics.
+///
+/// This models the multi-channel extension the paper's conclusions point
+/// at: throughput scales with the channel count while each channel runs
+/// the unmodified single-channel protocol.
+///
+/// # Example
+/// ```
+/// use mac_channel::ArrivalModel;
+/// use mac_protocols::ProtocolKind;
+/// use mac_sim::{RunOptions, ShardedSession};
+///
+/// let kind = ProtocolKind::OneFailAdaptive { delta: 2.72 };
+/// let model = ArrivalModel::Poisson { rate: 0.05, horizon: 2_000 };
+/// let mut driver = ShardedSession::new(&kind, &model, 11, &RunOptions::default(), 4).unwrap();
+/// driver.run_to_completion().unwrap();
+/// let report = driver.merged_report();
+/// assert_eq!(report.delivered, report.messages);
+/// ```
+#[derive(Debug)]
+pub struct ShardedSession {
+    label: String,
+    shards: Vec<Session>,
+}
+
+impl ShardedSession {
+    /// Splits `model`'s arrivals across `shards` channels and builds one
+    /// dynamic session per shard.
+    ///
+    /// Every shard re-derives the same master arrival stream
+    /// (`derive_seed(seed, &[ARRIVAL_STREAM])`) and keeps the messages
+    /// whose global index hashes to it, so the union over shards is
+    /// exactly the single-channel arrival sequence. Shard `i`'s protocol
+    /// run is seeded `derive_seed(seed, &[SHARD_STREAM, i])`.
+    ///
+    /// # Errors
+    /// Returns [`SessionError::Unsupported`] for a zero shard count or a
+    /// window protocol, and [`SessionError::Parameter`] for invalid
+    /// parameters.
+    pub fn new(
+        kind: &ProtocolKind,
+        model: &ArrivalModel,
+        seed: u64,
+        options: &RunOptions,
+        shards: u32,
+    ) -> Result<Self, SessionError> {
+        if shards == 0 {
+            return Err(SessionError::Unsupported("shard count must be positive"));
+        }
+        if kind.family() != ProtocolFamily::Fair {
+            return Err(SessionError::Unsupported(
+                "sharded sessions serve fair protocols on the cohort engine",
+            ));
+        }
+        options.validate_adversary()?;
+        let arrival_seed = derive_seed(seed, &[ARRIVAL_STREAM]);
+        let salt = derive_seed(seed, &[SHARD_STREAM]);
+        let mut sessions = Vec::with_capacity(shards as usize);
+        for shard in 0..shards {
+            // Counting pre-pass: the cohort engine's state factories (and
+            // the slot cap) need the shard's message count up front.
+            let mut counter = ShardedArrivalStream::new(
+                ArrivalStream::new(model, arrival_seed),
+                salt,
+                shard,
+                shards,
+            );
+            let mut k = 0u64;
+            let mut last_arrival = None;
+            while let Some((slot, count)) = counter.next_burst() {
+                k += count;
+                last_arrival = Some(slot);
+            }
+            let stream = ShardedArrivalStream::new(
+                ArrivalStream::new(model, arrival_seed),
+                salt,
+                shard,
+                shards,
+            );
+            let run_seed = derive_seed(seed, &[SHARD_STREAM, u64::from(shard)]);
+            sessions.push(Session::dynamic_on_feed(
+                kind,
+                StreamFeed::sharded(stream, k),
+                k,
+                last_arrival,
+                run_seed,
+                options,
+            )?);
+        }
+        Ok(Self {
+            label: kind.label(),
+            shards: sessions,
+        })
+    }
+
+    /// The per-shard sessions (shard `i` at index `i`).
+    pub fn shards(&self) -> &[Session] {
+        &self.shards
+    }
+
+    /// Advances every unfinished shard by (at least) `max_slots` slots,
+    /// in parallel on scoped threads (the same std-only pattern as the
+    /// experiment runner: no work queue, one thread per unfinished shard).
+    ///
+    /// # Errors
+    /// Propagates the first shard error, if any.
+    pub fn advance(&mut self, max_slots: u64) -> Result<SessionStatus, SessionError> {
+        let outcomes: Vec<Result<SessionStatus, SessionError>> = std::thread::scope(|scope| {
+            let handles: Vec<_> = self
+                .shards
+                .iter_mut()
+                .filter(|shard| !shard.is_finished())
+                .map(|shard| scope.spawn(move || shard.advance(max_slots)))
+                .collect();
+            handles
+                .into_iter()
+                .map(|handle| handle.join().expect("shard thread panicked"))
+                .collect()
+        });
+        for outcome in outcomes {
+            outcome?;
+        }
+        Ok(self.status())
+    }
+
+    /// Runs every shard to completion (or its cap).
+    ///
+    /// # Errors
+    /// Propagates the first shard error, if any.
+    pub fn run_to_completion(&mut self) -> Result<SessionStatus, SessionError> {
+        self.advance(u64::MAX)
+    }
+
+    /// [`SessionStatus::Finished`] once every shard finished.
+    pub fn status(&self) -> SessionStatus {
+        if self.is_finished() {
+            SessionStatus::Finished
+        } else {
+            SessionStatus::Paused
+        }
+    }
+
+    /// True once every shard finished.
+    pub fn is_finished(&self) -> bool {
+        self.shards.iter().all(Session::is_finished)
+    }
+
+    /// Messages delivered across all shards.
+    pub fn delivered(&self) -> u64 {
+        self.shards.iter().map(Session::delivered).sum()
+    }
+
+    /// Fleet-level latency statistics: the lossless merge of every shard's
+    /// streaming sketch (mean/max/count stay exact; the merged quantile
+    /// rank-error ledger is the sum of the shards').
+    pub fn merged_stats(&self) -> StreamingLatencyStats {
+        let mut merged = StreamingLatencyStats::new(0);
+        for shard in &self.shards {
+            if let Some(stats) = shard.live_stats() {
+                merged.merge(stats);
+            }
+        }
+        merged
+    }
+
+    /// Fleet-level aggregate result: message/delivery/collision counters
+    /// summed over shards, the makespan the maximum over shards (the fleet
+    /// finishes when its slowest channel does), `completed` iff every
+    /// shard completed.
+    pub fn merged_result(&mut self) -> RunResult {
+        let label = self.label.clone();
+        let mut merged = RunResult {
+            protocol: label,
+            k: 0,
+            seed: 0,
+            makespan: 0,
+            completed: true,
+            delivered: 0,
+            collisions: 0,
+            silent_slots: 0,
+            jammed_deliveries: 0,
+            never_activated: 0,
+            delivery_slots: None,
+        };
+        for shard in &mut self.shards {
+            let result = shard.result();
+            merged.k += result.k;
+            merged.makespan = merged.makespan.max(result.makespan);
+            merged.completed &= result.completed;
+            merged.delivered += result.delivered;
+            merged.collisions += result.collisions;
+            merged.silent_slots += result.silent_slots;
+            merged.jammed_deliveries += result.jammed_deliveries;
+            merged.never_activated += result.never_activated;
+        }
+        merged
+    }
+
+    /// Fleet-level latency/throughput report from the merged statistics.
+    /// `throughput` is deliveries per fleet-makespan slot — per-channel
+    /// throughput times the effective channel parallelism.
+    pub fn merged_report(&mut self) -> DynamicReport {
+        let result = self.merged_result();
+        let stats = self.merged_stats();
+        DynamicReport::from_streaming(&result, &stats)
+    }
+
+    /// Serialises every shard's full state into one checkpoint.
+    ///
+    /// # Errors
+    /// Same conditions as [`Session::checkpoint`].
+    pub fn checkpoint(&self) -> Result<Checkpoint, SessionError> {
+        let mut out = Encoder::new();
+        out.put_u64(SHARDED_MAGIC);
+        out.put_u64(CHECKPOINT_VERSION);
+        out.put_str(&self.label);
+        out.put_usize(self.shards.len());
+        for shard in &self.shards {
+            out.put_words(&shard.checkpoint()?.words);
+        }
+        Ok(Checkpoint {
+            words: out.finish(),
+        })
+    }
+
+    /// Rebuilds a sharded driver from a [`ShardedSession::checkpoint`].
+    ///
+    /// # Errors
+    /// Returns a [`SessionError::Wire`] on a malformed checkpoint.
+    pub fn resume(checkpoint: &Checkpoint) -> Result<Self, SessionError> {
+        let mut input = Decoder::new(&checkpoint.words);
+        if input.take_u64()? != SHARDED_MAGIC {
+            return Err(SessionError::Wire(WireError::Malformed(
+                "not a sharded-session checkpoint (bad magic)",
+            )));
+        }
+        if input.take_u64()? != CHECKPOINT_VERSION {
+            return Err(SessionError::Wire(WireError::Malformed(
+                "unsupported checkpoint version",
+            )));
+        }
+        let label = input.take_str()?;
+        let count = input.take_usize()?;
+        let mut shards = Vec::with_capacity(count.min(1 << 16));
+        for _ in 0..count {
+            let words = input.take_words()?.to_vec();
+            shards.push(Session::resume(&Checkpoint { words })?);
+        }
+        input.finish()?;
+        Ok(Self { label, shards })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dynamic::simulate_dynamic;
+    use crate::simulate;
+
+    fn ofa() -> ProtocolKind {
+        ProtocolKind::OneFailAdaptive { delta: 2.72 }
+    }
+
+    #[test]
+    fn batched_fair_session_matches_monolithic_run() {
+        let kind = ofa();
+        let mut session = Session::batched(&kind, 400, 5, &RunOptions::default()).unwrap();
+        let result = session.run_to_completion().unwrap();
+        assert_eq!(result, simulate(&kind, 400, 5).unwrap());
+    }
+
+    #[test]
+    fn batched_window_session_matches_monolithic_run() {
+        let kind = ProtocolKind::ExpBackonBackoff { delta: 0.366 };
+        let mut session = Session::batched(&kind, 400, 5, &RunOptions::default()).unwrap();
+        let result = session.run_to_completion().unwrap();
+        assert_eq!(result, simulate(&kind, 400, 5).unwrap());
+    }
+
+    #[test]
+    fn bounded_advances_and_checkpoints_preserve_bit_identity() {
+        let kind = ofa();
+        let mut session = Session::batched(&kind, 600, 17, &RunOptions::default()).unwrap();
+        let mut rounds = 0;
+        while session.advance(100).unwrap() == SessionStatus::Paused {
+            let checkpoint = session.checkpoint().unwrap();
+            session = Session::resume(&checkpoint).unwrap();
+            rounds += 1;
+            assert!(rounds < 10_000, "session failed to make progress");
+        }
+        assert!(rounds > 1, "the budget must actually split the run");
+        assert_eq!(session.result(), simulate(&kind, 600, 17).unwrap());
+    }
+
+    #[test]
+    fn checkpoint_bytes_round_trip() {
+        let mut session = Session::batched(&ofa(), 100, 3, &RunOptions::default()).unwrap();
+        session.advance(50).unwrap();
+        let checkpoint = session.checkpoint().unwrap();
+        let rebuilt = Checkpoint::from_bytes(&checkpoint.to_bytes()).unwrap();
+        assert_eq!(checkpoint, rebuilt);
+        let mut resumed = Session::resume(&rebuilt).unwrap();
+        assert_eq!(resumed.slot(), session.slot());
+        assert_eq!(
+            resumed.run_to_completion().unwrap(),
+            session.run_to_completion().unwrap()
+        );
+    }
+
+    #[test]
+    fn dynamic_session_matches_simulate_dynamic_aggregates() {
+        let kind = ofa();
+        let model = ArrivalModel::Poisson {
+            rate: 0.05,
+            horizon: 2_000,
+        };
+        let options = RunOptions::default();
+        let monolithic = simulate_dynamic(&kind, &model, 21, &options).unwrap();
+        let mut session = Session::dynamic(&kind, &model, 21, &options).unwrap();
+        session.run_to_completion().unwrap();
+        let report = session.live_report();
+        // Aggregate counters are bit-identical (same arrivals, same RNG
+        // streams); mean/max latency are exact in the streaming path too.
+        assert_eq!(report.messages, monolithic.messages);
+        assert_eq!(report.delivered, monolithic.delivered);
+        assert_eq!(report.makespan, monolithic.makespan);
+        assert_eq!(report.mean_latency, monolithic.mean_latency);
+        assert_eq!(report.max_latency, monolithic.max_latency);
+    }
+
+    #[test]
+    fn dynamic_session_rejects_window_protocols() {
+        let err = Session::dynamic(
+            &ProtocolKind::ExpBackonBackoff { delta: 0.366 },
+            &ArrivalModel::batched(10),
+            1,
+            &RunOptions::default(),
+        )
+        .unwrap_err();
+        assert!(matches!(err, SessionError::Unsupported(_)));
+    }
+
+    #[test]
+    fn sharded_union_covers_every_message() {
+        let kind = ofa();
+        // Rate comfortably below the protocol's sustainable throughput so
+        // every run completes within its slot cap.
+        let model = ArrivalModel::Poisson {
+            rate: 0.05,
+            horizon: 5_000,
+        };
+        let options = RunOptions::default();
+        let single = simulate_dynamic(&kind, &model, 9, &options).unwrap();
+        for shards in [1u32, 2, 4] {
+            let mut driver = ShardedSession::new(&kind, &model, 9, &options, shards).unwrap();
+            assert_eq!(driver.status(), SessionStatus::Paused);
+            driver.run_to_completion().unwrap();
+            let report = driver.merged_report();
+            assert_eq!(
+                report.messages, single.messages,
+                "{shards} shards must partition the arrival sequence"
+            );
+            assert_eq!(report.delivered, report.messages);
+        }
+    }
+
+    #[test]
+    fn sharded_checkpoint_resume_is_bit_identical() {
+        let kind = ofa();
+        let model = ArrivalModel::Bursts {
+            bursts: vec![(0, 30), (200, 30), (5_000, 10)],
+        };
+        let options = RunOptions::default();
+        let mut unbroken = ShardedSession::new(&kind, &model, 3, &options, 2).unwrap();
+        unbroken.run_to_completion().unwrap();
+
+        let mut paused = ShardedSession::new(&kind, &model, 3, &options, 2).unwrap();
+        paused.advance(500).unwrap();
+        let checkpoint = paused.checkpoint().unwrap();
+        let mut resumed = ShardedSession::resume(&checkpoint).unwrap();
+        resumed.run_to_completion().unwrap();
+
+        assert_eq!(resumed.merged_result(), unbroken.merged_result());
+        let a = resumed.merged_stats();
+        let b = unbroken.merged_stats();
+        assert_eq!(a.count(), b.count());
+        assert_eq!(a.quantile(0.5), b.quantile(0.5));
+    }
+
+    #[test]
+    fn live_stats_are_available_mid_run() {
+        let mut session = Session::batched(&ofa(), 2_000, 1, &RunOptions::default()).unwrap();
+        session.advance(2_000).unwrap();
+        let delivered = session.delivered();
+        let stats = session.live_stats().expect("sessions attach stats");
+        assert_eq!(stats.count(), delivered);
+        if delivered > 0 {
+            assert!(stats.quantile(0.5) <= session.slot());
+        }
+    }
+
+    #[test]
+    fn malformed_checkpoints_are_rejected() {
+        assert!(Session::resume(&Checkpoint { words: vec![] }).is_err());
+        assert!(Session::resume(&Checkpoint {
+            words: vec![0xDEAD_BEEF, 1],
+        })
+        .is_err());
+        let session = Session::batched(&ofa(), 10, 1, &RunOptions::default()).unwrap();
+        let mut words = session.checkpoint().unwrap().words;
+        words.truncate(words.len() - 1);
+        assert!(Session::resume(&Checkpoint { words }).is_err());
+    }
+}

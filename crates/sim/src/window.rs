@@ -23,22 +23,33 @@
 //!   delivery recording ride the same path.
 //! * otherwise: the counts-only per-ball path
 //!   ([`mac_prob::balls::occupancy_counts`]) with a per-run
-//!   [`OccupancyScratch`], so steady-state windows perform **zero heap
-//!   allocations**; the detailed path
-//!   ([`mac_prob::balls::throw_balls_into`]) — RNG-stream-identical and
-//!   backed by the same reused buffers — is used when per-delivery slots
-//!   are recorded or an adversary is active (jamming needs the singleton
-//!   positions: a jammed singleton is a forced zero-delivery slot whose
-//!   station stays in the game).
+//!   [`OccupancyScratch`](mac_prob::balls::OccupancyScratch), so
+//!   steady-state windows perform **zero heap allocations**; the detailed
+//!   path ([`mac_prob::balls::throw_balls_into`]) — RNG-stream-identical
+//!   and backed by the same reused buffers — is used when per-delivery
+//!   slots are recorded or an adversary is active (jamming needs the
+//!   singleton positions: a jammed singleton is a forced zero-delivery slot
+//!   whose station stays in the game).
+//!
+//! The loop state lives in [`WindowEngineCore`], which the monolithic
+//! runner drives to completion in one call and the streaming session layer
+//! (`crate::session`) drives window by window with checkpoints in between —
+//! one loop body, so checkpointed runs are bit-identical to unbroken ones
+//! by construction. A session checkpoint captures the schedule's state
+//! words, the RNG and the adversary's dynamic state verbatim; the walk
+//! scratch is pure buffers and is rebuilt empty on resume.
 //!
 //! See `crates/sim/DESIGN.md` for the scratch-buffer contract, the
 //! exactness-in-distribution argument (§2, §5 for what the walk changes),
 //! and the adversary integration contract (§4).
 
+use crate::aggregate::{decode_optional_slots, encode_optional_slots};
 use crate::result::{RunOptions, RunResult, MAX_PREALLOC_ENTRIES};
-use mac_adversary::{SlotClass, ADVERSARY_STREAM};
+use mac_adversary::{AdversaryScenario, AdversaryState, SlotClass, ADVERSARY_STREAM};
 use mac_prob::balls::{walk_window, walk_window_counts, WalkScratch};
 use mac_prob::rng::{derive_seed, Xoshiro256pp};
+use mac_prob::sketch::StreamingLatencyStats;
+use mac_prob::wire::{Decoder, Encoder, WireError};
 use mac_protocols::{ParameterError, ProtocolKind, WindowSchedule};
 use rand::SeedableRng;
 
@@ -115,158 +126,386 @@ impl WindowSimulator {
                 "WindowSimulator requires a window protocol (Exp Back-on/Back-off, Loglog-iterated or exponential back-off)",
             )
         })?;
-        let mut rng = Xoshiro256pp::seed_from_u64(seed);
         Ok(run_window(
             schedule,
             self.kind.label(),
             k,
             seed,
             &self.options,
-            &mut rng,
             jam_log,
         ))
     }
 }
 
 pub(crate) fn run_window(
-    mut schedule: Box<dyn WindowSchedule>,
+    schedule: Box<dyn WindowSchedule>,
     label: String,
     k: u64,
     seed: u64,
     options: &RunOptions,
-    rng: &mut Xoshiro256pp,
-    mut jam_log: Option<&mut Vec<u64>>,
+    jam_log: Option<&mut Vec<u64>>,
 ) -> RunResult {
-    let max_slots = options.max_slots(k);
-    let mut remaining = k;
-    let mut elapsed: u64 = 0;
-    let mut makespan: u64 = 0;
-    let mut collisions: u64 = 0;
-    let mut silent: u64 = 0;
-    let mut jammed_deliveries: u64 = 0;
-    // The adversary draws from its own derived stream and the detailed
-    // occupancy path consumes the protocol RNG identically to the
-    // counts-only one, so a clean scenario leaves the run bit-identical to
-    // the pre-adversary simulator.
-    let mut adversary = options
-        .adversary
-        .state(derive_seed(seed, &[ADVERSARY_STREAM]));
-    // Only *jamming* can touch a window protocol: stations react to nothing
-    // but their own (reliable) acknowledgement, so feedback faults are a
-    // strict no-op here and must not push the run off the counts-only fast
-    // path.
-    let adversarial = !options.adversary.jamming.is_none();
-    // All per-window state lives in buffers reused across windows (the
-    // walk scratch grows its singleton list and block-resolver buffers to
-    // their high-water marks); the delivery list is pre-sized to its final
-    // length.
-    let mut walk_scratch = WalkScratch::new();
-    let mut delivery_slots = options
-        .record_deliveries
-        .then(|| Vec::with_capacity(k.min(MAX_PREALLOC_ENTRIES) as usize));
+    let mut core = WindowEngineCore::new(schedule, k, seed, options);
+    core.advance(u64::MAX, jam_log);
+    core.into_result(label)
+}
 
-    while remaining > 0 && elapsed < max_slots {
-        let w = schedule.next_window();
-        // Every window runs through the aggregate slot walk
-        // (`mac_prob::balls::walk_window`), whose internal dispatch —
-        // certain-collision shortcut, conditional-binomial block
-        // decomposition for low loads, the per-slot mode-anchored loop for
-        // high loads, the sparse per-ball tail — was re-derived from
-        // measured crossover points at k = 10⁷ (see `DESIGN.md` §7): with
-        // the block resolver running the dense per-ball machinery against
-        // L1-resident counter windows, the walk now matches or beats the
-        // flat per-ball path at every (m, w). The dispatch depends only on
-        // (m, w), never on the adversary, so a configured-but-inert
-        // adversary stays bit-identical to a clean run; the detailed walk
-        // (ascending singleton list) is RNG-stream-identical to the
-        // counts-only walk, so recording/jamming does not perturb a seeded
-        // trajectory either.
-        let (delivered_in_window, last_delivered, empty_bins, colliding_bins, max_occupied) =
-            if adversarial || delivery_slots.is_some() {
-                let occupancy = walk_window(remaining, w, rng, &mut walk_scratch);
-                let mut delivered: u64 = 0;
-                let mut last: Option<u64> = None;
-                let mut jammed_singletons: u64 = 0;
-                // Singleton bins are ascending, satisfying the adversary's
-                // slot-order contract.
-                for &bin in walk_scratch.singleton_bins() {
-                    if adversarial && adversary.jams_slot(elapsed + bin, SlotClass::Single) {
-                        jammed_singletons += 1;
-                        if let Some(log) = jam_log.as_deref_mut() {
-                            log.push(elapsed + bin);
-                        }
-                    } else {
-                        delivered += 1;
-                        last = Some(bin);
-                        if let Some(slots) = delivery_slots.as_mut() {
-                            slots.push(elapsed + bin);
-                        }
-                    }
-                }
-                if adversarial {
-                    // Already-contended slots: only a reactive jammer's
-                    // budget can change, never the outcome.
-                    adversary.jam_contended_bulk(occupancy.colliding_bins);
-                }
-                collisions += jammed_singletons;
-                jammed_deliveries += jammed_singletons;
-                (
-                    delivered,
-                    last,
-                    occupancy.empty_bins,
-                    occupancy.colliding_bins,
-                    occupancy.max_occupied_bin,
-                )
-            } else {
-                let occupancy = walk_window_counts(remaining, w, rng, &mut walk_scratch);
-                (
-                    occupancy.singletons,
-                    occupancy.max_occupied_bin,
-                    occupancy.empty_bins,
-                    occupancy.colliding_bins,
-                    occupancy.max_occupied_bin,
-                )
-            };
-        collisions += colliding_bins;
-        // Empty bins of a *fully used* window count as silent slots; for the
-        // final window only the prefix up to the last needed delivery counts.
-        remaining -= delivered_in_window;
-        if remaining == 0 {
-            // Every ball of this window landed alone and unjammed (a
-            // collision or a jammed singleton would leave its station
-            // active), so the last delivery happens at the largest occupied
-            // bin; slots after it are not part of the makespan.
-            let last =
-                last_delivered.expect("remaining hit zero, so this window delivered something");
-            debug_assert_eq!(colliding_bins, 0);
-            debug_assert_eq!(max_occupied, Some(last));
-            makespan = elapsed + last + 1;
-            silent += (last + 1) - delivered_in_window;
-            elapsed = makespan;
-        } else {
-            silent += empty_bins;
-            elapsed += w;
-            makespan = elapsed.min(max_slots);
+/// The complete loop state of one window-protocol run, advanceable in
+/// bounded slot bursts. Windows are atomic: a budget is a *minimum* — the
+/// window in flight when it runs out is always finished, so the executed
+/// count can overshoot by up to one window length.
+#[derive(Debug)]
+pub(crate) struct WindowEngineCore {
+    schedule: Box<dyn WindowSchedule>,
+    k: u64,
+    seed: u64,
+    max_slots: u64,
+    remaining: u64,
+    elapsed: u64,
+    makespan: u64,
+    collisions: u64,
+    silent: u64,
+    jammed_deliveries: u64,
+    adversary: AdversaryState,
+    adversarial: bool,
+    walk_scratch: WalkScratch,
+    rng: Xoshiro256pp,
+    delivery_slots: Option<Vec<u64>>,
+    stats: Option<StreamingLatencyStats>,
+}
+
+impl WindowEngineCore {
+    /// Builds the initial loop state — bit-identical to the state the
+    /// monolithic runner entered its loop with.
+    pub(crate) fn new(
+        schedule: Box<dyn WindowSchedule>,
+        k: u64,
+        seed: u64,
+        options: &RunOptions,
+    ) -> Self {
+        let max_slots = options.max_slots(k);
+        // The adversary draws from its own derived stream and the detailed
+        // occupancy path consumes the protocol RNG identically to the
+        // counts-only one, so a clean scenario leaves the run bit-identical
+        // to the pre-adversary simulator.
+        let adversary = options
+            .adversary
+            .state(derive_seed(seed, &[ADVERSARY_STREAM]));
+        // Only *jamming* can touch a window protocol: stations react to
+        // nothing but their own (reliable) acknowledgement, so feedback
+        // faults are a strict no-op here and must not push the run off the
+        // counts-only fast path.
+        let adversarial = !options.adversary.jamming.is_none();
+        let delivery_slots = options
+            .record_deliveries
+            .then(|| Vec::with_capacity(k.min(MAX_PREALLOC_ENTRIES) as usize));
+        Self {
+            schedule,
+            k,
+            seed,
+            max_slots,
+            remaining: k,
+            elapsed: 0,
+            makespan: 0,
+            collisions: 0,
+            silent: 0,
+            jammed_deliveries: 0,
+            adversary,
+            adversarial,
+            // All per-window state lives in buffers reused across windows
+            // (the walk scratch grows its singleton list and block-resolver
+            // buffers to their high-water marks); the buffers are pure
+            // scratch, so a resumed run rebuilding them empty stays
+            // bit-identical.
+            walk_scratch: WalkScratch::new(),
+            rng: Xoshiro256pp::seed_from_u64(seed),
+            delivery_slots,
+            stats: None,
         }
     }
 
-    let completed = remaining == 0;
-    if let Some(slots) = delivery_slots.as_mut() {
-        slots.sort_unstable();
-        slots.truncate((k - remaining) as usize);
+    /// Attaches a streaming latency accumulator: every delivery pushes its
+    /// slot index (= latency for batched arrivals). Routes windows through
+    /// the detailed walk, which is RNG-stream-identical to the counts-only
+    /// one, so the trajectory is unchanged.
+    pub(crate) fn set_streaming_stats(&mut self, stats: StreamingLatencyStats) {
+        self.stats = Some(stats);
     }
-    RunResult {
-        protocol: label,
-        k,
-        seed,
-        makespan: if completed { makespan } else { max_slots },
-        completed,
-        delivered: k - remaining,
-        collisions,
-        silent_slots: silent,
-        jammed_deliveries,
-        never_activated: 0,
-        delivery_slots,
+
+    pub(crate) fn is_finished(&self) -> bool {
+        self.remaining == 0 || self.elapsed >= self.max_slots
+    }
+
+    pub(crate) fn slot(&self) -> u64 {
+        self.elapsed
+    }
+
+    pub(crate) fn delivered(&self) -> u64 {
+        self.k - self.remaining
+    }
+
+    pub(crate) fn remaining(&self) -> u64 {
+        self.remaining
+    }
+
+    pub(crate) fn streaming_stats(&self) -> Option<&StreamingLatencyStats> {
+        self.stats.as_ref()
+    }
+
+    /// Advances whole windows until at least `budget` slots have elapsed
+    /// (or the run finishes) and returns the number of slots executed.
+    pub(crate) fn advance(&mut self, budget: u64, mut jam_log: Option<&mut Vec<u64>>) -> u64 {
+        let start = self.elapsed;
+        while self.remaining > 0 && self.elapsed < self.max_slots && self.elapsed - start < budget {
+            let w = self.schedule.next_window();
+            // Every window runs through the aggregate slot walk
+            // (`mac_prob::balls::walk_window`), whose internal dispatch —
+            // certain-collision shortcut, conditional-binomial block
+            // decomposition for low loads, the per-slot mode-anchored loop
+            // for high loads, the sparse per-ball tail — was re-derived
+            // from measured crossover points at k = 10⁷ (see `DESIGN.md`
+            // §7): with the block resolver running the dense per-ball
+            // machinery against L1-resident counter windows, the walk now
+            // matches or beats the flat per-ball path at every (m, w). The
+            // dispatch depends only on (m, w), never on the adversary, so a
+            // configured-but-inert adversary stays bit-identical to a
+            // clean run; the detailed walk (ascending singleton list) is
+            // RNG-stream-identical to the counts-only walk, so
+            // recording/jamming does not perturb a seeded trajectory
+            // either.
+            let detailed =
+                self.adversarial || self.delivery_slots.is_some() || self.stats.is_some();
+            let (delivered_in_window, last_delivered, empty_bins, colliding_bins, max_occupied) =
+                if detailed {
+                    let occupancy =
+                        walk_window(self.remaining, w, &mut self.rng, &mut self.walk_scratch);
+                    let mut delivered: u64 = 0;
+                    let mut last: Option<u64> = None;
+                    let mut jammed_singletons: u64 = 0;
+                    // Singleton bins are ascending, satisfying the
+                    // adversary's slot-order contract.
+                    for &bin in self.walk_scratch.singleton_bins() {
+                        if self.adversarial
+                            && self
+                                .adversary
+                                .jams_slot(self.elapsed + bin, SlotClass::Single)
+                        {
+                            jammed_singletons += 1;
+                            if let Some(log) = jam_log.as_deref_mut() {
+                                log.push(self.elapsed + bin);
+                            }
+                        } else {
+                            delivered += 1;
+                            last = Some(bin);
+                            if let Some(slots) = self.delivery_slots.as_mut() {
+                                slots.push(self.elapsed + bin);
+                            }
+                            if let Some(stats) = self.stats.as_mut() {
+                                stats.push(self.elapsed + bin);
+                            }
+                        }
+                    }
+                    if self.adversarial {
+                        // Already-contended slots: only a reactive jammer's
+                        // budget can change, never the outcome.
+                        self.adversary.jam_contended_bulk(occupancy.colliding_bins);
+                    }
+                    self.collisions += jammed_singletons;
+                    self.jammed_deliveries += jammed_singletons;
+                    (
+                        delivered,
+                        last,
+                        occupancy.empty_bins,
+                        occupancy.colliding_bins,
+                        occupancy.max_occupied_bin,
+                    )
+                } else {
+                    let occupancy = walk_window_counts(
+                        self.remaining,
+                        w,
+                        &mut self.rng,
+                        &mut self.walk_scratch,
+                    );
+                    (
+                        occupancy.singletons,
+                        occupancy.max_occupied_bin,
+                        occupancy.empty_bins,
+                        occupancy.colliding_bins,
+                        occupancy.max_occupied_bin,
+                    )
+                };
+            self.collisions += colliding_bins;
+            // Empty bins of a *fully used* window count as silent slots; for
+            // the final window only the prefix up to the last needed
+            // delivery counts.
+            self.remaining -= delivered_in_window;
+            if self.remaining == 0 {
+                // Every ball of this window landed alone and unjammed (a
+                // collision or a jammed singleton would leave its station
+                // active), so the last delivery happens at the largest
+                // occupied bin; slots after it are not part of the makespan.
+                let last =
+                    last_delivered.expect("remaining hit zero, so this window delivered something");
+                debug_assert_eq!(colliding_bins, 0);
+                debug_assert_eq!(max_occupied, Some(last));
+                self.makespan = self.elapsed + last + 1;
+                self.silent += (last + 1) - delivered_in_window;
+                self.elapsed = self.makespan;
+            } else {
+                self.silent += empty_bins;
+                self.elapsed += w;
+                self.makespan = self.elapsed.min(self.max_slots);
+            }
+        }
+        self.elapsed - start
+    }
+
+    /// The run's aggregate result (capped-run convention before completion).
+    pub(crate) fn into_result(mut self, label: String) -> RunResult {
+        let completed = self.remaining == 0;
+        if let Some(slots) = self.delivery_slots.as_mut() {
+            slots.sort_unstable();
+            slots.truncate((self.k - self.remaining) as usize);
+        }
+        RunResult {
+            protocol: label,
+            k: self.k,
+            seed: self.seed,
+            makespan: if completed {
+                self.makespan
+            } else {
+                self.max_slots
+            },
+            completed,
+            delivered: self.k - self.remaining,
+            collisions: self.collisions,
+            silent_slots: self.silent,
+            jammed_deliveries: self.jammed_deliveries,
+            never_activated: 0,
+            delivery_slots: self.delivery_slots,
+        }
+    }
+
+    /// Non-consuming form of [`WindowEngineCore::into_result`] for sessions.
+    pub(crate) fn result_snapshot(&self, label: &str) -> RunResult {
+        let completed = self.remaining == 0;
+        let delivery_slots = self.delivery_slots.as_ref().map(|slots| {
+            let mut slots = slots.clone();
+            slots.sort_unstable();
+            slots.truncate((self.k - self.remaining) as usize);
+            slots
+        });
+        RunResult {
+            protocol: label.to_string(),
+            k: self.k,
+            seed: self.seed,
+            makespan: if completed {
+                self.makespan
+            } else {
+                self.max_slots
+            },
+            completed,
+            delivered: self.k - self.remaining,
+            collisions: self.collisions,
+            silent_slots: self.silent,
+            jammed_deliveries: self.jammed_deliveries,
+            never_activated: 0,
+            delivery_slots,
+        }
+    }
+
+    /// Serialises the full loop state (`false` if the schedule does not
+    /// support state extraction).
+    pub(crate) fn encode(&self, out: &mut Encoder) -> bool {
+        let Some(schedule_words) = self.schedule.checkpoint_words() else {
+            return false;
+        };
+        out.put_u64(self.k);
+        out.put_u64(self.seed);
+        out.put_u64(self.max_slots);
+        out.put_u64(self.remaining);
+        out.put_u64(self.elapsed);
+        out.put_u64(self.makespan);
+        out.put_u64(self.collisions);
+        out.put_u64(self.silent);
+        out.put_u64(self.jammed_deliveries);
+        out.put_words(&schedule_words);
+        for w in self.rng.state_words() {
+            out.put_u64(w);
+        }
+        for w in self.adversary.state_words() {
+            out.put_u64(w);
+        }
+        encode_optional_slots(self.delivery_slots.as_deref(), out);
+        match &self.stats {
+            Some(stats) => {
+                out.put_bool(true);
+                stats.encode(out);
+            }
+            None => out.put_bool(false),
+        }
+        true
+    }
+
+    /// Rebuilds a core from [`WindowEngineCore::encode`]d words. `schedule`
+    /// is a freshly constructed schedule of the run's kind (its incremental
+    /// state is overwritten verbatim), and `scenario` must be the run's
+    /// original adversary configuration.
+    pub(crate) fn decode(
+        input: &mut Decoder<'_>,
+        mut schedule: Box<dyn WindowSchedule>,
+        scenario: &AdversaryScenario,
+    ) -> Result<Self, WireError> {
+        let k = input.take_u64()?;
+        let seed = input.take_u64()?;
+        let max_slots = input.take_u64()?;
+        let remaining = input.take_u64()?;
+        let elapsed = input.take_u64()?;
+        let makespan = input.take_u64()?;
+        let collisions = input.take_u64()?;
+        let silent = input.take_u64()?;
+        let jammed_deliveries = input.take_u64()?;
+        let schedule_words = input.take_words()?;
+        let mut rng_words = [0u64; 4];
+        for w in &mut rng_words {
+            *w = input.take_u64()?;
+        }
+        let mut adversary_words = [0u64; 6];
+        for w in &mut adversary_words {
+            *w = input.take_u64()?;
+        }
+        let delivery_slots = decode_optional_slots(input)?;
+        let stats = if input.take_bool()? {
+            Some(StreamingLatencyStats::decode(input)?)
+        } else {
+            None
+        };
+        if !schedule.restore_words(schedule_words) {
+            return Err(WireError::Malformed("schedule state words rejected"));
+        }
+        let mut adversary = scenario.state(0);
+        if !adversary.restore_state_words(&adversary_words) {
+            return Err(WireError::Malformed("adversary state words rejected"));
+        }
+        let adversarial = !scenario.jamming.is_none();
+        Ok(Self {
+            schedule,
+            k,
+            seed,
+            max_slots,
+            remaining,
+            elapsed,
+            makespan,
+            collisions,
+            silent,
+            jammed_deliveries,
+            adversary,
+            adversarial,
+            walk_scratch: WalkScratch::new(),
+            rng: Xoshiro256pp::from_state_words(rng_words),
+            delivery_slots,
+            stats,
+        })
     }
 }
 
@@ -387,5 +626,20 @@ mod tests {
         let r = sim.run(1_000, 5).unwrap();
         assert!(!r.completed);
         assert!(r.delivered < 1_000);
+    }
+
+    #[test]
+    fn bounded_advance_matches_single_shot_run() {
+        // Driving the core in small bursts must land on the same result as
+        // one uninterrupted advance — the session layer depends on it.
+        let kind = ProtocolKind::ExpBackonBackoff { delta: 0.366 };
+        let options = RunOptions::default();
+        let single = run(kind.clone(), 800, 21);
+        let schedule = kind.build_window().unwrap().unwrap();
+        let mut core = WindowEngineCore::new(schedule, 800, 21, &options);
+        while !core.is_finished() {
+            core.advance(64, None);
+        }
+        assert_eq!(core.into_result(kind.label()), single);
     }
 }

@@ -1,0 +1,86 @@
+//! Streaming sessions: pause, checkpoint, resume and shard a simulation.
+//!
+//! ```bash
+//! cargo run --release --example streaming_session
+//! ```
+//!
+//! The monolithic simulators run from slot 0 to completion in one call. A
+//! [`Session`] drives the *same* engines incrementally: advance a bounded
+//! number of slots, read live latency statistics from a bounded-memory
+//! quantile sketch, serialise the complete state (RNG streams included)
+//! into a checkpoint, and resume later — bit-identically to an unbroken
+//! run. A [`ShardedSession`] runs N independent channels in parallel and
+//! merges their statistics, the multi-channel extension the paper's
+//! conclusions point at (see `crates/sim/DESIGN.md` §9).
+
+use contention_resolution::prelude::*;
+
+fn main() {
+    let kind = ProtocolKind::OneFailAdaptive { delta: 2.72 };
+
+    // --- 1. A batched run driven in bounded bursts, with live stats. -----
+    let k = 200_000u64;
+    let mut session = Session::batched(&kind, k, 42, &RunOptions::default()).unwrap();
+    println!("batched k = {k} driven in 100k-slot bursts:\n");
+    println!(
+        "{:>10} {:>10} {:>10} {:>10} {:>8}",
+        "slot", "delivered", "p50", "p95", "±rank"
+    );
+    while session.advance(100_000).unwrap() == SessionStatus::Paused {
+        let stats = session.live_stats().unwrap();
+        println!(
+            "{:>10} {:>10} {:>10} {:>10} {:>8}",
+            session.slot(),
+            session.delivered(),
+            stats.quantile(0.50),
+            stats.quantile(0.95),
+            stats.rank_error_bound()
+        );
+    }
+    let finished = session.result();
+
+    // --- 2. The same run, interrupted by a checkpoint round trip. --------
+    let mut first_half = Session::batched(&kind, k, 42, &RunOptions::default()).unwrap();
+    first_half.advance(finished.makespan / 2).unwrap();
+    let checkpoint = first_half.checkpoint().unwrap();
+    let bytes = checkpoint.to_bytes();
+    println!(
+        "\ncheckpoint at slot {}: {} bytes",
+        first_half.slot(),
+        bytes.len()
+    );
+    let mut resumed = Session::resume(&Checkpoint::from_bytes(&bytes).unwrap()).unwrap();
+    let resumed_result = resumed.run_to_completion().unwrap();
+    assert_eq!(resumed_result, finished, "resume must be bit-identical");
+    println!(
+        "resumed run: makespan {} — bit-identical to the unbroken run",
+        resumed_result.makespan
+    );
+
+    // --- 3. Sharded multi-channel driver under dynamic arrivals. ---------
+    let model = ArrivalModel::Poisson {
+        rate: 0.05,
+        horizon: 20_000,
+    };
+    println!("\nPoisson rate 0.05 over 20k slots, split across channels:\n");
+    println!(
+        "{:>9} {:>9} {:>10} {:>10} {:>10} {:>12}",
+        "channels", "messages", "makespan", "mean", "p95", "throughput"
+    );
+    for shards in [1u32, 2, 4] {
+        let mut driver =
+            ShardedSession::new(&kind, &model, 7, &RunOptions::default(), shards).unwrap();
+        driver.run_to_completion().unwrap();
+        let report = driver.merged_report();
+        assert_eq!(report.delivered, report.messages);
+        println!(
+            "{:>9} {:>9} {:>10} {:>10.1} {:>10.0} {:>12.3}",
+            shards,
+            report.messages,
+            report.makespan,
+            report.mean_latency,
+            report.p95_latency,
+            report.throughput
+        );
+    }
+}

@@ -61,7 +61,8 @@ pub mod prelude {
     pub use crate::sim::dynamic::{simulate_dynamic, DynamicReport};
     pub use crate::sim::report::{figure1_series, table1_markdown, to_csv};
     pub use crate::sim::{
-        simulate, simulate_with_options, CohortRun, CohortSimulator, EngineChoice, ExactSimulator,
-        Experiment, FairSimulator, RunOptions, RunResult, WindowSimulator,
+        simulate, simulate_with_options, Checkpoint, CohortRun, CohortSimulator, EngineChoice,
+        ExactSimulator, Experiment, FairSimulator, RunOptions, RunResult, Session, SessionError,
+        SessionStatus, ShardedSession, WindowSimulator,
     };
 }
