@@ -481,6 +481,14 @@ impl<P: FairProtocol, A: ArrivalFeed, F: BuildState<P>> CohortEngineCore<P, A, F
         self.remaining
     }
 
+    /// Activated, undelivered messages (the sum over active cohorts) —
+    /// unlike `remaining`, this excludes messages that have not arrived
+    /// yet, so an idle channel fast-forwarding to its next burst reports a
+    /// zero backlog (the livelock watchdog's progress signal).
+    pub(crate) fn backlog(&self) -> u64 {
+        self.cohorts.iter().map(|cohort| cohort.m).sum()
+    }
+
     pub(crate) fn streaming_stats(&self) -> Option<&StreamingLatencyStats> {
         self.recorder.streaming.as_ref()
     }

@@ -68,6 +68,12 @@ pub struct DynamicReport {
     /// arrivals is a truncated measurement, not a protocol failure.
     #[serde(default)]
     pub never_activated: u64,
+    /// Slot at which a session's livelock watchdog first detected a
+    /// zero-delivery stall (`None` when no watchdog was armed or no stall
+    /// occurred). On sharded runs this is the earliest stall across
+    /// shards. See [`crate::session::StallConfig`].
+    #[serde(default)]
+    pub stall_detected_at: Option<u64>,
 }
 
 impl DynamicReport {
@@ -114,6 +120,7 @@ impl DynamicReport {
             },
             jammed_deliveries: result.jammed_deliveries,
             never_activated: result.never_activated,
+            stall_detected_at: None,
         }
     }
 
@@ -154,6 +161,7 @@ impl DynamicReport {
             },
             jammed_deliveries: result.jammed_deliveries,
             never_activated: result.never_activated,
+            stall_detected_at: None,
         }
     }
 }

@@ -69,22 +69,31 @@ pub mod cohort;
 pub mod dynamic;
 pub mod exact;
 pub mod fair;
+pub mod faults;
 pub mod report;
 pub mod result;
 pub mod runner;
 pub mod search;
 pub mod session;
 pub mod stepper;
+pub mod store;
 pub mod window;
 
 pub use cohort::{CohortRun, CohortSimulator};
 pub use exact::ExactSimulator;
 pub use fair::FairSimulator;
+pub use faults::{
+    run_batched_chaos, ChaosError, ChaosReport, CorruptionKind, CrashPoint, FaultPlan, ShardKill,
+};
 pub use result::{RunOptions, RunResult};
 pub use runner::{EngineChoice, Experiment, ExperimentCell, ExperimentResults};
 pub use search::{worst_case_exhaustive, worst_case_search, BudgetedSearchCost};
-pub use session::{Checkpoint, Session, SessionError, SessionStatus, ShardedSession};
+pub use session::{
+    Checkpoint, CheckpointKind, IntegrityError, Session, SessionError, SessionStatus, ShardHealth,
+    ShardSupervision, ShardedSession, StallConfig, StallPolicy, StallReport,
+};
 pub use stepper::{ExactStepper, MAX_STEPPER_STATIONS};
+pub use store::{CheckpointStore, LoadOutcome, SkippedGeneration, StoreError};
 pub use window::WindowSimulator;
 
 /// Re-export of the adversarial channel models (`mac-adversary`) so that

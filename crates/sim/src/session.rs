@@ -78,7 +78,14 @@ const CHECKPOINT_MAGIC: u64 = 0x4D41_4353_4553_5331; // "MACSESS1"
 const SHARDED_MAGIC: u64 = 0x4D41_4353_4841_5244; // "MACSHARD"
 
 /// Checkpoint format version (bumped on any layout change).
-const CHECKPOINT_VERSION: u64 = 1;
+///
+/// v1: PR 7 layout, no integrity frame. v2: integrity frame (length word +
+/// trailing digest) and watchdog / shard-health state.
+const CHECKPOINT_VERSION: u64 = 2;
+
+/// Words of frame overhead around a checkpoint payload: magic, version,
+/// total length, and the trailing digest.
+const FRAME_WORDS: usize = 4;
 
 /// Outcome of one [`Session::advance`] call.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -89,30 +96,185 @@ pub enum SessionStatus {
     /// The run reached completion (every message delivered) or its slot
     /// cap; further advances are no-ops.
     Finished,
+    /// The livelock watchdog detected a zero-delivery stall and its
+    /// [`StallPolicy::Pause`] asked for control back: the session is intact
+    /// and checkpointable, and diagnostics are in [`Session::stall`].
+    Stalled,
 }
+
+/// Which driver wrote a checkpoint: a single [`Session`] or the
+/// [`ShardedSession`] fleet driver. The two use distinct magic words so a
+/// frame fed to the wrong `resume` fails with a typed
+/// [`IntegrityError::KindMismatch`] instead of decoding garbage.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CheckpointKind {
+    /// A [`Session::checkpoint`] frame.
+    Session,
+    /// A [`ShardedSession::checkpoint`] frame.
+    Sharded,
+}
+
+impl fmt::Display for CheckpointKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CheckpointKind::Session => write!(f, "session"),
+            CheckpointKind::Sharded => write!(f, "sharded session"),
+        }
+    }
+}
+
+/// Integrity failure detected while validating a checkpoint frame —
+/// always **before** any engine state is reconstructed, so a bad buffer
+/// can never leave a half-built session behind.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum IntegrityError {
+    /// The buffer is shorter than its header claims (or too short to hold
+    /// a header at all, in which case `expected_words` is `None`).
+    Truncated {
+        /// Total length recorded in the frame header, when readable.
+        expected_words: Option<u64>,
+        /// Words actually present.
+        found_words: u64,
+    },
+    /// The buffer is longer than its header claims.
+    TrailingData {
+        /// Total length recorded in the frame header.
+        expected_words: u64,
+        /// Words actually present.
+        found_words: u64,
+    },
+    /// The first word is neither the session nor the sharded magic — this
+    /// is not a checkpoint at all.
+    BadMagic {
+        /// The word found where a magic was expected.
+        found: u64,
+    },
+    /// A checkpoint of the wrong kind (session vs sharded) was fed to a
+    /// `resume`.
+    KindMismatch {
+        /// The kind the frame's magic declares.
+        found: CheckpointKind,
+        /// The kind the caller required.
+        expected: CheckpointKind,
+    },
+    /// The checkpoint was written by a different format version — carries
+    /// both numbers so mixed-version fleets get an actionable error.
+    VersionMismatch {
+        /// The kind the frame's magic declares.
+        kind: CheckpointKind,
+        /// Version recorded in the frame.
+        found: u64,
+        /// Version this build reads and writes.
+        expected: u64,
+    },
+    /// The stored digest does not match the recomputed one: at least one
+    /// word of the frame was corrupted in storage or transit.
+    Corrupt {
+        /// Digest stored in the frame's final word.
+        stored_digest: u64,
+        /// Digest recomputed over the frame contents.
+        computed_digest: u64,
+    },
+}
+
+impl fmt::Display for IntegrityError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            IntegrityError::Truncated {
+                expected_words,
+                found_words,
+            } => match expected_words {
+                Some(expected) => write!(
+                    f,
+                    "checkpoint truncated: header declares {expected} words, found {found_words}"
+                ),
+                None => write!(
+                    f,
+                    "checkpoint truncated: {found_words} words is too short for a frame header"
+                ),
+            },
+            IntegrityError::TrailingData {
+                expected_words,
+                found_words,
+            } => write!(
+                f,
+                "checkpoint has trailing data: header declares {expected_words} words, found {found_words}"
+            ),
+            IntegrityError::BadMagic { found } => {
+                write!(f, "not a checkpoint (bad magic word {found:#018x})")
+            }
+            IntegrityError::KindMismatch { found, expected } => {
+                write!(f, "checkpoint kind mismatch: found a {found} checkpoint, expected a {expected} checkpoint")
+            }
+            IntegrityError::VersionMismatch {
+                kind,
+                found,
+                expected,
+            } => write!(
+                f,
+                "{kind} checkpoint version mismatch: found v{found}, this build reads v{expected}"
+            ),
+            IntegrityError::Corrupt {
+                stored_digest,
+                computed_digest,
+            } => write!(
+                f,
+                "checkpoint corrupt: stored digest {stored_digest:#018x} != computed {computed_digest:#018x}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for IntegrityError {}
 
 /// Errors surfaced by the session layer.
 #[derive(Debug, Clone, PartialEq)]
 pub enum SessionError {
     /// A checkpoint buffer was malformed or truncated.
     Wire(WireError),
+    /// A checkpoint frame failed its integrity validation (truncation,
+    /// corruption, version or kind mismatch) before decoding began.
+    Integrity(IntegrityError),
     /// Protocol or adversary parameters were rejected.
     Parameter(ParameterError),
     /// The requested configuration has no streaming-session support.
     Unsupported(&'static str),
+    /// The livelock watchdog detected a zero-delivery stall under
+    /// [`StallPolicy::Abort`]; the report carries the diagnostics.
+    Stalled(StallReport),
+    /// A shard thread of an unsupervised [`ShardedSession`] panicked; the
+    /// payload names the shard and carries the panic message so callers
+    /// can react instead of crashing.
+    ShardFailed {
+        /// Index of the failed shard.
+        shard: u32,
+        /// The panic payload, when it was a string.
+        panic: String,
+    },
 }
 
 impl fmt::Display for SessionError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             SessionError::Wire(e) => write!(f, "checkpoint wire error: {e}"),
+            SessionError::Integrity(e) => write!(f, "checkpoint integrity error: {e}"),
             SessionError::Parameter(e) => write!(f, "parameter error: {e}"),
             SessionError::Unsupported(what) => write!(f, "unsupported session: {what}"),
+            SessionError::Stalled(report) => write!(f, "run stalled: {report}"),
+            SessionError::ShardFailed { shard, panic } => {
+                write!(f, "shard {shard} thread panicked: {panic}")
+            }
         }
     }
 }
 
 impl std::error::Error for SessionError {}
+
+impl From<IntegrityError> for SessionError {
+    fn from(e: IntegrityError) -> Self {
+        SessionError::Integrity(e)
+    }
+}
 
 impl From<WireError> for SessionError {
     fn from(e: WireError) -> Self {
@@ -162,6 +324,254 @@ impl Checkpoint {
     pub fn from_bytes(bytes: &[u8]) -> Result<Self, SessionError> {
         Ok(Self {
             words: wire::bytes_to_words(bytes)?,
+        })
+    }
+
+    /// Validates the integrity frame — magic, version, declared length and
+    /// trailing digest — without reconstructing any state, and reports
+    /// which driver wrote the checkpoint.
+    ///
+    /// This is exactly the validation `resume` performs first; a durable
+    /// store uses it to decide whether a stored generation is still good.
+    ///
+    /// # Errors
+    /// A typed [`IntegrityError`] distinguishing truncation, trailing
+    /// data, corruption, and version mismatch.
+    pub fn verify(&self) -> Result<CheckpointKind, IntegrityError> {
+        let kind = peek_kind(&self.words)?;
+        verify_frame(&self.words, kind)?;
+        Ok(kind)
+    }
+}
+
+/// Reads the kind of a frame from its magic word.
+fn peek_kind(words: &[u64]) -> Result<CheckpointKind, IntegrityError> {
+    match words.first() {
+        None => Err(IntegrityError::Truncated {
+            expected_words: None,
+            found_words: 0,
+        }),
+        Some(&CHECKPOINT_MAGIC) => Ok(CheckpointKind::Session),
+        Some(&SHARDED_MAGIC) => Ok(CheckpointKind::Sharded),
+        Some(&other) => Err(IntegrityError::BadMagic { found: other }),
+    }
+}
+
+/// Validates a checkpoint frame of the `expected` kind and returns its
+/// payload slice (the words between the header and the digest).
+///
+/// Validation order matters for error quality: magic (kind) first, then
+/// version, then the declared length, then the digest — so a
+/// version-mismatched frame reports the versions instead of "corrupt",
+/// and a truncated frame reports the missing words. Every check runs
+/// before a single payload word is decoded.
+fn verify_frame(words: &[u64], expected: CheckpointKind) -> Result<&[u64], IntegrityError> {
+    if words.len() < FRAME_WORDS {
+        return Err(IntegrityError::Truncated {
+            expected_words: None,
+            found_words: words.len() as u64,
+        });
+    }
+    let found = peek_kind(words)?;
+    if found != expected {
+        return Err(IntegrityError::KindMismatch { found, expected });
+    }
+    let version = words[1];
+    if version != CHECKPOINT_VERSION {
+        return Err(IntegrityError::VersionMismatch {
+            kind: found,
+            found: version,
+            expected: CHECKPOINT_VERSION,
+        });
+    }
+    let declared = words[2];
+    let present = words.len() as u64;
+    if present < declared {
+        return Err(IntegrityError::Truncated {
+            expected_words: Some(declared),
+            found_words: present,
+        });
+    }
+    if present > declared {
+        return Err(IntegrityError::TrailingData {
+            expected_words: declared,
+            found_words: present,
+        });
+    }
+    let stored = words[words.len() - 1];
+    let computed = wire::digest_words(&words[..words.len() - 1]);
+    if stored != computed {
+        return Err(IntegrityError::Corrupt {
+            stored_digest: stored,
+            computed_digest: computed,
+        });
+    }
+    Ok(&words[FRAME_WORDS - 1..words.len() - 1])
+}
+
+/// Starts a checkpoint frame: magic, version, and a length placeholder
+/// that [`seal_frame`] patches.
+fn open_frame(kind: CheckpointKind) -> Encoder {
+    let mut out = Encoder::new();
+    out.put_u64(match kind {
+        CheckpointKind::Session => CHECKPOINT_MAGIC,
+        CheckpointKind::Sharded => SHARDED_MAGIC,
+    });
+    out.put_u64(CHECKPOINT_VERSION);
+    out.put_u64(0); // total length, patched by seal_frame
+    out
+}
+
+/// Closes a frame opened by [`open_frame`]: patches the total length and
+/// appends the digest over everything before it.
+fn seal_frame(out: Encoder) -> Checkpoint {
+    let mut words = out.finish();
+    words[2] = (words.len() + 1) as u64;
+    let digest = wire::digest_words(&words);
+    words.push(digest);
+    Checkpoint { words }
+}
+
+/// What the livelock watchdog does when it detects a zero-delivery stall.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StallPolicy {
+    /// Record the stall (first occurrence) in [`Session::stall`] and keep
+    /// running — the run proceeds to completion or its slot cap, but the
+    /// stall is surfaced in the status and the dynamic report.
+    Report,
+    /// Stop advancing and return [`SessionError::Stalled`] with the
+    /// diagnostics. The session stays intact, so the caller can still
+    /// checkpoint it or read partial results.
+    Abort,
+    /// Return [`SessionStatus::Stalled`] from `advance`, handing control
+    /// back so the caller can checkpoint and park the run. A later
+    /// `advance` continues (and re-triggers after another full window
+    /// without a delivery).
+    Pause,
+}
+
+/// Configuration of the livelock watchdog: flag a stall when `window`
+/// consecutive slots pass with **backlogged** (activated, undelivered)
+/// messages and **zero** deliveries.
+///
+/// An idle channel — no activated messages, e.g. a dynamic session
+/// fast-forwarding to its next arrival burst — is never a stall; the
+/// window only runs while a backlog exists. Because the watchdog samples
+/// at window boundaries, detection is guaranteed within **two** windows
+/// of the last delivery (or of the idle→backlogged transition).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StallConfig {
+    /// Zero-delivery window in slots (clamped to ≥ 1).
+    pub window: u64,
+    /// What to do on detection.
+    pub policy: StallPolicy,
+}
+
+impl StallConfig {
+    /// A watchdog flagging after `window` backlogged slots without a
+    /// delivery, under `policy`.
+    pub fn new(window: u64, policy: StallPolicy) -> Self {
+        Self {
+            window: window.max(1),
+            policy,
+        }
+    }
+}
+
+/// Diagnostics of a detected zero-delivery stall.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StallReport {
+    /// Slot at which the watchdog flagged the stall.
+    pub detected_at_slot: u64,
+    /// Last slot at which progress (a delivery, or an idle channel) was
+    /// observed.
+    pub last_progress_slot: u64,
+    /// The configured zero-delivery window.
+    pub window: u64,
+    /// Messages delivered before the stall.
+    pub delivered: u64,
+    /// Activated, undelivered messages at detection time.
+    pub backlog: u64,
+}
+
+impl fmt::Display for StallReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "zero-delivery stall at slot {} ({} backlogged messages, no delivery since slot {}, window {})",
+            self.detected_at_slot, self.backlog, self.last_progress_slot, self.window
+        )
+    }
+}
+
+/// Runtime state of the livelock watchdog (checkpointed, so a resumed
+/// session keeps both its configuration and its progress clock).
+#[derive(Debug, Clone)]
+struct Watchdog {
+    config: StallConfig,
+    last_progress_slot: u64,
+    last_delivered: u64,
+    stall: Option<StallReport>,
+}
+
+impl Watchdog {
+    fn new(config: StallConfig) -> Self {
+        Self {
+            config,
+            last_progress_slot: 0,
+            last_delivered: 0,
+            stall: None,
+        }
+    }
+
+    fn encode(&self, out: &mut Encoder) {
+        out.put_u64(self.config.window);
+        out.put_u32(match self.config.policy {
+            StallPolicy::Report => 0,
+            StallPolicy::Abort => 1,
+            StallPolicy::Pause => 2,
+        });
+        out.put_u64(self.last_progress_slot);
+        out.put_u64(self.last_delivered);
+        match &self.stall {
+            Some(s) => {
+                out.put_bool(true);
+                out.put_u64(s.detected_at_slot);
+                out.put_u64(s.last_progress_slot);
+                out.put_u64(s.window);
+                out.put_u64(s.delivered);
+                out.put_u64(s.backlog);
+            }
+            None => out.put_bool(false),
+        }
+    }
+
+    fn decode(input: &mut Decoder<'_>) -> Result<Self, WireError> {
+        let window = input.take_u64()?;
+        let policy = match input.take_u32()? {
+            0 => StallPolicy::Report,
+            1 => StallPolicy::Abort,
+            2 => StallPolicy::Pause,
+            _ => return Err(WireError::Malformed("unknown stall policy tag")),
+        };
+        let last_progress_slot = input.take_u64()?;
+        let last_delivered = input.take_u64()?;
+        let stall = if input.take_bool()? {
+            Some(StallReport {
+                detected_at_slot: input.take_u64()?,
+                last_progress_slot: input.take_u64()?,
+                window: input.take_u64()?,
+                delivered: input.take_u64()?,
+                backlog: input.take_u64()?,
+            })
+        } else {
+            None
+        };
+        Ok(Self {
+            config: StallConfig { window, policy },
+            last_progress_slot,
+            last_delivered,
+            stall,
         })
     }
 }
@@ -400,6 +810,11 @@ pub struct Session {
     kind: ProtocolKind,
     options: RunOptions,
     engine: EngineState,
+    watchdog: Option<Watchdog>,
+    /// Deterministic fault injection (never checkpointed): the session
+    /// panics when its slot clock reaches this value. See
+    /// [`Session::arm_fault_kill`].
+    kill_at_slot: Option<u64>,
 }
 
 impl Session {
@@ -456,6 +871,8 @@ impl Session {
             kind: kind.clone(),
             options: options.clone(),
             engine,
+            watchdog: None,
+            kill_at_slot: None,
         })
     }
 
@@ -545,17 +962,143 @@ impl Session {
             kind: kind.clone(),
             options: options.clone(),
             engine,
+            watchdog: None,
+            kill_at_slot: None,
         })
+    }
+
+    /// Arms the livelock watchdog (or disarms it with `None`): a stall is
+    /// flagged when [`StallConfig::window`] consecutive slots pass with a
+    /// backlog of activated, undelivered messages and zero deliveries.
+    ///
+    /// The watchdog is pure bookkeeping on the slot/delivery clocks — it
+    /// consumes no randomness and never perturbs the run, so an armed
+    /// session remains bit-identical to an unarmed one (enforced by the
+    /// identity suite). Its state travels in checkpoints.
+    pub fn set_watchdog(&mut self, config: Option<StallConfig>) {
+        self.watchdog = config.map(|c| {
+            let mut wd = Watchdog::new(StallConfig::new(c.window, c.policy));
+            wd.last_progress_slot = self.slot_clock();
+            wd.last_delivered = self.delivered();
+            wd
+        });
+    }
+
+    /// The armed watchdog configuration, if any.
+    pub fn watchdog(&self) -> Option<StallConfig> {
+        self.watchdog.as_ref().map(|w| w.config)
+    }
+
+    /// Diagnostics of the first detected stall, if the watchdog flagged
+    /// one.
+    pub fn stall(&self) -> Option<&StallReport> {
+        self.watchdog.as_ref().and_then(|w| w.stall.as_ref())
+    }
+
+    /// **Fault injection** (deterministic chaos testing): the session
+    /// panics as soon as its slot clock reaches `slot` during an
+    /// `advance`, emulating a crashed shard thread. The supervised
+    /// [`ShardedSession`] driver uses this to rehearse panic capture,
+    /// retry-from-checkpoint and quarantine; see [`crate::faults`].
+    ///
+    /// The armed kill is runtime-only — it is never checkpointed, and a
+    /// session resumed from a checkpoint is unarmed.
+    pub fn arm_fault_kill(&mut self, slot: Option<u64>) {
+        self.kill_at_slot = slot;
     }
 
     /// Advances the run by (at least) `max_slots` slots. Window sessions
     /// treat windows as atomic and may overshoot by up to one window;
     /// dynamic sessions clamp silent fast-forwards to the budget.
     ///
+    /// With a watchdog armed, the budget is consumed in window-bounded
+    /// chunks so stalls are detected mid-advance; chunked driving is
+    /// bit-identical to one-shot driving (the session contract), so the
+    /// watchdog never changes a run's outcome.
+    ///
     /// # Errors
-    /// Returns a [`SessionError::Parameter`] only if a cohort state factory
-    /// rejects its parameters (never after construction succeeded).
+    /// Returns [`SessionError::Stalled`] when the watchdog fires under
+    /// [`StallPolicy::Abort`], and [`SessionError::Parameter`] only if a
+    /// cohort state factory rejects its parameters (never after
+    /// construction succeeded).
     pub fn advance(&mut self, max_slots: u64) -> Result<SessionStatus, SessionError> {
+        if self.watchdog.is_none() && self.kill_at_slot.is_none() {
+            // Fast path: hand the engine the whole budget in one call.
+            self.advance_engine(max_slots)?;
+            return Ok(self.status());
+        }
+        let start = self.slot_clock();
+        loop {
+            if self.is_finished() {
+                break;
+            }
+            let spent = self.slot_clock() - start;
+            if spent >= max_slots {
+                break;
+            }
+            let mut chunk = max_slots - spent;
+            if let Some(wd) = &self.watchdog {
+                let next_check = wd.last_progress_slot.saturating_add(wd.config.window);
+                chunk = chunk.min(next_check.saturating_sub(self.slot_clock()).max(1));
+            }
+            if let Some(kill) = self.kill_at_slot {
+                assert!(
+                    self.slot_clock() < kill,
+                    "injected fault: shard killed at slot {} (armed for slot {kill})",
+                    self.slot_clock()
+                );
+                chunk = chunk.min(kill.saturating_sub(self.slot_clock()).max(1));
+            }
+            self.advance_engine(chunk)?;
+            if let Some(kill) = self.kill_at_slot {
+                assert!(
+                    self.slot_clock() < kill,
+                    "injected fault: shard killed at slot {} (armed for slot {kill})",
+                    self.slot_clock()
+                );
+            }
+            let (slot, delivered, backlog, finished) = (
+                self.slot_clock(),
+                self.delivered(),
+                self.backlog(),
+                self.is_finished(),
+            );
+            if let Some(wd) = &mut self.watchdog {
+                if delivered > wd.last_delivered || backlog == 0 {
+                    // Progress: a delivery landed, or the channel is idle
+                    // (an empty backlog cannot stall — the run is waiting
+                    // for arrivals, not spinning on collisions).
+                    wd.last_delivered = delivered;
+                    wd.last_progress_slot = slot;
+                } else if !finished
+                    && slot >= wd.last_progress_slot.saturating_add(wd.config.window)
+                {
+                    let report = StallReport {
+                        detected_at_slot: slot,
+                        last_progress_slot: wd.last_progress_slot,
+                        window: wd.config.window,
+                        delivered,
+                        backlog,
+                    };
+                    if wd.stall.is_none() {
+                        wd.stall = Some(report.clone());
+                    }
+                    // Re-arm so Report/Pause policies flag again only
+                    // after another full zero-delivery window.
+                    wd.last_progress_slot = slot;
+                    match wd.config.policy {
+                        StallPolicy::Report => {}
+                        StallPolicy::Abort => return Err(SessionError::Stalled(report)),
+                        StallPolicy::Pause => return Ok(SessionStatus::Stalled),
+                    }
+                }
+            }
+        }
+        Ok(self.status())
+    }
+
+    /// Dispatches one bounded advance to the engine core.
+    fn advance_engine(&mut self, max_slots: u64) -> Result<(), SessionError> {
         match &mut self.engine {
             EngineState::FairOneFail(core) => {
                 core.advance(max_slots, None);
@@ -579,7 +1122,21 @@ impl Session {
                 core.advance(max_slots)?;
             }
         }
-        Ok(self.status())
+        Ok(())
+    }
+
+    /// Internal name for the slot clock (the public [`Session::slot`]),
+    /// used where `self.slot()` would shadow locals.
+    fn slot_clock(&self) -> u64 {
+        on_engine!(&self.engine, core => core.slot())
+    }
+
+    /// Activated-but-undelivered messages currently contending for the
+    /// channel — the backlog the livelock watchdog monitors. For batched
+    /// sessions this equals [`Session::remaining`]; for dynamic sessions
+    /// it excludes messages that have not arrived yet.
+    pub fn backlog(&self) -> u64 {
+        on_engine!(&self.engine, core => core.backlog())
     }
 
     /// Runs the session to completion (or its slot cap) in one call.
@@ -669,25 +1226,34 @@ impl Session {
     /// [`StreamingLatencyStats::rank_error_bound`]).
     pub fn live_report(&mut self) -> DynamicReport {
         let result = self.result();
-        match self.live_stats() {
+        let mut report = match self.live_stats() {
             Some(stats) => DynamicReport::from_streaming(&result, stats),
             None => DynamicReport::from_parts(&result, Vec::new()),
-        }
+        };
+        report.stall_detected_at = self.stall().map(|s| s.detected_at_slot);
+        report
     }
 
-    /// Serialises the complete session state. Resuming from the returned
-    /// checkpoint continues **bit-identically** to the uninterrupted run.
+    /// Serialises the complete session state into an integrity-framed
+    /// buffer (magic, version, declared length, trailing digest — see
+    /// [`Checkpoint::verify`]). Resuming from the returned checkpoint
+    /// continues **bit-identically** to the uninterrupted run.
     ///
     /// # Errors
     /// Returns [`SessionError::Unsupported`] if the protocol does not
     /// expose checkpointable state (all built-in protocols do).
     pub fn checkpoint(&self) -> Result<Checkpoint, SessionError> {
-        let mut out = Encoder::new();
-        out.put_u64(CHECKPOINT_MAGIC);
-        out.put_u64(CHECKPOINT_VERSION);
+        let mut out = open_frame(CheckpointKind::Session);
         out.put_str(&self.label);
         encode_kind(&self.kind, &mut out);
         encode_options(&self.options, &mut out);
+        match &self.watchdog {
+            Some(wd) => {
+                out.put_bool(true);
+                wd.encode(&mut out);
+            }
+            None => out.put_bool(false),
+        }
         let ok = match &self.engine {
             EngineState::FairOneFail(core) => {
                 out.put_u32(0);
@@ -726,32 +1292,30 @@ impl Session {
                 "protocol does not expose checkpointable state",
             ));
         }
-        Ok(Checkpoint {
-            words: out.finish(),
-        })
+        Ok(seal_frame(out))
     }
 
-    /// Rebuilds a session from a [`Session::checkpoint`]. The resumed
-    /// session continues bit-identically to the uninterrupted original.
+    /// Rebuilds a session from a [`Session::checkpoint`]. The frame's
+    /// integrity (magic, version, length, digest) is verified **before**
+    /// any state is reconstructed. The resumed session continues
+    /// bit-identically to the uninterrupted original.
     ///
     /// # Errors
-    /// Returns a [`SessionError::Wire`] on a malformed or truncated
-    /// checkpoint.
+    /// Returns a typed [`SessionError::Integrity`] on a truncated,
+    /// corrupted, version- or kind-mismatched frame, and a
+    /// [`SessionError::Wire`] if the verified payload still fails to
+    /// decode (possible only across incompatible builds).
     pub fn resume(checkpoint: &Checkpoint) -> Result<Self, SessionError> {
-        let mut input = Decoder::new(&checkpoint.words);
-        if input.take_u64()? != CHECKPOINT_MAGIC {
-            return Err(SessionError::Wire(WireError::Malformed(
-                "not a session checkpoint (bad magic)",
-            )));
-        }
-        if input.take_u64()? != CHECKPOINT_VERSION {
-            return Err(SessionError::Wire(WireError::Malformed(
-                "unsupported checkpoint version",
-            )));
-        }
+        let payload = verify_frame(&checkpoint.words, CheckpointKind::Session)?;
+        let mut input = Decoder::new(payload);
         let label = input.take_str()?;
         let kind = decode_kind(&mut input)?;
         let options = decode_options(&mut input)?;
+        let watchdog = if input.take_bool()? {
+            Some(Watchdog::decode(&mut input)?)
+        } else {
+            None
+        };
         let scenario = options.adversary.clone();
         let engine = match input.take_u32()? {
             0 => {
@@ -828,6 +1392,8 @@ impl Session {
             kind,
             options,
             engine,
+            watchdog,
+            kill_at_slot: None,
         })
     }
 }
@@ -935,6 +1501,64 @@ fn decode_options(input: &mut Decoder<'_>) -> Result<RunOptions, WireError> {
     })
 }
 
+/// Supervision policy of a [`ShardedSession`]: how many times a failed
+/// shard is retried from its last good checkpoint before it is
+/// quarantined.
+///
+/// Retries back off deterministically: after its `n`-th failure a shard
+/// sits out `2^(n-1)` supervision rounds (capped) before it is retried —
+/// a schedule on the driver's round clock, not wall time, so supervised
+/// recovery stays bit-reproducible.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ShardSupervision {
+    /// Failures tolerated per shard before quarantine: the shard is
+    /// retried from its last good checkpoint up to this many times, then
+    /// frozen (the driver finishes the surviving shards and reports a
+    /// partial result naming the quarantined shard).
+    pub max_retries: u32,
+}
+
+impl ShardSupervision {
+    /// A supervision policy quarantining a shard after `max_retries`
+    /// failed retries.
+    pub fn new(max_retries: u32) -> Self {
+        Self { max_retries }
+    }
+}
+
+impl Default for ShardSupervision {
+    fn default() -> Self {
+        Self { max_retries: 3 }
+    }
+}
+
+/// Per-shard health ledger of a supervised [`ShardedSession`].
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ShardHealth {
+    /// Cumulative thread failures (panics) of this shard.
+    pub failures: u32,
+    /// Supervision rounds this shard still sits out before its next retry
+    /// (the deterministic backoff clock).
+    pub cooldown: u64,
+    /// True once the shard exhausted its retries and was frozen at its
+    /// last good checkpoint; a quarantined shard never runs again and the
+    /// merged result is partial (`completed = false`).
+    pub quarantined: bool,
+    /// The most recent panic message, when one was captured.
+    pub last_panic: Option<String>,
+}
+
+/// Extracts a human-readable message from a captured panic payload.
+fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
 /// N independent channels driven in parallel: stations are hashed across
 /// shards by global arrival index (salted per experiment), each shard runs
 /// its own dynamic [`Session`] on a derived RNG stream, and the per-shard
@@ -943,6 +1567,13 @@ fn decode_options(input: &mut Decoder<'_>) -> Result<RunOptions, WireError> {
 /// This models the multi-channel extension the paper's conclusions point
 /// at: throughput scales with the channel count while each channel runs
 /// the unmodified single-channel protocol.
+///
+/// The driver is fault-tolerant: shard thread panics are captured and
+/// surface as typed [`SessionError::ShardFailed`] errors, or — with
+/// [`ShardedSession::set_supervision`] armed — trigger retry from the
+/// shard's last good checkpoint with deterministic backoff and, after
+/// `max_retries` failures, quarantine (the surviving shards finish and
+/// the merged result is partial). See DESIGN.md §10.
 ///
 /// # Example
 /// ```
@@ -961,6 +1592,11 @@ fn decode_options(input: &mut Decoder<'_>) -> Result<RunOptions, WireError> {
 pub struct ShardedSession {
     label: String,
     shards: Vec<Session>,
+    supervision: Option<ShardSupervision>,
+    health: Vec<ShardHealth>,
+    /// Last checkpoint each shard successfully reached (refreshed before
+    /// every supervised round; runtime-only, rebuilt after resume).
+    last_good: Vec<Option<Checkpoint>>,
 }
 
 impl ShardedSession {
@@ -1027,9 +1663,13 @@ impl ShardedSession {
                 options,
             )?);
         }
+        let count = sessions.len();
         Ok(Self {
             label: kind.label(),
             shards: sessions,
+            supervision: None,
+            health: vec![ShardHealth::default(); count],
+            last_good: vec![None; count],
         })
     }
 
@@ -1038,32 +1678,178 @@ impl ShardedSession {
         &self.shards
     }
 
-    /// Advances every unfinished shard by (at least) `max_slots` slots,
-    /// in parallel on scoped threads (the same std-only pattern as the
-    /// experiment runner: no work queue, one thread per unfinished shard).
+    /// Arms supervision (or disarms it with `None`): shard thread panics
+    /// are captured and the shard is retried from its last good
+    /// checkpoint with deterministic exponential backoff; after
+    /// [`ShardSupervision::max_retries`] failures the shard is
+    /// quarantined and the driver degrades to a partial result.
+    ///
+    /// Unsupervised (the default), a shard panic surfaces as a typed
+    /// [`SessionError::ShardFailed`] instead of crashing the driver.
+    pub fn set_supervision(&mut self, supervision: Option<ShardSupervision>) {
+        self.supervision = supervision;
+    }
+
+    /// The armed supervision policy, if any.
+    pub fn supervision(&self) -> Option<ShardSupervision> {
+        self.supervision
+    }
+
+    /// The per-shard health ledger (shard `i` at index `i`).
+    pub fn health(&self) -> &[ShardHealth] {
+        &self.health
+    }
+
+    /// Indices of quarantined shards (empty unless supervision gave up on
+    /// a shard).
+    pub fn quarantined_shards(&self) -> Vec<u32> {
+        self.health
+            .iter()
+            .enumerate()
+            .filter(|(_, h)| h.quarantined)
+            .map(|(i, _)| i as u32)
+            .collect()
+    }
+
+    /// Arms the livelock watchdog on every shard (see
+    /// [`Session::set_watchdog`]).
+    pub fn set_watchdog(&mut self, config: Option<StallConfig>) {
+        for shard in &mut self.shards {
+            shard.set_watchdog(config);
+        }
+    }
+
+    /// Diagnostics of detected stalls, as `(shard, report)` pairs.
+    pub fn stalls(&self) -> Vec<(u32, StallReport)> {
+        self.shards
+            .iter()
+            .enumerate()
+            .filter_map(|(i, s)| s.stall().map(|r| (i as u32, r.clone())))
+            .collect()
+    }
+
+    /// **Fault injection** (deterministic chaos testing): arms a kill on
+    /// one shard's session — see [`Session::arm_fault_kill`]. The
+    /// supervised driver uses this to rehearse panic capture, retry and
+    /// quarantine.
+    pub fn arm_shard_kill(&mut self, shard: u32, slot: Option<u64>) {
+        if let Some(session) = self.shards.get_mut(shard as usize) {
+            session.arm_fault_kill(slot);
+        }
+    }
+
+    /// Advances every runnable shard by (at least) `max_slots` slots, in
+    /// parallel on scoped threads (the same std-only pattern as the
+    /// experiment runner: no work queue, one thread per runnable shard).
+    /// Quarantined shards never run.
+    ///
+    /// Shard thread panics are captured, never propagated. Unsupervised,
+    /// the first panic aborts the call with a typed
+    /// [`SessionError::ShardFailed`] (the other shards keep the progress
+    /// they made). Supervised ([`ShardedSession::set_supervision`]), the
+    /// failed shard is rolled back to its last good checkpoint and
+    /// retried after a deterministic backoff of `2^(n-1)` supervision
+    /// rounds; after `max_retries` failures it is quarantined — frozen at
+    /// its last good state — and the call keeps driving the surviving
+    /// shards, so a single bad shard degrades the fleet to a partial
+    /// result instead of sinking it.
     ///
     /// # Errors
-    /// Propagates the first shard error, if any.
+    /// Propagates the first shard engine error, and shard panics as
+    /// [`SessionError::ShardFailed`] when unsupervised.
     pub fn advance(&mut self, max_slots: u64) -> Result<SessionStatus, SessionError> {
-        let outcomes: Vec<Result<SessionStatus, SessionError>> = std::thread::scope(|scope| {
-            let handles: Vec<_> = self
-                .shards
-                .iter_mut()
-                .filter(|shard| !shard.is_finished())
-                .map(|shard| scope.spawn(move || shard.advance(max_slots)))
-                .collect();
-            handles
-                .into_iter()
-                .map(|handle| handle.join().expect("shard thread panicked"))
-                .collect()
-        });
-        for outcome in outcomes {
-            outcome?;
+        let n = self.shards.len();
+        // Shards that already served their budget for *this* call (or
+        // need no more driving).
+        let mut done = vec![false; n];
+        loop {
+            let mut eligible = vec![false; n];
+            let mut any_eligible = false;
+            let mut any_cooling = false;
+            for i in 0..n {
+                if done[i] || self.health[i].quarantined || self.shards[i].is_finished() {
+                    continue;
+                }
+                if self.health[i].cooldown > 0 {
+                    any_cooling = true;
+                    continue;
+                }
+                eligible[i] = true;
+                any_eligible = true;
+            }
+            if !any_eligible {
+                if !any_cooling {
+                    break;
+                }
+                // Every runnable shard is benched: tick the backoff clock
+                // (deterministic — rounds, not wall time) and re-check.
+                for health in &mut self.health {
+                    health.cooldown = health.cooldown.saturating_sub(1);
+                }
+                continue;
+            }
+            if self.supervision.is_some() {
+                // Refresh last-good snapshots so a retry rolls back only
+                // the failed round, not the whole call.
+                for (i, &runnable) in eligible.iter().enumerate() {
+                    if runnable {
+                        self.last_good[i] = Some(self.shards[i].checkpoint()?);
+                    }
+                }
+            }
+            let outcomes = std::thread::scope(|scope| {
+                let handles: Vec<_> = self
+                    .shards
+                    .iter_mut()
+                    .enumerate()
+                    .filter(|(i, _)| eligible[*i])
+                    .map(|(i, shard)| (i, scope.spawn(move || shard.advance(max_slots))))
+                    .collect();
+                handles
+                    .into_iter()
+                    .map(|(i, handle)| (i, handle.join()))
+                    .collect::<Vec<_>>()
+            });
+            for (i, joined) in outcomes {
+                match joined {
+                    Ok(result) => {
+                        // The shard ran its budget (or stalled/paused per
+                        // its own policy); typed errors propagate.
+                        result?;
+                        done[i] = true;
+                    }
+                    Err(payload) => {
+                        let panic = panic_message(payload);
+                        let Some(supervision) = self.supervision else {
+                            return Err(SessionError::ShardFailed {
+                                shard: i as u32,
+                                panic,
+                            });
+                        };
+                        let health = &mut self.health[i];
+                        health.failures += 1;
+                        health.last_panic = Some(panic);
+                        let last_good = self.last_good[i]
+                            .as_ref()
+                            .expect("supervised rounds snapshot before running");
+                        self.shards[i] = Session::resume(last_good)?;
+                        let health = &mut self.health[i];
+                        if health.failures > supervision.max_retries {
+                            health.quarantined = true;
+                            done[i] = true;
+                        } else {
+                            health.cooldown = 1u64 << (health.failures - 1).min(16);
+                        }
+                    }
+                }
+            }
         }
         Ok(self.status())
     }
 
-    /// Runs every shard to completion (or its cap).
+    /// Runs every shard to completion (or its cap). Under supervision a
+    /// quarantined shard does not block completion — the surviving shards
+    /// finish and the merged result is partial.
     ///
     /// # Errors
     /// Propagates the first shard error, if any.
@@ -1071,7 +1857,9 @@ impl ShardedSession {
         self.advance(u64::MAX)
     }
 
-    /// [`SessionStatus::Finished`] once every shard finished.
+    /// [`SessionStatus::Finished`] once every shard finished (quarantined
+    /// shards count as terminally finished — frozen at their last good
+    /// state).
     pub fn status(&self) -> SessionStatus {
         if self.is_finished() {
             SessionStatus::Finished
@@ -1080,9 +1868,12 @@ impl ShardedSession {
         }
     }
 
-    /// True once every shard finished.
+    /// True once every shard finished or was quarantined.
     pub fn is_finished(&self) -> bool {
-        self.shards.iter().all(Session::is_finished)
+        self.shards
+            .iter()
+            .zip(&self.health)
+            .all(|(shard, health)| shard.is_finished() || health.quarantined)
     }
 
     /// Messages delivered across all shards.
@@ -1142,52 +1933,98 @@ impl ShardedSession {
     pub fn merged_report(&mut self) -> DynamicReport {
         let result = self.merged_result();
         let stats = self.merged_stats();
-        DynamicReport::from_streaming(&result, &stats)
+        let mut report = DynamicReport::from_streaming(&result, &stats);
+        report.stall_detected_at = self
+            .shards
+            .iter()
+            .filter_map(|s| s.stall().map(|r| r.detected_at_slot))
+            .min();
+        report
     }
 
-    /// Serialises every shard's full state into one checkpoint.
+    /// Serialises every shard's full state — plus the supervision policy
+    /// and per-shard health ledger — into one integrity-framed checkpoint
+    /// (each embedded shard checkpoint carries its own frame too).
     ///
     /// # Errors
     /// Same conditions as [`Session::checkpoint`].
     pub fn checkpoint(&self) -> Result<Checkpoint, SessionError> {
-        let mut out = Encoder::new();
-        out.put_u64(SHARDED_MAGIC);
-        out.put_u64(CHECKPOINT_VERSION);
+        let mut out = open_frame(CheckpointKind::Sharded);
         out.put_str(&self.label);
-        out.put_usize(self.shards.len());
-        for shard in &self.shards {
-            out.put_words(&shard.checkpoint()?.words);
+        match &self.supervision {
+            Some(s) => {
+                out.put_bool(true);
+                out.put_u32(s.max_retries);
+            }
+            None => out.put_bool(false),
         }
-        Ok(Checkpoint {
-            words: out.finish(),
-        })
+        out.put_usize(self.shards.len());
+        for (shard, health) in self.shards.iter().zip(&self.health) {
+            out.put_words(&shard.checkpoint()?.words);
+            out.put_u32(health.failures);
+            out.put_u64(health.cooldown);
+            out.put_bool(health.quarantined);
+            match &health.last_panic {
+                Some(panic) => {
+                    out.put_bool(true);
+                    out.put_str(panic);
+                }
+                None => out.put_bool(false),
+            }
+        }
+        Ok(seal_frame(out))
     }
 
     /// Rebuilds a sharded driver from a [`ShardedSession::checkpoint`].
+    /// The frame's integrity is verified before any shard state is
+    /// reconstructed.
     ///
     /// # Errors
-    /// Returns a [`SessionError::Wire`] on a malformed checkpoint.
+    /// Returns a typed [`SessionError::Integrity`] on a truncated,
+    /// corrupted, version- or kind-mismatched frame, and a
+    /// [`SessionError::Wire`] if the verified payload still fails to
+    /// decode.
     pub fn resume(checkpoint: &Checkpoint) -> Result<Self, SessionError> {
-        let mut input = Decoder::new(&checkpoint.words);
-        if input.take_u64()? != SHARDED_MAGIC {
-            return Err(SessionError::Wire(WireError::Malformed(
-                "not a sharded-session checkpoint (bad magic)",
-            )));
-        }
-        if input.take_u64()? != CHECKPOINT_VERSION {
-            return Err(SessionError::Wire(WireError::Malformed(
-                "unsupported checkpoint version",
-            )));
-        }
+        let payload = verify_frame(&checkpoint.words, CheckpointKind::Sharded)?;
+        let mut input = Decoder::new(payload);
         let label = input.take_str()?;
+        let supervision = if input.take_bool()? {
+            Some(ShardSupervision {
+                max_retries: input.take_u32()?,
+            })
+        } else {
+            None
+        };
         let count = input.take_usize()?;
         let mut shards = Vec::with_capacity(count.min(1 << 16));
+        let mut health = Vec::with_capacity(count.min(1 << 16));
         for _ in 0..count {
             let words = input.take_words()?.to_vec();
             shards.push(Session::resume(&Checkpoint { words })?);
+            let failures = input.take_u32()?;
+            let cooldown = input.take_u64()?;
+            let quarantined = input.take_bool()?;
+            let last_panic = if input.take_bool()? {
+                Some(input.take_str()?)
+            } else {
+                None
+            };
+            health.push(ShardHealth {
+                failures,
+                cooldown,
+                quarantined,
+                last_panic,
+            });
         }
         input.finish()?;
-        Ok(Self { label, shards })
+        let last_good = vec![None; shards.len()];
+        Ok(Self {
+            label,
+            shards,
+            supervision,
+            health,
+            last_good,
+        })
     }
 }
 

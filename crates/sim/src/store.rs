@@ -1,0 +1,287 @@
+//! Durable checkpoint storage with atomic writes and last-good fallback.
+//!
+//! A [`CheckpointStore`] keeps the most recent N generations of a session
+//! (or sharded-session) checkpoint on disk. Writes go to a temporary file
+//! first and are published with an atomic rename, so a crash mid-save can
+//! tear only the temporary — never a published generation. Loads walk the
+//! generations newest-first and *verify the integrity frame*
+//! ([`crate::Checkpoint::verify`]) before handing a checkpoint back, so a
+//! generation corrupted in storage (bit rot, torn copy, hostile edit) is
+//! skipped — with the reason recorded — and the previous good generation
+//! serves the resume instead.
+//!
+//! The store is deliberately tiny: plain files named
+//! `ckpt-<generation>.mac` in one directory, no manifest, no background
+//! threads. The generation counter is recovered from the directory
+//! listing on open, so a store survives process restarts.
+
+use crate::session::Checkpoint;
+use std::fmt;
+use std::fs;
+use std::io::Write as _;
+use std::path::{Path, PathBuf};
+
+/// File-name prefix of a published generation.
+const GEN_PREFIX: &str = "ckpt-";
+/// File-name suffix of a published generation.
+const GEN_SUFFIX: &str = ".mac";
+
+/// Errors surfaced by the durable store.
+#[derive(Debug)]
+pub enum StoreError {
+    /// An underlying filesystem operation failed.
+    Io(std::io::Error),
+}
+
+impl fmt::Display for StoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StoreError::Io(e) => write!(f, "checkpoint store I/O error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for StoreError {}
+
+impl From<std::io::Error> for StoreError {
+    fn from(e: std::io::Error) -> Self {
+        StoreError::Io(e)
+    }
+}
+
+/// A generation that [`CheckpointStore::load_latest`] examined and
+/// rejected, with the reason (unreadable file, malformed bytes, or a
+/// typed integrity failure).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SkippedGeneration {
+    /// The generation number of the rejected file.
+    pub generation: u64,
+    /// Why it was rejected.
+    pub reason: String,
+}
+
+/// Outcome of [`CheckpointStore::load_latest`]: the newest generation
+/// that passed integrity verification (if any), plus every newer
+/// generation that had to be skipped.
+#[derive(Debug)]
+pub struct LoadOutcome {
+    /// The newest verified generation, as `(generation, checkpoint)`.
+    pub loaded: Option<(u64, Checkpoint)>,
+    /// Newer generations rejected on the way (newest first). A non-empty
+    /// list with a `loaded` value is the last-good fallback in action.
+    pub skipped: Vec<SkippedGeneration>,
+}
+
+/// Durable, generation-keeping storage for session checkpoints.
+#[derive(Debug)]
+pub struct CheckpointStore {
+    dir: PathBuf,
+    keep: usize,
+    next_generation: u64,
+}
+
+impl CheckpointStore {
+    /// Opens (creating if needed) a store in `dir`, keeping the most
+    /// recent `keep` generations (clamped to ≥ 2 so one torn write always
+    /// leaves a fallback).
+    ///
+    /// # Errors
+    /// Returns [`StoreError::Io`] if the directory cannot be created or
+    /// listed.
+    pub fn open(dir: impl Into<PathBuf>, keep: usize) -> Result<Self, StoreError> {
+        let dir = dir.into();
+        fs::create_dir_all(&dir)?;
+        let next_generation = list_generations(&dir)?.last().map_or(0, |g| g + 1);
+        Ok(Self {
+            dir,
+            keep: keep.max(2),
+            next_generation,
+        })
+    }
+
+    /// The store's directory.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// Published generation numbers, oldest first.
+    ///
+    /// # Errors
+    /// Returns [`StoreError::Io`] if the directory cannot be listed.
+    pub fn generations(&self) -> Result<Vec<u64>, StoreError> {
+        list_generations(&self.dir)
+    }
+
+    /// The path a generation is published at (the file may not exist).
+    pub fn path_for(&self, generation: u64) -> PathBuf {
+        self.dir
+            .join(format!("{GEN_PREFIX}{generation:020}{GEN_SUFFIX}"))
+    }
+
+    /// Publishes `checkpoint` as a new generation: write to a temporary
+    /// file, flush, then atomically rename into place — a crash mid-save
+    /// can never tear a published generation. Old generations beyond the
+    /// keep window are pruned afterwards. Returns the generation number.
+    ///
+    /// # Errors
+    /// Returns [`StoreError::Io`] on any filesystem failure.
+    pub fn save(&mut self, checkpoint: &Checkpoint) -> Result<u64, StoreError> {
+        let generation = self.next_generation;
+        let target = self.path_for(generation);
+        let temp = self.dir.join(format!(".tmp-{GEN_PREFIX}{generation:020}"));
+        {
+            let mut file = fs::File::create(&temp)?;
+            file.write_all(&checkpoint.to_bytes())?;
+            file.sync_all()?;
+        }
+        fs::rename(&temp, &target)?;
+        self.next_generation = generation + 1;
+        // Prune outside the keep window; a failed prune is not a failed
+        // save (stale files are re-pruned next time).
+        if let Ok(generations) = self.generations() {
+            if generations.len() > self.keep {
+                for old in &generations[..generations.len() - self.keep] {
+                    let _ = fs::remove_file(self.path_for(*old));
+                }
+            }
+        }
+        Ok(generation)
+    }
+
+    /// Loads the newest generation whose integrity frame verifies,
+    /// walking backwards over corrupted or unreadable generations and
+    /// recording each skip. `loaded` is `None` when the store holds no
+    /// usable generation at all.
+    ///
+    /// # Errors
+    /// Returns [`StoreError::Io`] only if the directory itself cannot be
+    /// listed — a bad individual file is a skip, not an error.
+    pub fn load_latest(&self) -> Result<LoadOutcome, StoreError> {
+        let mut skipped = Vec::new();
+        for generation in self.generations()?.into_iter().rev() {
+            let path = self.path_for(generation);
+            let reason = match fs::read(&path) {
+                Err(e) => format!("unreadable: {e}"),
+                Ok(bytes) => match Checkpoint::from_bytes(&bytes) {
+                    Err(e) => format!("malformed bytes: {e}"),
+                    Ok(checkpoint) => match checkpoint.verify() {
+                        Err(e) => format!("integrity: {e}"),
+                        Ok(_kind) => {
+                            return Ok(LoadOutcome {
+                                loaded: Some((generation, checkpoint)),
+                                skipped,
+                            });
+                        }
+                    },
+                },
+            };
+            skipped.push(SkippedGeneration { generation, reason });
+        }
+        Ok(LoadOutcome {
+            loaded: None,
+            skipped,
+        })
+    }
+}
+
+/// Lists published generation numbers in `dir`, oldest first.
+fn list_generations(dir: &Path) -> Result<Vec<u64>, StoreError> {
+    let mut generations = Vec::new();
+    for entry in fs::read_dir(dir)? {
+        let entry = entry?;
+        let name = entry.file_name();
+        let Some(name) = name.to_str() else { continue };
+        let Some(stem) = name.strip_prefix(GEN_PREFIX) else {
+            continue;
+        };
+        let Some(digits) = stem.strip_suffix(GEN_SUFFIX) else {
+            continue;
+        };
+        if let Ok(generation) = digits.parse::<u64>() {
+            generations.push(generation);
+        }
+    }
+    generations.sort_unstable();
+    Ok(generations)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::faults::scratch_dir;
+    use crate::result::RunOptions;
+    use crate::session::Session;
+    use mac_protocols::ProtocolKind;
+
+    fn checkpoint_at(slot_budget: u64) -> Checkpoint {
+        let kind = ProtocolKind::OneFailAdaptive { delta: 2.72 };
+        let mut session = Session::batched(&kind, 50, 5, &RunOptions::default()).unwrap();
+        session.advance(slot_budget).unwrap();
+        session.checkpoint().unwrap()
+    }
+
+    #[test]
+    fn save_load_round_trip_and_generation_recovery() {
+        let dir = scratch_dir("store-roundtrip");
+        let mut store = CheckpointStore::open(&dir, 3).unwrap();
+        let a = checkpoint_at(10);
+        let b = checkpoint_at(20);
+        assert_eq!(store.save(&a).unwrap(), 0);
+        assert_eq!(store.save(&b).unwrap(), 1);
+        let outcome = store.load_latest().unwrap();
+        let (generation, loaded) = outcome.loaded.unwrap();
+        assert_eq!(generation, 1);
+        assert_eq!(loaded, b);
+        assert!(outcome.skipped.is_empty());
+        // Re-open recovers the generation counter from the listing.
+        let mut reopened = CheckpointStore::open(&dir, 3).unwrap();
+        assert_eq!(reopened.save(&a).unwrap(), 2);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn corrupted_latest_falls_back_to_previous_generation() {
+        let dir = scratch_dir("store-fallback");
+        let mut store = CheckpointStore::open(&dir, 3).unwrap();
+        let good = checkpoint_at(10);
+        store.save(&good).unwrap();
+        let latest = store.save(&checkpoint_at(20)).unwrap();
+        // Flip one byte of the newest generation on disk.
+        let path = store.path_for(latest);
+        let mut bytes = fs::read(&path).unwrap();
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0x40;
+        fs::write(&path, &bytes).unwrap();
+        let outcome = store.load_latest().unwrap();
+        let (generation, loaded) = outcome.loaded.unwrap();
+        assert_eq!(generation, 0, "must fall back to the last good generation");
+        assert_eq!(loaded, good);
+        assert_eq!(outcome.skipped.len(), 1);
+        assert_eq!(outcome.skipped[0].generation, latest);
+        assert!(outcome.skipped[0].reason.contains("integrity"));
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn pruning_keeps_only_the_newest_generations() {
+        let dir = scratch_dir("store-prune");
+        let mut store = CheckpointStore::open(&dir, 2).unwrap();
+        let checkpoint = checkpoint_at(10);
+        for _ in 0..5 {
+            store.save(&checkpoint).unwrap();
+        }
+        let generations = store.generations().unwrap();
+        assert_eq!(generations, vec![3, 4]);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn empty_store_loads_nothing() {
+        let dir = scratch_dir("store-empty");
+        let store = CheckpointStore::open(&dir, 2).unwrap();
+        let outcome = store.load_latest().unwrap();
+        assert!(outcome.loaded.is_none());
+        assert!(outcome.skipped.is_empty());
+        let _ = fs::remove_dir_all(&dir);
+    }
+}

@@ -248,6 +248,12 @@ impl WindowEngineCore {
         self.remaining
     }
 
+    /// Activated, undelivered messages. Batched runs activate every
+    /// station at slot 0, so the backlog equals `remaining`.
+    pub(crate) fn backlog(&self) -> u64 {
+        self.remaining
+    }
+
     pub(crate) fn streaming_stats(&self) -> Option<&StreamingLatencyStats> {
         self.stats.as_ref()
     }

@@ -1,0 +1,439 @@
+//! Chaos suite: deterministic fault injection against the session layer.
+//!
+//! Extends the PR 7 identity contract from "resume works" to "resume
+//! works under fire" (DESIGN.md §10). Three fault families are exercised:
+//!
+//! * **Storage faults** — every single-byte corruption and every
+//!   truncation of a valid checkpoint (session and sharded framings)
+//!   must fail `resume` with a *typed* error before any state is
+//!   reconstructed; a corrupted generation in a durable store must fall
+//!   back to the previous good one.
+//! * **Process faults** — mid-run crashes (live state dropped, recovery
+//!   through the store) and shard-thread kills (panic capture, retry,
+//!   quarantine) must either recover **bit-identically** to the unbroken
+//!   twin run or degrade to a partial result naming the quarantined
+//!   shards. No panics, no silent divergence.
+//! * **Livelock** — the OFA two-cohort parity deadlock (DESIGN.md §6)
+//!   must surface as a detected stall within a bounded window instead of
+//!   burning the slot cap.
+
+use mac_channel::ArrivalModel;
+use mac_protocols::ProtocolKind;
+use mac_sim::faults::{run_batched_chaos, scratch_dir, CorruptionKind, CrashPoint, FaultPlan};
+use mac_sim::{
+    simulate, Checkpoint, CheckpointStore, IntegrityError, RunOptions, Session, SessionError,
+    SessionStatus, ShardSupervision, ShardedSession, StallConfig, StallPolicy,
+};
+
+fn ofa() -> ProtocolKind {
+    ProtocolKind::OneFailAdaptive { delta: 2.72 }
+}
+
+fn session_checkpoint() -> Checkpoint {
+    let mut session = Session::batched(&ofa(), 60, 9, &RunOptions::default()).unwrap();
+    session.advance(40).unwrap();
+    session.checkpoint().unwrap()
+}
+
+fn sharded_checkpoint() -> Checkpoint {
+    let model = ArrivalModel::Bursts {
+        bursts: vec![(0, 20), (100, 20)],
+    };
+    let mut driver = ShardedSession::new(&ofa(), &model, 5, &RunOptions::default(), 2).unwrap();
+    driver.advance(50).unwrap();
+    driver.checkpoint().unwrap()
+}
+
+/// Resuming `bytes` under the right driver must fail with a typed error —
+/// never a panic, never an `Ok`.
+fn assert_typed_rejection(bytes: &[u8], sharded: bool, what: &str) {
+    match Checkpoint::from_bytes(bytes) {
+        Err(SessionError::Wire(_)) => {} // byte length not a word multiple: typed
+        Err(other) => panic!("{what}: unexpected from_bytes error {other}"),
+        Ok(checkpoint) => {
+            let result = if sharded {
+                ShardedSession::resume(&checkpoint).map(|_| ())
+            } else {
+                Session::resume(&checkpoint).map(|_| ())
+            };
+            match result {
+                Err(SessionError::Integrity(_)) | Err(SessionError::Wire(_)) => {}
+                Err(other) => panic!("{what}: unexpected resume error {other}"),
+                Ok(()) => panic!("{what}: corrupted checkpoint resumed successfully"),
+            }
+        }
+    }
+}
+
+#[test]
+fn every_single_byte_corruption_is_rejected_with_a_typed_error() {
+    for (checkpoint, sharded) in [(session_checkpoint(), false), (sharded_checkpoint(), true)] {
+        let bytes = checkpoint.to_bytes();
+        for offset in 0..bytes.len() {
+            // One bit per byte keeps the sweep exhaustive over bytes yet
+            // fast; the digest's per-word bijective mixing guarantees any
+            // single-word change flips it (proved in mac_prob::wire), so
+            // the bit choice is immaterial — vary it anyway.
+            let bit = (offset % 8) as u8;
+            let mut corrupted = bytes.clone();
+            corrupted[offset] ^= 1 << bit;
+            assert_typed_rejection(&corrupted, sharded, &format!("byte {offset} flipped"));
+        }
+    }
+}
+
+#[test]
+fn every_truncation_is_rejected_with_a_typed_error() {
+    for (checkpoint, sharded) in [(session_checkpoint(), false), (sharded_checkpoint(), true)] {
+        let bytes = checkpoint.to_bytes();
+        for len in 0..bytes.len() {
+            assert_typed_rejection(&bytes[..len], sharded, &format!("truncated to {len} bytes"));
+        }
+    }
+}
+
+#[test]
+fn integrity_errors_carry_actionable_diagnostics() {
+    let checkpoint = session_checkpoint();
+    let words = checkpoint.words();
+
+    // Version word (index 1) bumped: a {found, expected} version error,
+    // reported before the digest gets a chance to call it "corrupt".
+    let mut bumped = words.to_vec();
+    bumped[1] += 1;
+    let bumped = Checkpoint::from_bytes(&mac_prob::wire::words_to_bytes(&bumped)).unwrap();
+    match Session::resume(&bumped).unwrap_err() {
+        SessionError::Integrity(IntegrityError::VersionMismatch {
+            found, expected, ..
+        }) => {
+            assert_eq!(found, expected + 1);
+        }
+        other => panic!("unexpected error: {other}"),
+    }
+
+    // A session frame fed to the sharded resume (and vice versa): a kind
+    // mismatch naming both sides, not garbage decoding.
+    match ShardedSession::resume(&checkpoint).unwrap_err() {
+        SessionError::Integrity(IntegrityError::KindMismatch { .. }) => {}
+        other => panic!("unexpected error: {other}"),
+    }
+    match Session::resume(&sharded_checkpoint()).unwrap_err() {
+        SessionError::Integrity(IntegrityError::KindMismatch { .. }) => {}
+        other => panic!("unexpected error: {other}"),
+    }
+
+    // Payload corruption: a digest mismatch carrying both digests.
+    let mut corrupt = words.to_vec();
+    let mid = corrupt.len() / 2;
+    corrupt[mid] ^= 1;
+    let corrupt = Checkpoint::from_bytes(&mac_prob::wire::words_to_bytes(&corrupt)).unwrap();
+    match Session::resume(&corrupt).unwrap_err() {
+        SessionError::Integrity(IntegrityError::Corrupt {
+            stored_digest,
+            computed_digest,
+        }) => assert_ne!(stored_digest, computed_digest),
+        other => panic!("unexpected error: {other}"),
+    }
+}
+
+#[test]
+fn chaos_recovery_is_bit_identical_to_the_unbroken_twin() {
+    let kind = ofa();
+    let (k, seed) = (400, 23);
+    let options = RunOptions::default();
+    let twin = simulate(&kind, k, seed).unwrap();
+    let mut twin_session = Session::batched(&kind, k, seed, &options).unwrap();
+    twin_session.run_to_completion().unwrap();
+    let twin_p50 = twin_session.live_stats().map(|s| s.quantile(0.5));
+
+    // Clean crash, crash + bit rot, crash + torn write, and a pile-up of
+    // all three: every plan must recover to the identical result + sketch.
+    let plans = [
+        FaultPlan {
+            seed: 1,
+            crashes: vec![CrashPoint {
+                at_slot: 300,
+                corrupt: None,
+            }],
+            shard_kills: vec![],
+        },
+        FaultPlan {
+            seed: 2,
+            crashes: vec![CrashPoint {
+                at_slot: 250,
+                corrupt: Some(CorruptionKind::FlipByte),
+            }],
+            shard_kills: vec![],
+        },
+        FaultPlan {
+            seed: 3,
+            crashes: vec![CrashPoint {
+                at_slot: 500,
+                corrupt: Some(CorruptionKind::Truncate),
+            }],
+            shard_kills: vec![],
+        },
+        FaultPlan {
+            seed: 4,
+            crashes: vec![
+                CrashPoint {
+                    at_slot: 150,
+                    corrupt: None,
+                },
+                CrashPoint {
+                    at_slot: 400,
+                    corrupt: Some(CorruptionKind::FlipByte),
+                },
+                CrashPoint {
+                    at_slot: 700,
+                    corrupt: Some(CorruptionKind::Truncate),
+                },
+            ],
+            shard_kills: vec![],
+        },
+    ];
+    for plan in plans {
+        let dir = scratch_dir("chaos-twin");
+        let report = run_batched_chaos(&kind, k, seed, &options, &plan, &dir, 120, None).unwrap();
+        assert_eq!(report.crashes_fired, plan.crashes.len() as u64);
+        if plan.crashes.iter().any(|c| c.corrupt.is_some()) {
+            assert!(
+                report.corrupt_generations_skipped > 0,
+                "plan {}: corruption must actually force a fallback",
+                plan.seed
+            );
+        }
+        assert_eq!(
+            report.result, twin,
+            "plan {}: recovery must be bit-identical",
+            plan.seed
+        );
+        assert_eq!(
+            report.p50_latency, twin_p50,
+            "plan {}: sketch too",
+            plan.seed
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}
+
+#[test]
+fn unsupervised_shard_panic_returns_a_typed_error() {
+    let model = ArrivalModel::Bursts {
+        bursts: vec![(0, 30), (50, 30)],
+    };
+    let mut driver = ShardedSession::new(&ofa(), &model, 7, &RunOptions::default(), 2).unwrap();
+    driver.arm_shard_kill(1, Some(20));
+    match driver.run_to_completion().unwrap_err() {
+        SessionError::ShardFailed { shard, panic } => {
+            assert_eq!(shard, 1);
+            assert!(panic.contains("injected fault"), "payload: {panic}");
+        }
+        other => panic!("unexpected error: {other}"),
+    }
+}
+
+#[test]
+fn supervised_shard_kill_recovers_bit_identically() {
+    let kind = ofa();
+    let model = ArrivalModel::Bursts {
+        bursts: vec![(0, 30), (50, 30), (500, 20)],
+    };
+    let options = RunOptions::default();
+    let mut twin = ShardedSession::new(&kind, &model, 7, &options, 2).unwrap();
+    twin.run_to_completion().unwrap();
+    let twin_result = twin.merged_result();
+    let twin_stats = twin.merged_stats();
+
+    let mut driver = ShardedSession::new(&kind, &model, 7, &options, 2).unwrap();
+    driver.set_supervision(Some(ShardSupervision::new(3)));
+    driver.arm_shard_kill(1, Some(40));
+    let status = driver.run_to_completion().unwrap();
+    assert_eq!(status, SessionStatus::Finished);
+    assert_eq!(driver.health()[1].failures, 1, "the kill fired once");
+    assert!(driver.health()[1].last_panic.is_some());
+    assert!(driver.quarantined_shards().is_empty());
+    assert_eq!(
+        driver.merged_result(),
+        twin_result,
+        "retry from the last good checkpoint must be bit-identical"
+    );
+    let merged = driver.merged_stats();
+    assert_eq!(merged.count(), twin_stats.count());
+    assert_eq!(merged.quantile(0.5), twin_stats.quantile(0.5));
+    assert_eq!(merged.quantile(0.95), twin_stats.quantile(0.95));
+}
+
+#[test]
+fn exhausted_retries_quarantine_the_shard_and_degrade_gracefully() {
+    let kind = ofa();
+    let model = ArrivalModel::Bursts {
+        bursts: vec![(0, 30), (50, 30)],
+    };
+    let options = RunOptions::default();
+    let mut driver = ShardedSession::new(&kind, &model, 7, &options, 2).unwrap();
+    // Zero retries: the first failure quarantines the shard. (The armed
+    // kill dies with the replaced session object, so any retry would
+    // succeed — max_retries = 0 forces the quarantine path.)
+    driver.set_supervision(Some(ShardSupervision::new(0)));
+    driver.arm_shard_kill(0, Some(25));
+    let status = driver.run_to_completion().unwrap();
+    assert_eq!(status, SessionStatus::Finished, "survivors must finish");
+    assert_eq!(driver.quarantined_shards(), vec![0]);
+    assert!(driver.health()[0].quarantined);
+    let result = driver.merged_result();
+    assert!(
+        !result.completed,
+        "a quarantined shard must surface as a partial result"
+    );
+    assert!(
+        result.delivered > 0,
+        "the surviving shard's deliveries are still reported"
+    );
+    // The quarantined shard is frozen at its last good checkpoint, before
+    // the kill slot.
+    assert!(driver.shards()[0].slot() <= 25);
+    assert!(driver.shards()[1].is_finished());
+}
+
+#[test]
+fn sharded_checkpoint_preserves_supervision_and_health() {
+    let model = ArrivalModel::Bursts {
+        bursts: vec![(0, 30), (50, 30)],
+    };
+    let mut driver = ShardedSession::new(&ofa(), &model, 7, &RunOptions::default(), 2).unwrap();
+    driver.set_supervision(Some(ShardSupervision::new(0)));
+    driver.arm_shard_kill(0, Some(25));
+    driver.run_to_completion().unwrap();
+    assert_eq!(driver.quarantined_shards(), vec![0]);
+
+    let resumed = ShardedSession::resume(&driver.checkpoint().unwrap()).unwrap();
+    assert_eq!(resumed.supervision(), Some(ShardSupervision::new(0)));
+    assert_eq!(resumed.health(), driver.health());
+    assert_eq!(resumed.quarantined_shards(), vec![0]);
+    assert!(resumed.is_finished(), "quarantine survives the round trip");
+}
+
+#[test]
+fn watchdog_detects_the_ofa_parity_deadlock_within_a_bounded_window() {
+    // DESIGN.md §6: two σ = 0 cohorts straddling both parities lock
+    // One-fail Adaptive's BT phase at p = 1 — every slot collides, zero
+    // deliveries, forever. Without a watchdog this burns the full slot
+    // cap; the regression turns the documented anecdote into a check
+    // that the stall is *detected* within a bounded window.
+    let kind = ofa();
+    let model = ArrivalModel::Bursts {
+        bursts: vec![(0, 40), (1, 40)],
+    };
+    let options = RunOptions {
+        slot_cap_per_message: 100,
+        min_slot_cap: 50_000,
+        ..RunOptions::default()
+    };
+    let window = 2_000u64;
+
+    // Abort policy: the run stops with diagnostics instead of spinning.
+    let mut session = Session::dynamic(&kind, &model, 3, &options).unwrap();
+    session.set_watchdog(Some(StallConfig::new(window, StallPolicy::Abort)));
+    match session.run_to_completion().unwrap_err() {
+        SessionError::Stalled(report) => {
+            assert!(
+                report.detected_at_slot <= report.last_progress_slot + 2 * window,
+                "detection within two windows of the last progress: {report}"
+            );
+            assert!(
+                report.detected_at_slot < options.max_slots(80),
+                "the watchdog must beat the slot-cap timeout"
+            );
+            assert!(report.backlog > 0, "a stall needs a backlog: {report}");
+        }
+        other => panic!("unexpected error: {other}"),
+    }
+
+    // Report policy: the run proceeds to its cap, the stall is recorded
+    // and surfaced in the dynamic report.
+    let mut session = Session::dynamic(&kind, &model, 3, &options).unwrap();
+    session.set_watchdog(Some(StallConfig::new(window, StallPolicy::Report)));
+    session.run_to_completion().unwrap();
+    let stall = session
+        .stall()
+        .expect("the deadlock must be flagged")
+        .clone();
+    assert!(stall.detected_at_slot <= stall.last_progress_slot + 2 * window);
+    let report = session.live_report();
+    assert_eq!(report.stall_detected_at, Some(stall.detected_at_slot));
+
+    // Pause policy: advance hands control back with a checkpointable
+    // session; resuming carries the watchdog state.
+    let mut session = Session::dynamic(&kind, &model, 3, &options).unwrap();
+    session.set_watchdog(Some(StallConfig::new(window, StallPolicy::Pause)));
+    let status = session.advance(u64::MAX).unwrap();
+    assert_eq!(status, SessionStatus::Stalled);
+    let resumed = Session::resume(&session.checkpoint().unwrap()).unwrap();
+    assert!(
+        resumed.stall().is_some(),
+        "stall diagnostics survive resume"
+    );
+    assert_eq!(
+        resumed.watchdog(),
+        Some(StallConfig::new(window, StallPolicy::Pause))
+    );
+}
+
+#[test]
+fn watchdog_never_perturbs_a_healthy_run() {
+    // Bit-identity: an armed watchdog (chunked advances) must not change
+    // the run — results and sketches match the unarmed twin exactly.
+    let kind = ofa();
+    let (k, seed) = (500, 31);
+    let options = RunOptions::default();
+    let mut plain = Session::batched(&kind, k, seed, &options).unwrap();
+    plain.run_to_completion().unwrap();
+
+    let mut watched = Session::batched(&kind, k, seed, &options).unwrap();
+    watched.set_watchdog(Some(StallConfig::new(1_000, StallPolicy::Abort)));
+    let result = watched.run_to_completion().unwrap();
+    assert_eq!(result, plain.result());
+    assert_eq!(
+        watched.live_stats().map(|s| s.quantile(0.5)),
+        plain.live_stats().map(|s| s.quantile(0.5))
+    );
+    assert!(watched.stall().is_none(), "healthy runs never stall");
+
+    // Dynamic runs idle between bursts; an idle channel must not count
+    // as a stall (the backlog, not `remaining`, gates the window).
+    let model = ArrivalModel::Bursts {
+        bursts: vec![(0, 20), (10_000, 20)],
+    };
+    let mut dynamic = Session::dynamic(&kind, &model, 5, &options).unwrap();
+    dynamic.set_watchdog(Some(StallConfig::new(100, StallPolicy::Abort)));
+    dynamic
+        .run_to_completion()
+        .expect("a 10k-slot arrival gap is idleness, not livelock");
+    assert!(dynamic.stall().is_none());
+}
+
+#[test]
+fn store_fallback_survives_a_corrupted_generation() {
+    let dir = scratch_dir("chaos-store");
+    let mut store = CheckpointStore::open(&dir, 3).unwrap();
+    let mut session = Session::batched(&ofa(), 200, 13, &RunOptions::default()).unwrap();
+    session.advance(100).unwrap();
+    store.save(&session.checkpoint().unwrap()).unwrap();
+    session.advance(100).unwrap();
+    let bad = store.save(&session.checkpoint().unwrap()).unwrap();
+
+    // Torn write: the newest generation loses its tail.
+    let path = store.path_for(bad);
+    let bytes = std::fs::read(&path).unwrap();
+    std::fs::write(&path, &bytes[..bytes.len() / 2]).unwrap();
+
+    let outcome = store.load_latest().unwrap();
+    let (generation, checkpoint) = outcome.loaded.expect("previous generation is good");
+    assert_eq!(generation, bad - 1);
+    assert_eq!(outcome.skipped.len(), 1);
+    let mut recovered = Session::resume(&checkpoint).unwrap();
+    recovered.run_to_completion().unwrap();
+    assert_eq!(recovered.result(), simulate(&ofa(), 200, 13).unwrap());
+    let _ = std::fs::remove_dir_all(&dir);
+}
