@@ -32,6 +32,9 @@
 
 use crate::model::{AdversaryModel, JamTrigger};
 use serde::{Deserialize, Serialize};
+// lint:allow(nondeterminism-bans): both tables below are insert/lookup
+// only — never iterated — so hash order cannot reach any result.
+#[allow(clippy::disallowed_types)]
 use std::collections::HashMap;
 
 /// A resumable adversary-vs-protocol game over one simulated run.
@@ -140,6 +143,9 @@ pub struct ExhaustiveOutcome {
 /// memoisation on (state, remaining budget).
 pub fn exhaustive_worst_case(game: &dyn AdversaryGame, budget: u64) -> ExhaustiveOutcome {
     let mut stats = SearchStats::default();
+    // lint:allow(nondeterminism-bans): memo is get/insert only, never
+    // iterated; dedup hits depend on keys alone, not hash order.
+    #[allow(clippy::disallowed_types)]
     let mut memo: HashMap<Vec<u64>, Play> = HashMap::new();
     let mut dedup_available = true;
     let (makespan, completed, jam_slots) = explore(
@@ -158,9 +164,11 @@ pub fn exhaustive_worst_case(game: &dyn AdversaryGame, budget: u64) -> Exhaustiv
     }
 }
 
+#[allow(clippy::disallowed_types)]
 fn explore(
     mut game: Box<dyn AdversaryGame>,
     budget: u64,
+    // lint:allow(nondeterminism-bans): get/insert only, never iterated.
     memo: &mut HashMap<Vec<u64>, Play>,
     dedup_available: &mut bool,
     stats: &mut SearchStats,
@@ -366,6 +374,10 @@ where
 
     // Initial periodic grid. Period 2 is deliberately absent (see above);
     // mutations from 1, 3 and 4 all reach it in one step.
+    // lint:allow(nondeterminism-bans): visited-set semantics — contains_key
+    // and insert only, never iterated; beam order comes from the sorted
+    // `beam` vector, not from this table.
+    #[allow(clippy::disallowed_types)]
     let mut seen: HashMap<ParamSchedule, u64> = HashMap::new();
     let mut beam: Vec<(ParamSchedule, u64)> = Vec::new();
     let mut grid: Vec<ParamSchedule> = Vec::new();

@@ -72,6 +72,10 @@ impl AdversaryState {
         Self {
             jamming: scenario.jamming.normalised(),
             feedback: scenario.feedback,
+            // lint:allow(rng-stream-discipline): every simulator hands this
+            // constructor derive_seed(run_seed, &[ADVERSARY_STREAM]); deriving
+            // again here would shift the stream and break the inert-adversary
+            // bit-identity guarantee against committed certificates.
             rng: Xoshiro256pp::seed_from_u64(seed),
             budget_left,
             schedule_cursor: 0,

@@ -51,6 +51,8 @@ fn main() {
     let k = parse_flag(&args, "--k").unwrap_or(20_000);
     let kind = ProtocolKind::OneFailAdaptive { delta: 2.72 };
     let options = RunOptions::default();
+    // Bench harness wall-clock timing: reported, never fed back into results.
+    #[allow(clippy::disallowed_methods)]
     let started = Instant::now();
 
     // 1. Crash + corruption recovery against the durable store.

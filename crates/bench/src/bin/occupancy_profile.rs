@@ -11,6 +11,8 @@ use std::time::Instant;
 fn time<F: FnMut()>(label: &str, reps: u32, mut f: F) {
     // Warm-up.
     f();
+    // Bench harness wall-clock timing: reported, never fed back into results.
+    #[allow(clippy::disallowed_methods)]
     let started = Instant::now();
     for _ in 0..reps {
         f();

@@ -91,6 +91,8 @@ struct Point {
 fn measure<F: FnMut(u64) -> u64>(reps: u64, mut run: F) -> (u64, f64) {
     let mut best: Option<(u64, f64)> = None;
     for rep in 0..reps {
+        // Bench harness wall-clock timing: reported, never fed back into results.
+        #[allow(clippy::disallowed_methods)]
         let started = Instant::now();
         let slots = run(rep);
         let seconds = started.elapsed().as_secs_f64().max(1e-12);

@@ -68,6 +68,8 @@ fn main() {
     };
     let options = RunOptions::default();
 
+    // Bench harness wall-clock timing: reported, never fed back into results.
+    #[allow(clippy::disallowed_methods)]
     let started = Instant::now();
     let mut unbroken = Session::dynamic(&kind, &model, seed, &options).unwrap();
     unbroken.run_to_completion().unwrap();

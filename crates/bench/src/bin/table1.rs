@@ -22,6 +22,8 @@ fn main() {
         experiment.master_seed
     );
 
+    // Bench harness wall-clock timing: reported, never fed back into results.
+    #[allow(clippy::disallowed_methods)]
     let started = std::time::Instant::now();
     let results = experiment.run().expect("paper parameters are valid");
     eprintln!("sweep finished in {:.1?}", started.elapsed());

@@ -70,6 +70,10 @@ impl ArrivalStream {
     pub fn new(model: &ArrivalModel, seed: u64) -> Self {
         Self {
             model: normalise(model),
+            // lint:allow(rng-stream-discipline): the dynamic driver passes
+            // derive_seed(run_seed, &[ARRIVAL_STREAM]) so the stream replays
+            // ArrivalModel::sample bit-for-bit; a second derivation here
+            // would desynchronise the two.
             rng: Xoshiro256pp::seed_from_u64(seed),
             cursor: 0,
             pending: None,
@@ -316,6 +320,10 @@ impl ShardedArrivalStream {
 
     /// The shard a message with the given global index belongs to.
     pub fn shard_of(salt: u64, index: u64, shards: u32) -> u32 {
+        // lint:allow(rng-stream-discipline): stateless hash mixer, not a
+        // random stream — one SplitMix64 step scrambles (salt, index) into a
+        // shard id and the generator is discarded; there is no stream to
+        // derive.
         let mixed = SplitMix64::new(salt ^ index.wrapping_mul(0x9E37_79B9_7F4A_7C15)).next();
         (mixed % u64::from(shards)) as u32
     }

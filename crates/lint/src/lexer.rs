@@ -1,0 +1,443 @@
+//! A hand-rolled Rust lexer, sufficient for rule scanning.
+//!
+//! This is not a full Rust lexer: it produces identifiers, numbers, string
+//! and char literals, lifetimes and single-character punctuation, and it
+//! *discards* comments into a side list (with their line numbers and
+//! whether code preceded them on the same line — which is how the
+//! `lint:allow` annotations are attached to targets). What it must get
+//! exactly right, and is tested for, is everything that could desynchronise
+//! a scanner: nested block comments, raw strings with arbitrary `#` fences,
+//! byte strings, char literals containing delimiters (`'{'`, `'\''`) versus
+//! lifetimes, and escapes inside ordinary strings.
+
+/// A lexical token with its 1-based source line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Token {
+    pub kind: TokenKind,
+    pub text: String,
+    pub line: u32,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokenKind {
+    Ident,
+    Number,
+    Str,
+    Char,
+    Lifetime,
+    /// Any single punctuation character (`::` is two `:` tokens).
+    Punct,
+}
+
+/// A comment stripped from the token stream.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Comment {
+    /// Line the comment starts on.
+    pub line: u32,
+    /// Comment body without the `//`/`/*` markers (block comments keep
+    /// their interior verbatim, including newlines).
+    pub text: String,
+    /// True if a token started on the same line before this comment.
+    pub code_before: bool,
+    /// True for doc comments (`///`, `//!`, `/** */`, `/*! */`), which
+    /// are documentation text, never lint annotations.
+    pub doc: bool,
+}
+
+/// Lexer output: the token stream plus the stripped comments.
+#[derive(Debug, Default)]
+pub struct Lexed {
+    pub tokens: Vec<Token>,
+    pub comments: Vec<Comment>,
+}
+
+/// Tokenizes Rust source. Never panics on malformed input; an unterminated
+/// literal simply consumes to end of file.
+pub fn lex(source: &str) -> Lexed {
+    let bytes = source.as_bytes();
+    let mut out = Lexed::default();
+    let mut i = 0usize;
+    let mut line: u32 = 1;
+    // Line on which the most recent token started (for `code_before`).
+    let mut last_token_line: u32 = 0;
+
+    while i < bytes.len() {
+        let b = bytes[i];
+        match b {
+            b'\n' => {
+                line += 1;
+                i += 1;
+            }
+            b' ' | b'\t' | b'\r' => i += 1,
+            b'/' if bytes.get(i + 1) == Some(&b'/') => {
+                let start = i + 2;
+                let mut j = start;
+                while j < bytes.len() && bytes[j] != b'\n' {
+                    j += 1;
+                }
+                let text = &source[start..j];
+                out.comments.push(Comment {
+                    line,
+                    text: text.to_string(),
+                    code_before: last_token_line == line,
+                    doc: text.starts_with('/') || text.starts_with('!'),
+                });
+                i = j;
+            }
+            b'/' if bytes.get(i + 1) == Some(&b'*') => {
+                let comment_line = line;
+                let start = i + 2;
+                let mut depth = 1u32;
+                let mut j = start;
+                while j < bytes.len() && depth > 0 {
+                    if bytes[j] == b'\n' {
+                        line += 1;
+                        j += 1;
+                    } else if bytes[j] == b'/' && bytes.get(j + 1) == Some(&b'*') {
+                        depth += 1;
+                        j += 2;
+                    } else if bytes[j] == b'*' && bytes.get(j + 1) == Some(&b'/') {
+                        depth -= 1;
+                        j += 2;
+                    } else {
+                        j += 1;
+                    }
+                }
+                let end = j.saturating_sub(2).max(start);
+                let text = &source[start..end];
+                out.comments.push(Comment {
+                    line: comment_line,
+                    text: text.to_string(),
+                    code_before: last_token_line == comment_line,
+                    doc: text.starts_with('*') || text.starts_with('!'),
+                });
+                i = j;
+            }
+            b'r' | b'b' if is_raw_string_start(bytes, i) => {
+                let token_line = line;
+                let (j, newlines) = consume_raw_string(bytes, i);
+                line += newlines;
+                push(&mut out.tokens, TokenKind::Str, "", token_line);
+                last_token_line = token_line;
+                i = j;
+            }
+            b'b' if bytes.get(i + 1) == Some(&b'\'') => {
+                let token_line = line;
+                i = consume_char_literal(bytes, i + 1);
+                push(&mut out.tokens, TokenKind::Char, "", token_line);
+                last_token_line = token_line;
+            }
+            b'b' if bytes.get(i + 1) == Some(&b'"') => {
+                let token_line = line;
+                let (j, newlines) = consume_string(bytes, i + 1);
+                line += newlines;
+                push(&mut out.tokens, TokenKind::Str, "", token_line);
+                last_token_line = token_line;
+                i = j;
+            }
+            b'"' => {
+                let token_line = line;
+                let (j, newlines) = consume_string(bytes, i);
+                line += newlines;
+                push(&mut out.tokens, TokenKind::Str, "", token_line);
+                last_token_line = token_line;
+                i = j;
+            }
+            b'\'' => {
+                // Lifetime vs char literal: `'x` followed by another ident
+                // char, or not closed by a quote right after one element,
+                // is a lifetime (`'a`, `'static`); otherwise a char literal
+                // (`'a'`, `'\n'`, `'{'`).
+                if is_lifetime(bytes, i) {
+                    let start = i + 1;
+                    let mut j = start;
+                    while j < bytes.len() && is_ident_continue(bytes[j]) {
+                        j += 1;
+                    }
+                    push(
+                        &mut out.tokens,
+                        TokenKind::Lifetime,
+                        &source[start..j],
+                        line,
+                    );
+                    last_token_line = line;
+                    i = j;
+                } else {
+                    let token_line = line;
+                    i = consume_char_literal(bytes, i);
+                    push(&mut out.tokens, TokenKind::Char, "", token_line);
+                    last_token_line = token_line;
+                }
+            }
+            _ if is_ident_start(b) => {
+                let start = i;
+                let mut j = i;
+                while j < bytes.len() && is_ident_continue(bytes[j]) {
+                    j += 1;
+                }
+                push(&mut out.tokens, TokenKind::Ident, &source[start..j], line);
+                last_token_line = line;
+                i = j;
+            }
+            b'0'..=b'9' => {
+                let start = i;
+                let mut j = i;
+                while j < bytes.len() {
+                    let c = bytes[j];
+                    if is_ident_continue(c) {
+                        j += 1;
+                    } else if c == b'.'
+                        && bytes.get(j + 1).is_some_and(u8::is_ascii_digit)
+                        && !source[start..j].contains('.')
+                    {
+                        // One decimal point, only when followed by a digit —
+                        // `1.0` lexes whole, `0..n` leaves the range tokens.
+                        j += 1;
+                    } else {
+                        break;
+                    }
+                }
+                push(&mut out.tokens, TokenKind::Number, &source[start..j], line);
+                last_token_line = line;
+                i = j;
+            }
+            _ => {
+                // Multi-byte UTF-8 (e.g. κ in doc text that leaked into
+                // code — none today) is consumed as punct bytes; harmless.
+                push(
+                    &mut out.tokens,
+                    TokenKind::Punct,
+                    &source[i..i + utf8_len(b)],
+                    line,
+                );
+                last_token_line = line;
+                i += utf8_len(b);
+            }
+        }
+    }
+    out
+}
+
+fn push(tokens: &mut Vec<Token>, kind: TokenKind, text: &str, line: u32) {
+    tokens.push(Token {
+        kind,
+        text: text.to_string(),
+        line,
+    });
+}
+
+fn utf8_len(b: u8) -> usize {
+    match b {
+        0x00..=0x7F => 1,
+        0xC0..=0xDF => 2,
+        0xE0..=0xEF => 3,
+        _ => 4,
+    }
+}
+
+fn is_ident_start(b: u8) -> bool {
+    b.is_ascii_alphabetic() || b == b'_'
+}
+
+fn is_ident_continue(b: u8) -> bool {
+    b.is_ascii_alphanumeric() || b == b'_'
+}
+
+/// True at `r"`, `r#`, `br"`, `br#` — the start of a raw (byte) string.
+fn is_raw_string_start(bytes: &[u8], i: usize) -> bool {
+    let j = if bytes[i] == b'b' { i + 1 } else { i };
+    if bytes.get(j) != Some(&b'r') {
+        return false;
+    }
+    matches!(bytes.get(j + 1), Some(&b'"') | Some(&b'#'))
+}
+
+/// Consumes `r#"…"#`-style strings; returns (index after, newline count).
+fn consume_raw_string(bytes: &[u8], mut i: usize) -> (usize, u32) {
+    if bytes[i] == b'b' {
+        i += 1;
+    }
+    i += 1; // the `r`
+    let mut fence = 0usize;
+    while bytes.get(i) == Some(&b'#') {
+        fence += 1;
+        i += 1;
+    }
+    debug_assert_eq!(bytes.get(i), Some(&b'"'));
+    i += 1;
+    let mut newlines = 0u32;
+    while i < bytes.len() {
+        if bytes[i] == b'\n' {
+            newlines += 1;
+            i += 1;
+        } else if bytes[i] == b'"' {
+            let mut j = i + 1;
+            let mut seen = 0usize;
+            while seen < fence && bytes.get(j) == Some(&b'#') {
+                seen += 1;
+                j += 1;
+            }
+            if seen == fence {
+                return (j, newlines);
+            }
+            i += 1;
+        } else {
+            i += 1;
+        }
+    }
+    (i, newlines)
+}
+
+/// Consumes a `"…"` string starting at the opening quote.
+fn consume_string(bytes: &[u8], mut i: usize) -> (usize, u32) {
+    debug_assert_eq!(bytes[i], b'"');
+    i += 1;
+    let mut newlines = 0u32;
+    while i < bytes.len() {
+        match bytes[i] {
+            b'\\' => i += 2,
+            b'\n' => {
+                newlines += 1;
+                i += 1;
+            }
+            b'"' => return (i + 1, newlines),
+            _ => i += 1,
+        }
+    }
+    (i, newlines)
+}
+
+/// Consumes a `'…'` char literal starting at the opening quote.
+fn consume_char_literal(bytes: &[u8], mut i: usize) -> usize {
+    debug_assert_eq!(bytes[i], b'\'');
+    i += 1;
+    while i < bytes.len() {
+        match bytes[i] {
+            b'\\' => i += 2,
+            b'\'' => return i + 1,
+            _ => i += 1,
+        }
+    }
+    i
+}
+
+/// Disambiguates a lifetime from a char literal at a `'`.
+fn is_lifetime(bytes: &[u8], i: usize) -> bool {
+    let Some(&first) = bytes.get(i + 1) else {
+        return false;
+    };
+    if !is_ident_start(first) {
+        return false; // escape or punctuation: char literal
+    }
+    // `'a'` is a char literal; `'ab`, `'a,`, `'a>` are lifetimes.
+    bytes.get(i + 2) != Some(&b'\'')
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn idents(src: &str) -> Vec<String> {
+        lex(src)
+            .tokens
+            .into_iter()
+            .filter(|t| t.kind == TokenKind::Ident)
+            .map(|t| t.text)
+            .collect()
+    }
+
+    #[test]
+    fn basic_tokens_and_lines() {
+        let lexed = lex("fn main() {\n    let x = 1.5;\n}\n");
+        let kinds: Vec<_> = lexed.tokens.iter().map(|t| (t.kind, t.line)).collect();
+        assert_eq!(kinds[0], (TokenKind::Ident, 1));
+        let num = lexed
+            .tokens
+            .iter()
+            .find(|t| t.kind == TokenKind::Number)
+            .unwrap();
+        assert_eq!(num.text, "1.5");
+        assert_eq!(num.line, 2);
+    }
+
+    #[test]
+    fn char_literals_with_delimiters_do_not_desync() {
+        // A naive scanner would count the braces inside the literals.
+        let lexed = lex("let a = '{'; let b = '}'; let c = '\\''; let d = b'x';");
+        let braces: Vec<_> = lexed
+            .tokens
+            .iter()
+            .filter(|t| t.text == "{" || t.text == "}")
+            .collect();
+        assert!(braces.is_empty(), "chars leaked as braces: {braces:?}");
+        assert_eq!(
+            lexed
+                .tokens
+                .iter()
+                .filter(|t| t.kind == TokenKind::Char)
+                .count(),
+            4
+        );
+    }
+
+    #[test]
+    fn lifetimes_are_distinguished_from_chars() {
+        let lexed = lex("fn f<'a>(x: &'a str) -> &'static str { x }");
+        let lifetimes: Vec<_> = lexed
+            .tokens
+            .iter()
+            .filter(|t| t.kind == TokenKind::Lifetime)
+            .map(|t| t.text.as_str())
+            .collect();
+        assert_eq!(lifetimes, ["a", "a", "static"]);
+    }
+
+    #[test]
+    fn raw_strings_swallow_comment_markers() {
+        let lexed = lex("let s = r#\"// not a comment \"quote\" \"#; let t = 1;");
+        assert!(lexed.comments.is_empty());
+        assert!(idents("let s = r#\"seed_from_u64\"#;")
+            .iter()
+            .all(|i| i != "seed_from_u64"));
+        assert_eq!(
+            lexed
+                .tokens
+                .iter()
+                .filter(|t| t.kind == TokenKind::Str)
+                .count(),
+            1
+        );
+    }
+
+    #[test]
+    fn nested_block_comments_terminate_correctly() {
+        let lexed = lex("/* outer /* inner */ still outer */ fn f() {}");
+        assert_eq!(lexed.comments.len(), 1);
+        assert_eq!(lexed.tokens[0].text, "fn");
+    }
+
+    #[test]
+    fn line_comments_record_code_before() {
+        let lexed = lex("let x = 1; // trailing\n// leading\nlet y = 2;\n");
+        assert_eq!(lexed.comments.len(), 2);
+        assert!(lexed.comments[0].code_before);
+        assert!(!lexed.comments[1].code_before);
+        assert_eq!(lexed.comments[1].line, 2);
+    }
+
+    #[test]
+    fn multiline_strings_keep_line_numbers_aligned() {
+        let lexed = lex("let s = \"a\nb\nc\";\nlet done = 1;");
+        let done = lexed.tokens.iter().find(|t| t.text == "done").unwrap();
+        assert_eq!(done.line, 4);
+    }
+
+    #[test]
+    fn numbers_do_not_eat_range_operators() {
+        let lexed = lex("for i in 0..grid { }");
+        let texts: Vec<_> = lexed.tokens.iter().map(|t| t.text.as_str()).collect();
+        assert!(texts.contains(&"0"));
+        assert!(texts.contains(&"grid"));
+        assert_eq!(texts.iter().filter(|&&t| t == ".").count(), 2);
+    }
+}

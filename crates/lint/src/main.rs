@@ -1,0 +1,89 @@
+//! The `mac-lint` binary: run the workspace invariants pass.
+//!
+//! ```text
+//! cargo run -p mac-lint                     # check; exit 1 on findings
+//! cargo run -p mac-lint -- --update-ledger  # rewrite crates/lint/wire.ledger
+//! cargo run -p mac-lint -- --root <dir>     # lint another workspace copy
+//! ```
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+// A CLI tool locating its own workspace is exactly what env reads are
+// for; the clippy.toml ban guards simulation results, not tooling.
+#[allow(clippy::disallowed_methods)]
+fn main() -> ExitCode {
+    let mut update_ledger = false;
+    let mut root: Option<PathBuf> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--update-ledger" => update_ledger = true,
+            "--root" => match args.next() {
+                Some(dir) => root = Some(PathBuf::from(dir)),
+                None => {
+                    eprintln!("--root requires a directory argument");
+                    return ExitCode::from(2);
+                }
+            },
+            "--help" | "-h" => {
+                eprintln!("usage: mac-lint [--root <dir>] [--update-ledger]");
+                return ExitCode::SUCCESS;
+            }
+            other => {
+                eprintln!("unknown argument `{other}` (see --help)");
+                return ExitCode::from(2);
+            }
+        }
+    }
+    let root = root
+        .or_else(|| {
+            // Under `cargo run` the manifest dir is crates/lint; the
+            // workspace root is two levels up. Falls back to walking up
+            // from the current directory for standalone invocations.
+            std::env::var_os("CARGO_MANIFEST_DIR")
+                .map(PathBuf::from)
+                .and_then(|d| d.parent()?.parent().map(PathBuf::from))
+        })
+        .or_else(|| {
+            std::env::current_dir()
+                .ok()
+                .and_then(|d| mac_lint::find_workspace_root(&d))
+        });
+    let Some(root) = root else {
+        eprintln!("could not locate the workspace root; pass --root <dir>");
+        return ExitCode::from(2);
+    };
+
+    match mac_lint::lint_workspace(&root, update_ledger) {
+        Ok(report) => {
+            if update_ledger {
+                println!(
+                    "wire.ledger regenerated ({} files scanned)",
+                    report.files_scanned
+                );
+            }
+            if report.diagnostics.is_empty() {
+                println!(
+                    "mac-lint: {} files scanned, no violations",
+                    report.files_scanned
+                );
+                ExitCode::SUCCESS
+            } else {
+                for d in &report.diagnostics {
+                    println!("{d}");
+                }
+                println!(
+                    "mac-lint: {} violation(s) in {} files scanned",
+                    report.diagnostics.len(),
+                    report.files_scanned
+                );
+                ExitCode::FAILURE
+            }
+        }
+        Err(err) => {
+            eprintln!("mac-lint: {err}");
+            ExitCode::from(2)
+        }
+    }
+}

@@ -1,0 +1,64 @@
+//! Rule `checkpoint-coverage`: for every type that implements the
+//! `checkpoint_words`/`restore_words` pair, every declared struct field
+//! must be referenced in at least one of the two bodies — catching the
+//! "added a field, forgot to serialize it" class *before* the
+//! `session_identity` proptests get a chance to. Fields that are pure
+//! functions of the construction parameters (the restore contract rebuilds
+//! from `ProtocolKind` first) carry a per-field allow annotation.
+
+use crate::analysis::{self_field_refs, FileAnalysis};
+use crate::Diagnostic;
+use std::collections::BTreeMap;
+
+pub const RULE: &str = "checkpoint-coverage";
+
+pub fn check(analysis: &FileAnalysis) -> Vec<Diagnostic> {
+    let mut diags = Vec::new();
+    // type name -> union of fields referenced by its checkpoint/restore.
+    let mut referenced: BTreeMap<&str, Vec<String>> = BTreeMap::new();
+    let mut has_pair: BTreeMap<&str, (bool, bool)> = BTreeMap::new();
+    for f in &analysis.impl_fns {
+        let which = match f.fn_name.as_str() {
+            "checkpoint_words" => 0,
+            "restore_words" => 1,
+            _ => continue,
+        };
+        let entry = has_pair.entry(&f.type_name).or_default();
+        if which == 0 {
+            entry.0 = true;
+        } else {
+            entry.1 = true;
+        }
+        referenced.entry(&f.type_name).or_default().extend(
+            self_field_refs(&analysis.tokens, f.body)
+                .into_iter()
+                .map(|(n, _)| n),
+        );
+    }
+    for (type_name, (has_ckpt, _)) in &has_pair {
+        if !has_ckpt {
+            continue;
+        }
+        // The struct must be declared in the same file; blanket impls over
+        // foreign wrappers (`Box<dyn …>`) have no field list to check.
+        let Some(def) = analysis.structs.iter().find(|s| &s.name == type_name) else {
+            continue;
+        };
+        let refs = &referenced[type_name];
+        for (field, line) in &def.fields {
+            if !refs.iter().any(|r| r == field) {
+                diags.push(Diagnostic {
+                    path: analysis.path.clone(),
+                    line: *line,
+                    rule: RULE.to_string(),
+                    message: format!(
+                        "field `{field}` of `{type_name}` is referenced by neither \
+                         checkpoint_words nor restore_words — serialize it, or annotate \
+                         why it is reconstructed from the construction parameters"
+                    ),
+                });
+            }
+        }
+    }
+    diags
+}

@@ -1,0 +1,53 @@
+//! The rule engine: each rule scans a [`FileAnalysis`] and yields
+//! diagnostics; the engine then filters them through the file's
+//! `lint:allow` annotations (an allow with an empty reason never
+//! suppresses — it is itself a diagnostic).
+
+use crate::analysis::FileAnalysis;
+use crate::Diagnostic;
+
+pub mod checkpoint;
+pub mod nondet;
+pub mod panic_hygiene;
+pub mod rng;
+pub mod wire;
+
+/// Every rule an annotation may reference.
+pub const RULE_NAMES: [&str; 5] = [
+    "rng-stream-discipline",
+    "checkpoint-coverage",
+    "nondeterminism-bans",
+    "panic-hygiene",
+    "wire-version-hygiene",
+];
+
+/// The crates whose code determines simulation results. Tooling crates
+/// (`mac-bench` drives wall-clock timing on purpose, `mac-lint` reads the
+/// filesystem) are deliberately out of scope.
+pub const RESULT_AFFECTING_PREFIXES: [&str; 5] = [
+    "crates/prob/src/",
+    "crates/adversary/src/",
+    "crates/channel/src/",
+    "crates/protocols/src/",
+    "crates/sim/src/",
+];
+
+/// True for library sources in result-affecting crates.
+pub fn in_result_affecting_crate(path: &str) -> bool {
+    RESULT_AFFECTING_PREFIXES
+        .iter()
+        .any(|p| path.starts_with(p))
+}
+
+/// Runs every per-file rule on one analysis and applies allow filtering.
+/// (The cross-file wire-version rule runs separately in the engine.)
+pub fn run_file_rules(analysis: &FileAnalysis) -> Vec<Diagnostic> {
+    let mut diags = Vec::new();
+    diags.extend(rng::check(analysis));
+    diags.extend(checkpoint::check(analysis));
+    diags.extend(nondet::check(analysis));
+    diags.extend(panic_hygiene::check(analysis));
+    diags.retain(|d| !analysis.is_allowed(&d.rule, d.line));
+    diags.extend(analysis.meta_diagnostics.iter().cloned());
+    diags
+}

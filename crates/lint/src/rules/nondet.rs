@@ -1,0 +1,80 @@
+//! Rule `nondeterminism-bans`: sources of run-to-run nondeterminism are
+//! banned from non-test library code in result-affecting crates —
+//! hash-ordered containers (`HashMap`/`HashSet`; iteration order is
+//! seeded per-process), wall clocks (`Instant`/`SystemTime`), environment
+//! reads, and thread identity. Deterministic substitutes: `BTreeMap`/
+//! `BTreeSet`, slot counters, explicit configuration, shard indices.
+
+use crate::analysis::FileAnalysis;
+use crate::lexer::{Token, TokenKind};
+use crate::rules::in_result_affecting_crate;
+use crate::Diagnostic;
+
+pub const RULE: &str = "nondeterminism-bans";
+
+pub fn check(analysis: &FileAnalysis) -> Vec<Diagnostic> {
+    if !in_result_affecting_crate(&analysis.path) {
+        return Vec::new();
+    }
+    let tokens = &analysis.tokens;
+    let mut diags = Vec::new();
+    for (i, t) in tokens.iter().enumerate() {
+        if t.kind != TokenKind::Ident || analysis.is_test_line(t.line) {
+            continue;
+        }
+        let message = match t.text.as_str() {
+            "HashMap" | "HashSet" => Some(format!(
+                "`{}` iterates in a per-process pseudo-random order; use BTreeMap/BTreeSet, \
+                 or annotate a lookup-only use that never iterates",
+                t.text
+            )),
+            "Instant" | "SystemTime" => Some(format!(
+                "`{}` reads the wall clock — results must be a function of seeds and \
+                 slot counters only",
+                t.text
+            )),
+            "ThreadId" => Some(
+                "thread identity is scheduler-dependent; key work by shard index instead"
+                    .to_string(),
+            ),
+            "env" if is_path_sep(tokens.get(i + 1), tokens.get(i + 2)) => Some(
+                "`std::env` reads leak host state into results; thread configuration \
+                 through explicit options"
+                    .to_string(),
+            ),
+            "current"
+                if i >= 3
+                    && is_ident(&tokens[i - 3], "thread")
+                    && is_punct(&tokens[i - 2], ":")
+                    && is_punct(&tokens[i - 1], ":") =>
+            {
+                Some(
+                    "`thread::current()` is scheduler-dependent; key work by shard index"
+                        .to_string(),
+                )
+            }
+            _ => None,
+        };
+        if let Some(message) = message {
+            diags.push(Diagnostic {
+                path: analysis.path.clone(),
+                line: t.line,
+                rule: RULE.to_string(),
+                message,
+            });
+        }
+    }
+    diags
+}
+
+fn is_ident(t: &Token, s: &str) -> bool {
+    t.kind == TokenKind::Ident && t.text == s
+}
+
+fn is_punct(t: &Token, s: &str) -> bool {
+    t.kind == TokenKind::Punct && t.text == s
+}
+
+fn is_path_sep(a: Option<&Token>, b: Option<&Token>) -> bool {
+    a.is_some_and(|t| is_punct(t, ":")) && b.is_some_and(|t| is_punct(t, ":"))
+}

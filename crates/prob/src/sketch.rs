@@ -103,6 +103,10 @@ impl QuantileSketch {
             count: 0,
             min: u64::MAX,
             max: 0,
+            // lint:allow(rng-stream-discipline): the compaction coin is
+            // seeded by the caller — sessions pass derive_seed(run_seed,
+            // &[SKETCH_STREAM]) — and this crate sits below the stream
+            // constants, so the derivation cannot happen here.
             rng: SplitMix64::new(seed),
             rank_error: 0,
         }
@@ -275,6 +279,9 @@ impl QuantileSketch {
         let count = dec.take_u64()?;
         let min = dec.take_u64()?;
         let max = dec.take_u64()?;
+        // lint:allow(rng-stream-discipline): checkpoint restore — the word
+        // is the serialized generator state captured by encode, replayed
+        // verbatim so the resumed coin flips bit-identically.
         let rng = SplitMix64::new(dec.take_u64()?);
         let rank_error = dec.take_u64()?;
         let n_levels = dec.take_usize()?;

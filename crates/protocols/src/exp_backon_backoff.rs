@@ -48,6 +48,9 @@ pub const PAPER_DELTA: f64 = 0.366;
 /// ```
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct ExpBackonBackoff {
+    // lint:allow(checkpoint-coverage): construction parameter — restore
+    // rebuilds it from the ProtocolKind that recreates the instance, so
+    // the checkpoint carries only the mutable loop variables.
     delta: f64,
     /// Current phase `i ≥ 1` (the outer loop variable).
     phase: u32,

@@ -125,17 +125,25 @@ impl LogFailsConfig {
 /// ```
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct LogFailsAdaptive {
+    // lint:allow(checkpoint-coverage): construction parameter — restore
+    // rebuilds it from the ProtocolKind that recreates the instance.
     config: LogFailsConfig,
     /// Density estimator κ̃.
     kappa_estimate: f64,
     /// Length of the failure window: ⌈ξβ·log₂(1/ε)⌉, at least 1.
+    // lint:allow(checkpoint-coverage): derived from `config` in try_new;
+    // reconstructed, never mutated after construction.
     fail_window: u64,
     /// Consecutive AT-steps without a delivery since the last estimator
     /// update.
     consecutive_failures: u64,
     /// Fixed BT-step transmission probability: 1/(1 + log₂(1/ε)).
+    // lint:allow(checkpoint-coverage): derived from `config` in try_new;
+    // reconstructed, never mutated after construction.
     bt_probability: f64,
     /// A BT-step occurs every `bt_period` steps.
+    // lint:allow(checkpoint-coverage): derived from `config` in try_new;
+    // reconstructed, never mutated after construction.
     bt_period: u64,
     /// Next communication step, numbered from 1.
     step: u64,

@@ -48,6 +48,8 @@ const WINDOW_CAP: f64 = 1.0e15;
 /// ```
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct RExponentialBackoff {
+    // lint:allow(checkpoint-coverage): construction parameter — restore
+    // rebuilds it from the ProtocolKind that recreates the instance.
     r: f64,
     current: f64,
 }
@@ -126,6 +128,8 @@ impl WindowSchedule for RExponentialBackoff {
 /// ```
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct LoglogIteratedBackoff {
+    // lint:allow(checkpoint-coverage): construction parameter — restore
+    // rebuilds it from the ProtocolKind that recreates the instance.
     r: f64,
     current: f64,
     repeats_left: u32,

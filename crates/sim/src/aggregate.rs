@@ -151,6 +151,10 @@ impl<P: FairProtocol> FairEngineCore<P> {
             adversary,
             adversarial,
             cache: SlotKernelCache::new(k, p0),
+            // lint:allow(rng-stream-discipline): the protocol stream IS the
+            // raw run seed — the contract every committed BENCH_*.json and
+            // certificate replays against; rerouting through derive_seed
+            // would invalidate all of them.
             rng: Xoshiro256pp::seed_from_u64(seed),
             delivery_slots,
             stats: None,

@@ -424,6 +424,10 @@ impl<P: FairProtocol, A: ArrivalFeed, F: BuildState<P>> CohortEngineCore<P, A, F
         merge_tolerance: f64,
         recorder: LatencyRecorder,
     ) -> Self {
+        // lint:allow(rng-stream-discipline): the protocol stream IS the raw
+        // run seed — the contract every committed BENCH_*.json and
+        // certificate replays against; only auxiliary streams (adversary,
+        // arrivals, sketch) are derived off it.
         let rng = Xoshiro256pp::seed_from_u64(seed);
         let adversary = options
             .adversary

@@ -134,16 +134,20 @@ impl DynamicReport {
     /// deliveries reports all-zero latency statistics.
     pub fn from_parts(result: &RunResult, mut latencies: Vec<u64>) -> Self {
         latencies.sort_unstable();
-        let (mean_latency, p50_latency, p95_latency, max_latency) = if latencies.is_empty() {
-            (0.0, 0.0, 0.0, 0)
-        } else {
-            let total: u128 = latencies.iter().map(|&l| u128::from(l)).sum();
-            (
-                total as f64 / latencies.len() as f64,
-                percentile_sorted_u64(&latencies, 50.0).expect("non-empty"),
-                percentile_sorted_u64(&latencies, 95.0).expect("non-empty"),
-                *latencies.last().expect("non-empty"),
-            )
+        // split_last carries the non-emptiness proof in the types: the Some
+        // arm has the maximum in hand, and the percentile lookups (None only
+        // on an empty slice) fall back to it instead of panicking.
+        let (mean_latency, p50_latency, p95_latency, max_latency) = match latencies.split_last() {
+            None => (0.0, 0.0, 0.0, 0),
+            Some((&max, _)) => {
+                let total: u128 = latencies.iter().map(|&l| u128::from(l)).sum();
+                (
+                    total as f64 / latencies.len() as f64,
+                    percentile_sorted_u64(&latencies, 50.0).unwrap_or(max as f64),
+                    percentile_sorted_u64(&latencies, 95.0).unwrap_or(max as f64),
+                    max,
+                )
+            }
         };
         Self {
             protocol: result.protocol.clone(),

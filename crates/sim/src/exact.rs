@@ -309,6 +309,10 @@ impl ExactSimulator {
     ) -> Result<DetailedRun, ParameterError> {
         self.options.validate_adversary()?;
         let k = schedule.len() as u64;
+        // lint:allow(rng-stream-discipline): the protocol stream IS the raw
+        // run seed — the contract every committed BENCH_*.json and
+        // certificate replays against; only the adversary stream below is
+        // derived off it.
         let mut rng = Xoshiro256pp::seed_from_u64(seed);
         // The adversary lives inside the channel and draws from its own
         // derived stream; with a clean scenario the channel — and the

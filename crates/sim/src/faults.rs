@@ -267,8 +267,12 @@ static SCRATCH_COUNTER: AtomicU64 = AtomicU64::new(0);
 /// A fresh scratch directory under the system temp dir, unique per
 /// process and call — the chaos suite's store directories. The caller
 /// owns cleanup (`fs::remove_dir_all`); a leaked scratch dir is harmless.
+#[allow(clippy::disallowed_methods)]
 pub fn scratch_dir(tag: &str) -> PathBuf {
     let n = SCRATCH_COUNTER.fetch_add(1, Ordering::Relaxed);
+    // lint:allow(nondeterminism-bans): chaos-harness plumbing — the temp
+    // path decides where checkpoint bytes land on disk, never what they
+    // contain; no simulated quantity depends on it.
     std::env::temp_dir().join(format!("mac-sim-{tag}-{}-{n}", std::process::id()))
 }
 

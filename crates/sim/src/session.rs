@@ -366,47 +366,54 @@ fn peek_kind(words: &[u64]) -> Result<CheckpointKind, IntegrityError> {
 /// and a truncated frame reports the missing words. Every check runs
 /// before a single payload word is decoded.
 fn verify_frame(words: &[u64], expected: CheckpointKind) -> Result<&[u64], IntegrityError> {
-    if words.len() < FRAME_WORDS {
+    // The two slice patterns carry the FRAME_WORDS length proof: peeling
+    // the trailing digest and then the three header words only succeeds on
+    // a frame of at least four words, and `payload` is exactly the words
+    // between the header and the digest.
+    let [body @ .., stored] = words else {
+        return Err(IntegrityError::Truncated {
+            expected_words: None,
+            found_words: 0,
+        });
+    };
+    let [_magic, version, declared, payload @ ..] = body else {
         return Err(IntegrityError::Truncated {
             expected_words: None,
             found_words: words.len() as u64,
         });
-    }
+    };
     let found = peek_kind(words)?;
     if found != expected {
         return Err(IntegrityError::KindMismatch { found, expected });
     }
-    let version = words[1];
-    if version != CHECKPOINT_VERSION {
+    if *version != CHECKPOINT_VERSION {
         return Err(IntegrityError::VersionMismatch {
             kind: found,
-            found: version,
+            found: *version,
             expected: CHECKPOINT_VERSION,
         });
     }
-    let declared = words[2];
     let present = words.len() as u64;
-    if present < declared {
+    if present < *declared {
         return Err(IntegrityError::Truncated {
-            expected_words: Some(declared),
+            expected_words: Some(*declared),
             found_words: present,
         });
     }
-    if present > declared {
+    if present > *declared {
         return Err(IntegrityError::TrailingData {
-            expected_words: declared,
+            expected_words: *declared,
             found_words: present,
         });
     }
-    let stored = words[words.len() - 1];
-    let computed = wire::digest_words(&words[..words.len() - 1]);
-    if stored != computed {
+    let computed = wire::digest_words(body);
+    if *stored != computed {
         return Err(IntegrityError::Corrupt {
-            stored_digest: stored,
+            stored_digest: *stored,
             computed_digest: computed,
         });
     }
-    Ok(&words[FRAME_WORDS - 1..words.len() - 1])
+    Ok(payload)
 }
 
 /// Starts a checkpoint frame: magic, version, and a length placeholder
@@ -426,7 +433,14 @@ fn open_frame(kind: CheckpointKind) -> Encoder {
 /// appends the digest over everything before it.
 fn seal_frame(out: Encoder) -> Checkpoint {
     let mut words = out.finish();
-    words[2] = (words.len() + 1) as u64;
+    debug_assert!(
+        words.len() >= FRAME_WORDS - 1,
+        "sealing an encoder that did not come from open_frame"
+    );
+    let with_digest = (words.len() + 1) as u64;
+    if let Some(total_len) = words.get_mut(2) {
+        *total_len = with_digest;
+    }
     let digest = wire::digest_words(&words);
     words.push(digest);
     Checkpoint { words }
@@ -858,9 +872,15 @@ impl Session {
                 EngineState::FairOracle(Box::new(core))
             }
             _ => {
-                let schedule = kind
-                    .build_window()?
-                    .expect("non-fair kinds build window schedules");
+                // build_window is None exactly for fair kinds; a fair kind
+                // reaching this arm means it was added to ProtocolKind but
+                // not to the fair-engine dispatch above — surface that as a
+                // typed error instead of panicking in a library.
+                let Some(schedule) = kind.build_window()? else {
+                    return Err(SessionError::Unsupported(
+                        "fair protocol kind missing from the session engine dispatch",
+                    ));
+                };
                 let mut core = WindowEngineCore::new(schedule, k, seed, options);
                 core.set_streaming_stats(stats);
                 EngineState::Window(Box::new(core))
@@ -1763,21 +1783,23 @@ impl ShardedSession {
         // need no more driving).
         let mut done = vec![false; n];
         loop {
-            let mut eligible = vec![false; n];
-            let mut any_eligible = false;
             let mut any_cooling = false;
-            for i in 0..n {
-                if done[i] || self.health[i].quarantined || self.shards[i].is_finished() {
-                    continue;
-                }
-                if self.health[i].cooldown > 0 {
-                    any_cooling = true;
-                    continue;
-                }
-                eligible[i] = true;
-                any_eligible = true;
-            }
-            if !any_eligible {
+            let eligible: Vec<bool> = done
+                .iter()
+                .zip(&self.health)
+                .zip(&self.shards)
+                .map(|((&served, health), shard)| {
+                    if served || health.quarantined || shard.is_finished() {
+                        return false;
+                    }
+                    if health.cooldown > 0 {
+                        any_cooling = true;
+                        return false;
+                    }
+                    true
+                })
+                .collect();
+            if !eligible.contains(&true) {
                 if !any_cooling {
                     break;
                 }
@@ -1791,9 +1813,13 @@ impl ShardedSession {
             if self.supervision.is_some() {
                 // Refresh last-good snapshots so a retry rolls back only
                 // the failed round, not the whole call.
-                for (i, &runnable) in eligible.iter().enumerate() {
+                for ((&runnable, snapshot), shard) in eligible
+                    .iter()
+                    .zip(&mut self.last_good)
+                    .zip(&mut self.shards)
+                {
                     if runnable {
-                        self.last_good[i] = Some(self.shards[i].checkpoint()?);
+                        *snapshot = Some(shard.checkpoint()?);
                     }
                 }
             }
@@ -1801,9 +1827,10 @@ impl ShardedSession {
                 let handles: Vec<_> = self
                     .shards
                     .iter_mut()
+                    .zip(&eligible)
                     .enumerate()
-                    .filter(|(i, _)| eligible[*i])
-                    .map(|(i, shard)| (i, scope.spawn(move || shard.advance(max_slots))))
+                    .filter(|(_, (_, &runnable))| runnable)
+                    .map(|(i, (shard, _))| (i, scope.spawn(move || shard.advance(max_slots))))
                     .collect();
                 handles
                     .into_iter()
@@ -1816,7 +1843,9 @@ impl ShardedSession {
                         // The shard ran its budget (or stalled/paused per
                         // its own policy); typed errors propagate.
                         result?;
-                        done[i] = true;
+                        if let Some(served) = done.get_mut(i) {
+                            *served = true;
+                        }
                     }
                     Err(payload) => {
                         let panic = panic_message(payload);
@@ -1826,17 +1855,29 @@ impl ShardedSession {
                                 panic,
                             });
                         };
-                        let health = &mut self.health[i];
+                        // `i` enumerates the shard vector and every
+                        // per-shard vector is built with one entry per
+                        // shard, with the pre-round snapshot taken for
+                        // every runnable shard — so none of these lookups
+                        // can miss. If that invariant ever breaks, fail
+                        // typed instead of panicking.
+                        let (Some(health), Some(last_good), Some(shard), Some(served)) = (
+                            self.health.get_mut(i),
+                            self.last_good.get(i).and_then(Option::as_ref),
+                            self.shards.get_mut(i),
+                            done.get_mut(i),
+                        ) else {
+                            return Err(SessionError::ShardFailed {
+                                shard: i as u32,
+                                panic,
+                            });
+                        };
                         health.failures += 1;
                         health.last_panic = Some(panic);
-                        let last_good = self.last_good[i]
-                            .as_ref()
-                            .expect("supervised rounds snapshot before running");
-                        self.shards[i] = Session::resume(last_good)?;
-                        let health = &mut self.health[i];
+                        *shard = Session::resume(last_good)?;
                         if health.failures > supervision.max_retries {
                             health.quarantined = true;
-                            done[i] = true;
+                            *served = true;
                         } else {
                             health.cooldown = 1u64 << (health.failures - 1).min(16);
                         }

@@ -75,6 +75,10 @@ impl<Pr: Protocol + Clone> Core<Pr> {
         // clone of an identically-built prototype is the same thing).
         Self {
             model: ChannelModel::without_collision_detection(),
+            // lint:allow(rng-stream-discipline): the protocol stream IS the
+            // raw run seed, matching the exact simulator draw-for-draw —
+            // the stepper's whole conformance claim; deriving here would
+            // break stream identity with every committed artifact.
             rng: Xoshiro256pp::seed_from_u64(seed),
             active: (0..k).map(|_| prototype.clone()).collect(),
             transmitted: 0,

@@ -139,10 +139,9 @@ impl CheckpointStore {
         // Prune outside the keep window; a failed prune is not a failed
         // save (stale files are re-pruned next time).
         if let Ok(generations) = self.generations() {
-            if generations.len() > self.keep {
-                for old in &generations[..generations.len() - self.keep] {
-                    let _ = fs::remove_file(self.path_for(*old));
-                }
+            let excess = generations.len().saturating_sub(self.keep);
+            for old in generations.iter().take(excess) {
+                let _ = fs::remove_file(self.path_for(*old));
             }
         }
         Ok(generation)

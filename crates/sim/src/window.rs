@@ -218,6 +218,10 @@ impl WindowEngineCore {
             // scratch, so a resumed run rebuilding them empty stays
             // bit-identical.
             walk_scratch: WalkScratch::new(),
+            // lint:allow(rng-stream-discipline): the protocol stream IS the
+            // raw run seed — the contract every committed BENCH_*.json and
+            // certificate replays against; rerouting through derive_seed
+            // would invalidate all of them.
             rng: Xoshiro256pp::seed_from_u64(seed),
             delivery_slots,
             stats: None,

@@ -10,6 +10,10 @@
 //! Numbers from this harness are comparable run-to-run on the same machine,
 //! which is all the workspace's perf-tracking workflow needs.
 
+// Wall-clock timing is this crate's entire purpose; the workspace-wide
+// clippy.toml ban on clock reads (backing mac-lint's determinism rules)
+// does not apply to the bench harness.
+#![allow(clippy::disallowed_methods)]
 #![forbid(unsafe_code)]
 
 use std::fmt;
