@@ -41,7 +41,18 @@
 //!   see `crates/sim/DESIGN.md` §6);
 //! * **cohort-bursts / exact-bursts** — One-fail Adaptive over ten
 //!   adversarial bursts of `k/10` messages spaced `0.8·k` slots apart
-//!   (even offsets, mostly-draining spacing).
+//!   (even offsets, mostly-draining spacing);
+//! * **cohort-poisson-capped** — the same heavy-Poisson oracle workload
+//!   with **bounded-class mode** engaged (`max_live_cohorts = 64`): the
+//!   live-class cap forces measured-divergence merges instead of letting
+//!   one class per arrival burst accumulate. Its ratio to the paired
+//!   **exact-poisson** row is the speed-up the saturation map relies on.
+//!
+//! A **session-saturated** row additionally drives `Session::dynamic` at
+//! the saturation map's hottest corner (λ = 2 Poisson over a `k/2`-slot
+//! horizon, bounded-class mode, livelock watchdog armed, live sketch read
+//! at every pause) — the configuration of every `BENCH_06.json` phase-map
+//! point, pinned here against throughput regressions.
 //!
 //! **Streaming-session** rows (the §9 session layer) drive the same engines
 //! through `mac_sim::Session` in 2¹⁶-slot bursts, reading the live quantile
@@ -67,7 +78,7 @@ use mac_prob::rng::Xoshiro256pp;
 use mac_protocols::ProtocolKind;
 use mac_sim::{
     CohortSimulator, ExactSimulator, FairSimulator, RunOptions, Session, SessionStatus,
-    ShardedSession, WindowSimulator,
+    ShardedSession, StallConfig, StallPolicy, WindowSimulator,
 };
 use rand::SeedableRng;
 use std::fmt::Write as _;
@@ -446,6 +457,74 @@ fn main() {
                 slots_per_sec: slots as f64 / secs,
             });
         }
+    }
+
+    // Bounded-class row: the heavy-Poisson oracle workload re-run with the
+    // live-class cap engaged. Same sampled schedule as cohort-poisson, so
+    // its ratio to exact-poisson is the bounded-mode speed-up.
+    let oracle_kind = ProtocolKind::KnownKOracle;
+    let capped_options = RunOptions {
+        max_live_cohorts: 64,
+        ..RunOptions::default()
+    };
+    for &k in &fast_ks {
+        let model = ArrivalModel::Poisson {
+            rate: 20.0,
+            horizon: k / 20,
+        };
+        let schedule = model.sample(&mut Xoshiro256pp::seed_from_u64(options.seed));
+        let sim = CohortSimulator::new(oracle_kind.clone(), capped_options.clone());
+        let (slots, secs) = measure(reps, |rep| {
+            let run = sim
+                .run_schedule(&schedule, options.seed.wrapping_add(rep))
+                .expect("valid");
+            assert!(run.result.completed);
+            assert!(run.peak_cohorts as u64 <= 64, "live-class cap violated");
+            run.result.makespan
+        });
+        points.push(Point {
+            simulator: "cohort-poisson-capped",
+            protocol: oracle_kind.label(),
+            k,
+            slots,
+            best_seconds: secs,
+            slots_per_sec: slots as f64 / secs,
+        });
+    }
+
+    // Saturated-session row: the exact configuration of a saturation-map
+    // point (λ = 2 sustained, bounded-class mode, watchdog armed, sketch
+    // read at every pause), measured end to end through the session layer.
+    for &k in &fast_ks {
+        let model = ArrivalModel::Poisson {
+            rate: 2.0,
+            horizon: k / 2,
+        };
+        let (slots, secs) = measure(reps, |rep| {
+            let mut session = Session::dynamic(
+                &oracle_kind,
+                &model,
+                options.seed.wrapping_add(rep),
+                &capped_options,
+            )
+            .expect("valid");
+            session.set_watchdog(Some(StallConfig::new(2_000, StallPolicy::Report)));
+            while session.advance(session_burst).expect("advance") == SessionStatus::Paused {
+                if session.stall().is_some() {
+                    break;
+                }
+                std::hint::black_box(session.live_stats().map(|s| s.quantile(0.95)));
+            }
+            session.result().makespan
+        });
+        points.push(Point {
+            simulator: "session-saturated",
+            protocol: oracle_kind.label(),
+            k,
+            slots,
+            best_seconds: secs,
+            slots_per_sec: slots as f64 / secs,
+        });
     }
 
     if let Some(baseline) = check_path {

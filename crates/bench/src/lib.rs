@@ -53,6 +53,7 @@
 #![warn(missing_docs)]
 
 pub mod certify;
+pub mod saturation;
 
 use mac_protocols::ProtocolKind;
 use mac_sim::{EngineChoice, Experiment, RunOptions};

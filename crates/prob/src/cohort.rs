@@ -33,6 +33,21 @@
 use crate::binomial::{SlotKernelCache, SlotThresholds};
 use crate::wire::{Decoder, Encoder, WireError};
 
+/// Relative gap `|a − b| / max(a, b)` between two non-negative probabilities
+/// (0 when both are 0). This is the metric of the cohort engine's merge
+/// tolerance: two tracks are within tolerance `tol` exactly when their
+/// relative gap is ≤ `tol`, so a gap doubles as the *smallest* tolerance
+/// that would merge the pair — the quantity the bounded-class mode
+/// thresholds when it must force the live class count down to its cap.
+pub fn relative_gap(a: f64, b: f64) -> f64 {
+    let scale = a.max(b);
+    if scale <= 0.0 {
+        0.0
+    } else {
+        (a - b).abs() / scale
+    }
+}
+
 /// Incrementally maintained slot classification for a set of cohorts.
 ///
 /// The caller keeps cohorts in any order and mirrors structural changes with
@@ -119,6 +134,16 @@ impl CohortKernel {
     /// pins the underlying states together for the paper's fair protocols.
     pub fn track_probabilities(&self, i: usize) -> (f64, f64) {
         self.caches[i].track_probabilities()
+    }
+
+    /// The merge distance between cohorts `i` and `j`: the larger of the
+    /// [`relative_gap`]s of their corresponding cached probability tracks.
+    /// Equivalently, the smallest merge tolerance under which the two
+    /// cohorts would be considered converged (given equal schedule phase).
+    pub fn track_divergence(&self, i: usize, j: usize) -> f64 {
+        let (ai, bi) = self.track_probabilities(i);
+        let (aj, bj) = self.track_probabilities(j);
+        relative_gap(ai, aj).max(relative_gap(bi, bj))
     }
 
     /// Classifies the current slot: updates every cohort's kernel to its
@@ -434,6 +459,31 @@ mod tests {
             assert_rel_close(t.t1, silence + delivery, 1e-9, "t1");
             let _ = rng.gen::<f64>();
         }
+    }
+
+    #[test]
+    fn relative_gap_is_the_merge_tolerance_metric() {
+        assert_eq!(relative_gap(0.0, 0.0), 0.0);
+        assert_eq!(relative_gap(0.5, 0.5), 0.0);
+        assert!((relative_gap(0.5, 0.45) - 0.1).abs() < 1e-12);
+        assert!((relative_gap(0.45, 0.5) - 0.1).abs() < 1e-12);
+        // A zero against a positive track is a full-scale gap.
+        assert_eq!(relative_gap(0.0, 0.3), 1.0);
+        // Consistency with the merge predicate |a−b| ≤ tol·max(a,b): the
+        // gap is exactly the smallest tolerance that admits the pair.
+        let (a, b) = (0.2, 0.26);
+        let gap = relative_gap(a, b);
+        assert!((a - b).abs() <= gap * a.max(b) + 1e-15);
+        assert!((a - b).abs() > (gap - 1e-9) * a.max(b));
+    }
+
+    #[test]
+    fn track_divergence_takes_the_worse_of_both_tracks() {
+        let (kernel, _) = classify_fresh(&[(10, 0.1), (10, 0.11), (10, 0.1)]);
+        assert_eq!(kernel.track_divergence(0, 2), 0.0);
+        let d = kernel.track_divergence(0, 1);
+        assert!(d > 0.0 && d <= 1.0);
+        assert_eq!(kernel.track_divergence(0, 1), kernel.track_divergence(1, 0));
     }
 
     #[test]

@@ -67,6 +67,7 @@ pub mod log_fails;
 pub mod loglog_backoff;
 pub mod one_fail;
 pub mod oracle;
+pub mod randomized_parity;
 pub mod traits;
 
 pub use cd_adaptive::CdAdaptive;
@@ -76,6 +77,7 @@ pub use log_fails::{LogFailsAdaptive, LogFailsConfig};
 pub use loglog_backoff::{LoglogIteratedBackoff, RExponentialBackoff};
 pub use one_fail::OneFailAdaptive;
 pub use oracle::KnownKOracle;
+pub use randomized_parity::RandomizedParityOneFail;
 pub use traits::{
     FairNode, FairProtocol, Protocol, ProtocolFamily, ProtocolKind, WindowNode, WindowSchedule,
 };

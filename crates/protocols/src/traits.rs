@@ -26,6 +26,7 @@ use crate::log_fails::{LogFailsAdaptive, LogFailsConfig};
 use crate::loglog_backoff::{LoglogIteratedBackoff, RExponentialBackoff};
 use crate::one_fail::OneFailAdaptive;
 use crate::oracle::KnownKOracle;
+use crate::randomized_parity::RandomizedParityOneFail;
 use mac_channel::Observation;
 use rand::{Rng, RngCore};
 use serde::{Deserialize, Serialize};
@@ -461,6 +462,15 @@ pub enum ProtocolKind {
     },
     /// The known-k oracle (fair-protocol optimum, requires exact `k`).
     KnownKOracle,
+    /// Randomised-parity One-fail Adaptive: Algorithm 1's rules on a
+    /// balanced Thue–Morse AT/BT schedule instead of strict alternation,
+    /// which breaks the two-cohort parity deadlock of dynamic arrivals
+    /// (see `crates/sim/DESIGN.md` §6) while keeping the Theorem 1
+    /// envelope. Not part of the paper's line-up — an extension protocol.
+    RandomizedParityOneFail {
+        /// The δ constant, `e < δ ≤ Σ_{j=1..5}(5/6)^j` (as for Algorithm 1).
+        delta: f64,
+    },
 }
 
 /// The structural family a protocol belongs to, which determines which fast
@@ -524,6 +534,9 @@ impl ProtocolKind {
                 format!("{r}-exponential Back-off")
             }
             ProtocolKind::KnownKOracle => "Known-k oracle".to_string(),
+            ProtocolKind::RandomizedParityOneFail { .. } => {
+                "Randomised-parity One-fail".to_string()
+            }
         }
     }
 
@@ -532,7 +545,8 @@ impl ProtocolKind {
         match self {
             ProtocolKind::OneFailAdaptive { .. }
             | ProtocolKind::LogFailsAdaptive { .. }
-            | ProtocolKind::KnownKOracle => ProtocolFamily::Fair,
+            | ProtocolKind::KnownKOracle
+            | ProtocolKind::RandomizedParityOneFail { .. } => ProtocolFamily::Fair,
             ProtocolKind::ExpBackonBackoff { .. }
             | ProtocolKind::LoglogIteratedBackoff { .. }
             | ProtocolKind::RExponentialBackoff { .. } => ProtocolFamily::Window,
@@ -562,6 +576,9 @@ impl ProtocolKind {
                 Box::new(LogFailsAdaptive::try_new(config)?) as Box<dyn FairProtocol>
             }
             ProtocolKind::KnownKOracle => Box::new(KnownKOracle::new(k)) as Box<dyn FairProtocol>,
+            ProtocolKind::RandomizedParityOneFail { delta } => {
+                Box::new(RandomizedParityOneFail::try_new(*delta)?) as Box<dyn FairProtocol>
+            }
             _ => return Ok(None),
         }))
     }
@@ -605,6 +622,9 @@ impl ProtocolKind {
                 Ok(Box::new(FairNode::new(LogFailsAdaptive::try_new(config)?)))
             }
             ProtocolKind::KnownKOracle => Ok(Box::new(FairNode::new(KnownKOracle::new(k)))),
+            ProtocolKind::RandomizedParityOneFail { delta } => Ok(Box::new(FairNode::new(
+                RandomizedParityOneFail::try_new(*delta)?,
+            ))),
             ProtocolKind::ExpBackonBackoff { delta } => Ok(Box::new(WindowNode::new(
                 ExpBackonBackoff::try_new(*delta)?,
             ))),

@@ -66,7 +66,7 @@ use mac_prob::sketch::StreamingLatencyStats;
 use mac_prob::wire::{Decoder, Encoder, WireError};
 use mac_protocols::{
     FairProtocol, KnownKOracle, LogFailsAdaptive, LogFailsConfig, OneFailAdaptive, ParameterError,
-    ProtocolKind,
+    ProtocolKind, RandomizedParityOneFail,
 };
 use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
@@ -249,21 +249,18 @@ impl LatencyRecorder {
 pub struct CohortSimulator {
     kind: ProtocolKind,
     options: RunOptions,
-    merge_tolerance: f64,
 }
 
 impl CohortSimulator {
     /// Creates a cohort simulator for the given fair-protocol kind. The
-    /// default merge tolerance is `0.0`: only cohorts with bit-equal
-    /// probability tracks (exactly coinciding states, for the paper's fair
-    /// protocols) are merged, so the engine stays law-identical to the
-    /// exact per-station reference.
+    /// cohort knobs are read from `options`: with the default merge
+    /// tolerance of `0.0`, only cohorts with bit-equal probability tracks
+    /// (exactly coinciding states, for the paper's fair protocols) are
+    /// merged, so the engine stays law-identical to the exact per-station
+    /// reference; with the default class cap of `0` the live cohort count
+    /// is unbounded.
     pub fn new(kind: ProtocolKind, options: RunOptions) -> Self {
-        Self {
-            kind,
-            options,
-            merge_tolerance: 0.0,
-        }
+        Self { kind, options }
     }
 
     /// Sets the relative tolerance under which two same-phase cohorts'
@@ -271,16 +268,32 @@ impl CohortSimulator {
     /// A positive tolerance perturbs each merged cohort's transmission
     /// probability by at most that relative amount at merge time (an
     /// *approximation*, traded for a smaller cohort count — see `DESIGN.md`
-    /// §6).
+    /// §6; the certified drift budget lives in §12's ledger).
     ///
-    /// # Panics
-    /// Panics if `tolerance` is negative or not finite.
-    pub fn with_merge_tolerance(mut self, tolerance: f64) -> Self {
-        assert!(
-            tolerance.is_finite() && tolerance >= 0.0,
-            "merge tolerance must be finite and non-negative, got {tolerance}"
-        );
-        self.merge_tolerance = tolerance;
+    /// # Errors
+    /// Returns a [`ParameterError`] if `tolerance` is NaN, infinite or
+    /// negative.
+    pub fn with_merge_tolerance(mut self, tolerance: f64) -> Result<Self, ParameterError> {
+        if !tolerance.is_finite() || tolerance < 0.0 {
+            return Err(ParameterError::new(
+                "merge_tolerance",
+                tolerance,
+                "cohort merge tolerance must be finite and non-negative",
+            ));
+        }
+        self.options.merge_tolerance = tolerance;
+        Ok(self)
+    }
+
+    /// Enables the bounded-class mode: caps the number of live cohort
+    /// classes at `cap` (`0` disables the cap). When an arrival burst would
+    /// exceed the cap, the engine force-merges the nearest same-phase
+    /// classes at the smallest tolerance that restores it. Classes in
+    /// distinct schedule phases are never merged, so the effective floor is
+    /// the number of distinct live phases (2 for One-fail Adaptive, 1 for
+    /// the oracle). See `DESIGN.md` §12.
+    pub fn with_max_live_cohorts(mut self, cap: u64) -> Self {
+        self.options.max_live_cohorts = cap;
         self
     }
 
@@ -325,6 +338,15 @@ impl CohortSimulator {
             ProtocolKind::KnownKOracle => {
                 self.run_generic(move || Ok(KnownKOracle::new(k)), &label, schedule, seed)
             }
+            ProtocolKind::RandomizedParityOneFail { delta } => {
+                let delta = *delta;
+                self.run_generic(
+                    move || RandomizedParityOneFail::try_new(delta),
+                    &label,
+                    schedule,
+                    seed,
+                )
+            }
             _ => Err(ParameterError::new(
                 "protocol",
                 f64::NAN,
@@ -355,6 +377,7 @@ impl CohortSimulator {
         seed: u64,
     ) -> Result<CohortRun, ParameterError> {
         self.options.validate_adversary()?;
+        self.options.validate_cohort()?;
         let k = schedule.len() as u64;
         // Same cap convention as the exact simulator: the per-message budget
         // is granted on top of the arrival horizon.
@@ -370,7 +393,6 @@ impl CohortSimulator {
             seed,
             max_slots,
             &self.options,
-            self.merge_tolerance,
             LatencyRecorder::exact(prealloc),
         );
         core.advance(u64::MAX)?;
@@ -390,6 +412,7 @@ pub(crate) struct CohortEngineCore<P, A, F> {
     seed: u64,
     max_slots: u64,
     merge_tolerance: f64,
+    max_live_cohorts: u64,
     cohorts: Vec<Cohort<P>>,
     kernel: CohortKernel,
     ms: Vec<f64>,
@@ -412,7 +435,8 @@ pub(crate) struct CohortEngineCore<P, A, F> {
 
 impl<P: FairProtocol, A: ArrivalFeed, F: BuildState<P>> CohortEngineCore<P, A, F> {
     /// Builds the initial loop state — bit-identical to the state the
-    /// monolithic runner entered its loop with.
+    /// monolithic runner entered its loop with. The cohort knobs (merge
+    /// tolerance, live-class cap) are read from `options`.
     #[allow(clippy::too_many_arguments)]
     pub(crate) fn new(
         feed: A,
@@ -421,7 +445,6 @@ impl<P: FairProtocol, A: ArrivalFeed, F: BuildState<P>> CohortEngineCore<P, A, F
         seed: u64,
         max_slots: u64,
         options: &RunOptions,
-        merge_tolerance: f64,
         recorder: LatencyRecorder,
     ) -> Self {
         // lint:allow(rng-stream-discipline): the protocol stream IS the raw
@@ -443,7 +466,8 @@ impl<P: FairProtocol, A: ArrivalFeed, F: BuildState<P>> CohortEngineCore<P, A, F
             k,
             seed,
             max_slots,
-            merge_tolerance,
+            merge_tolerance: options.merge_tolerance,
+            max_live_cohorts: options.max_live_cohorts,
             cohorts: Vec::new(),
             kernel: CohortKernel::new(),
             ms: Vec::new(),
@@ -520,6 +544,18 @@ impl<P: FairProtocol, A: ArrivalFeed, F: BuildState<P>> CohortEngineCore<P, A, F
                     m: count,
                     groups: vec![(self.slot, count)],
                 });
+                // Bounded-class mode: pushes are the only operation that
+                // grows the live class count, so enforcing the cap here
+                // maintains the invariant everywhere else. `peak_cohorts`
+                // is recorded *after* enforcement — it reports the live
+                // class count the engine actually paid for per slot.
+                if self.max_live_cohorts > 0 && self.cohorts.len() as u64 > self.max_live_cohorts {
+                    self.merges += enforce_class_cap(
+                        &mut self.cohorts,
+                        &mut self.kernel,
+                        self.max_live_cohorts as usize,
+                    );
+                }
                 self.peak_cohorts = self.peak_cohorts.max(self.cohorts.len());
             }
 
@@ -697,6 +733,7 @@ impl<P: FairProtocol, A: ArrivalFeed, F: BuildState<P>> CohortEngineCore<P, A, F
         out.put_u64(self.seed);
         out.put_u64(self.max_slots);
         out.put_f64(self.merge_tolerance);
+        out.put_u64(self.max_live_cohorts);
         out.put_u64(self.remaining);
         out.put_u64(self.slot);
         out.put_u64(self.makespan);
@@ -742,6 +779,7 @@ impl<P: FairProtocol, A: ArrivalFeed, F: BuildState<P>> CohortEngineCore<P, A, F
         let seed = input.take_u64()?;
         let max_slots = input.take_u64()?;
         let merge_tolerance = input.take_f64()?;
+        let max_live_cohorts = input.take_u64()?;
         let remaining = input.take_u64()?;
         let slot = input.take_u64()?;
         let makespan = input.take_u64()?;
@@ -795,6 +833,7 @@ impl<P: FairProtocol, A: ArrivalFeed, F: BuildState<P>> CohortEngineCore<P, A, F
             seed,
             max_slots,
             merge_tolerance,
+            max_live_cohorts,
             cohorts,
             kernel,
             ms: Vec::new(),
@@ -824,20 +863,14 @@ fn tracks_close(a: f64, b: f64, tolerance: f64) -> bool {
     (a - b).abs() <= tolerance * a.max(b)
 }
 
-/// One merge scan: cohorts are sorted by `(schedule phase, track
-/// probabilities)` so that every *equality class* — same phase, both cached
-/// probability tracks within `tolerance` of the class representative —
-/// forms a contiguous run, and each run collapses into its first member in
-/// a single scan. O(C log C) per scan, amortised to a fraction of the
-/// per-slot classification cost by [`MERGE_SCAN_PERIOD`]. Returns the
-/// number of merges performed.
-fn merge_converged_cohorts<P: FairProtocol>(
-    cohorts: &mut Vec<Cohort<P>>,
-    kernel: &mut CohortKernel,
-    tolerance: f64,
-) -> u64 {
+/// Sort key (`schedule phase`, both cached track probabilities) and the
+/// index permutation that orders cohorts by it: same-phase cohorts with
+/// close tracks become adjacent, which both merge routines rely on.
+fn sorted_cohort_order<P: FairProtocol>(
+    cohorts: &[Cohort<P>],
+    kernel: &CohortKernel,
+) -> (Vec<(u64, f64, f64)>, Vec<usize>) {
     let n = cohorts.len();
-    // Sort key per cohort: phase first, then the two track probabilities.
     let keys: Vec<(u64, f64, f64)> = (0..n)
         .map(|i| {
             let (a, b) = kernel.track_probabilities(i);
@@ -852,6 +885,30 @@ fn merge_converged_cohorts<P: FairProtocol>(
             .then(keys[x].1.total_cmp(&keys[y].1))
             .then(keys[x].2.total_cmp(&keys[y].2))
     });
+    (keys, order)
+}
+
+/// One merge scan: cohorts are sorted by `(schedule phase, track
+/// probabilities)` so that every *equality class* — same phase, both cached
+/// probability tracks within `tolerance` of the class representative —
+/// forms a contiguous run, and each run collapses into its first member in
+/// a single scan. O(C log C) per scan, amortised to a fraction of the
+/// per-slot classification cost by [`MERGE_SCAN_PERIOD`]. Returns the
+/// number of merges performed.
+///
+/// Approximate merges (`tolerance > 0`) use *weighted state adoption*: the
+/// surviving class keeps whichever of the two states carries the larger
+/// active membership, so the perturbation applies to the minority of the
+/// merged stations. At `tolerance = 0` the states are pinned bit-equal by
+/// the tracks, so the adoption rule is skipped and the default engine stays
+/// bit-identical to its committed artifacts.
+fn merge_converged_cohorts<P: FairProtocol>(
+    cohorts: &mut Vec<Cohort<P>>,
+    kernel: &mut CohortKernel,
+    tolerance: f64,
+) -> u64 {
+    let n = cohorts.len();
+    let (keys, order) = sorted_cohort_order(cohorts, kernel);
 
     // Walk the sorted order: the first cohort of each run is the class
     // representative; followers within `tolerance` on both tracks (and in
@@ -870,6 +927,9 @@ fn merge_converged_cohorts<P: FairProtocol>(
                 let (l, r) = cohorts.split_at_mut(representative);
                 (&mut r[0], &mut l[i])
             };
+            if tolerance > 0.0 && right.m > left.m {
+                std::mem::swap(&mut left.state, &mut right.state);
+            }
             left.m += right.m;
             left.groups.append(&mut right.groups);
             victim[i] = true;
@@ -889,6 +949,56 @@ fn merge_converged_cohorts<P: FairProtocol>(
             cohorts.swap_remove(i);
             kernel.swap_remove(i);
         }
+    }
+    merges
+}
+
+/// Bounded-class enforcement: force-merges the *nearest* same-phase classes
+/// until at most `cap` remain. Each round sorts the live classes by
+/// `(phase, tracks)`, measures the relative track divergence of every
+/// adjacent same-phase pair, and re-runs the merge scan at the smallest
+/// threshold that admits enough pairs to restore the cap — so the engine
+/// always spends its forced approximation on the classes that are already
+/// closest in law. Classes in distinct phases are never merged (their
+/// future schedules differ), so the reachable floor is the number of
+/// distinct live phases; if every class sits in its own phase the cap is
+/// left violated rather than corrupting the schedule. Returns the number of
+/// merges performed.
+fn enforce_class_cap<P: FairProtocol>(
+    cohorts: &mut Vec<Cohort<P>>,
+    kernel: &mut CohortKernel,
+    cap: usize,
+) -> u64 {
+    let mut merges = 0u64;
+    while cohorts.len() > cap {
+        let n = cohorts.len();
+        let (keys, order) = sorted_cohort_order(cohorts, kernel);
+        let mut gaps: Vec<f64> = order
+            .windows(2)
+            .filter(|pair| keys[pair[0]].0 == keys[pair[1]].0)
+            .map(|pair| kernel.track_divergence(pair[0], pair[1]))
+            .collect();
+        if gaps.is_empty() {
+            // Every live class is alone in its phase: nothing is mergeable.
+            break;
+        }
+        // The (n - cap)-th smallest adjacent divergence admits at least
+        // that many adjacent pairs; until the scan's first merge every
+        // failing follower becomes the next representative, so the first
+        // admitted adjacent pair always merges — each round strictly
+        // shrinks the class count.
+        gaps.sort_unstable_by(f64::total_cmp);
+        let need = (n - cap).min(gaps.len());
+        // One-ulp headroom: `relative_gap` is a quotient and `tracks_close`
+        // re-multiplies, so without the nudge the threshold pair can fail
+        // its own admission test and leave the cap violated by one. Zero
+        // gaps (bit-equal tracks) stay exactly zero.
+        let threshold = gaps[need - 1] * (1.0 + 4.0 * f64::EPSILON);
+        let merged = merge_converged_cohorts(cohorts, kernel, threshold);
+        if merged == 0 {
+            break;
+        }
+        merges += merged;
     }
     merges
 }
@@ -984,7 +1094,6 @@ mod tests {
             9,
             max_slots,
             &options,
-            0.0,
             LatencyRecorder::exact(k as usize),
         );
         while !core.is_finished() {
@@ -1114,6 +1223,7 @@ mod tests {
             let a = cohort(kind.clone()).run_schedule(&schedule, seed).unwrap();
             let b = cohort(kind.clone())
                 .with_merge_tolerance(0.05)
+                .unwrap()
                 .run_schedule(&schedule, 1_000 + seed)
                 .unwrap();
             assert!(a.result.completed && b.result.completed);
@@ -1135,6 +1245,107 @@ mod tests {
             "approximate merging drifted the makespan: {} vs {}",
             exact_tol.mean(),
             loose_tol.mean()
+        );
+    }
+
+    #[test]
+    fn invalid_merge_tolerances_are_typed_errors() {
+        for bad in [f64::NAN, f64::INFINITY, f64::NEG_INFINITY, -0.1] {
+            let err = cohort(ofa()).with_merge_tolerance(bad).unwrap_err();
+            assert_eq!(err.parameter(), "merge_tolerance", "{bad}");
+        }
+        // The run entry points validate options-borne tolerances too, so a
+        // hand-built RunOptions cannot smuggle a NaN past the builder.
+        let options = RunOptions {
+            merge_tolerance: f64::NAN,
+            ..RunOptions::default()
+        };
+        let err = CohortSimulator::new(ofa(), options).run(4, 0).unwrap_err();
+        assert_eq!(err.parameter(), "merge_tolerance");
+        // And the happy path still works.
+        assert!(cohort(ofa()).with_merge_tolerance(0.01).is_ok());
+    }
+
+    #[test]
+    fn class_cap_holds_under_sustained_poisson_arrivals() {
+        // Rate-2 Poisson over a long horizon explodes the unbounded
+        // engine's class count (one class per arrival slot while the
+        // backlog grows); the bounded mode must hold the live count at the
+        // cap throughout — `peak_cohorts` is recorded post-enforcement.
+        let model = ArrivalModel::Poisson {
+            rate: 2.0,
+            horizon: 2_000,
+        };
+        let schedule = model.sample(&mut Xoshiro256pp::seed_from_u64(21));
+        let options = RunOptions {
+            slot_cap_per_message: 0,
+            min_slot_cap: 2_000,
+            ..RunOptions::default()
+        };
+        let cap = 24u64;
+        let unbounded = CohortSimulator::new(ProtocolKind::KnownKOracle, options.clone())
+            .run_schedule(&schedule, 7)
+            .unwrap();
+        let bounded = CohortSimulator::new(ProtocolKind::KnownKOracle, options)
+            .with_max_live_cohorts(cap)
+            .run_schedule(&schedule, 7)
+            .unwrap();
+        assert!(
+            unbounded.peak_cohorts as u64 > cap,
+            "the scenario must actually stress the cap (peak {})",
+            unbounded.peak_cohorts
+        );
+        assert!(
+            bounded.peak_cohorts as u64 <= cap,
+            "bounded mode exceeded its cap: {} > {}",
+            bounded.peak_cohorts,
+            cap
+        );
+        assert!(bounded.merges > unbounded.merges);
+        // Accounting stays balanced under forced merges: every elapsed slot
+        // is a delivery, a collision or silence, complete or not.
+        assert_eq!(
+            bounded.result.delivered + bounded.result.collisions + bounded.result.silent_slots,
+            bounded.result.makespan
+        );
+    }
+
+    #[test]
+    fn randomized_parity_breaks_the_two_cohort_deadlock() {
+        // DESIGN.md §6: two One-fail Adaptive cohorts on opposite AT/BT
+        // parities jam every slot forever (the fresh cohort's σ = 0 BT rule
+        // transmits with probability 1). Stock OFA must stall on the
+        // odd-offset instance; the randomised-parity variant shares AT-steps
+        // on a constant fraction of slots and must drain it.
+        let schedule = ArrivalSchedule::new(
+            std::iter::repeat_n(0u64, 40)
+                .chain(std::iter::repeat_n(1u64, 40))
+                .collect(),
+        );
+        let options = RunOptions {
+            slot_cap_per_message: 0,
+            min_slot_cap: 100_000,
+            ..RunOptions::default()
+        };
+        let stock = CohortSimulator::new(ofa(), options.clone())
+            .run_schedule(&schedule, 2)
+            .unwrap();
+        assert!(
+            !stock.result.completed && stock.result.delivered == 0,
+            "stock One-fail Adaptive must deadlock on the odd-offset bursts \
+             (delivered {})",
+            stock.result.delivered
+        );
+        let randomized = CohortSimulator::new(
+            ProtocolKind::RandomizedParityOneFail { delta: 2.72 },
+            options,
+        )
+        .run_schedule(&schedule, 2)
+        .unwrap();
+        assert!(
+            randomized.result.completed,
+            "randomised parity must break the deadlock (delivered {} of 80)",
+            randomized.result.delivered
         );
     }
 

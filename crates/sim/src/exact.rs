@@ -22,7 +22,7 @@ use mac_prob::rng::{derive_seed, Xoshiro256pp};
 use mac_protocols::{
     ExpBackonBackoff, FairNode, KnownKOracle, LogFailsAdaptive, LogFailsConfig,
     LoglogIteratedBackoff, OneFailAdaptive, ParameterError, Protocol, ProtocolKind,
-    RExponentialBackoff, WindowNode,
+    RExponentialBackoff, RandomizedParityOneFail, WindowNode,
 };
 use rand::SeedableRng;
 use serde::{Deserialize, Serialize};
@@ -259,6 +259,16 @@ impl ExactSimulator {
                 let r = *r;
                 self.run_generic(
                     move || Ok(WindowNode::new(RExponentialBackoff::try_new(r)?)),
+                    &label,
+                    schedule,
+                    seed,
+                    jam_log,
+                )
+            }
+            ProtocolKind::RandomizedParityOneFail { delta } => {
+                let delta = *delta;
+                self.run_generic(
+                    move || Ok(FairNode::new(RandomizedParityOneFail::try_new(delta)?)),
                     &label,
                     schedule,
                     seed,

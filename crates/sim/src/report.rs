@@ -120,6 +120,13 @@ pub fn analysis_label(kind: &ProtocolKind) -> String {
         ProtocolKind::LoglogIteratedBackoff { .. } => "Θ(loglog k / logloglog k)".to_string(),
         ProtocolKind::RExponentialBackoff { .. } => "Θ(log_{log r} log k)".to_string(),
         ProtocolKind::KnownKOracle => format!("{:.2}", analysis::fair_protocol_optimal_ratio()),
+        // Same per-step rules and admissible δ range as One-fail Adaptive —
+        // only the AT/BT interleaving changes — so Theorem 1's linear
+        // factor carries over.
+        ProtocolKind::RandomizedParityOneFail { delta } => format!(
+            "{:.1}",
+            analysis::ofa_linear_factor(*delta).expect("validated earlier")
+        ),
     }
 }
 

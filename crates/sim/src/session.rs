@@ -50,13 +50,13 @@ use crate::dynamic::{DynamicReport, ARRIVAL_STREAM, RUN_STREAM};
 use crate::result::{RunOptions, RunResult};
 use crate::window::WindowEngineCore;
 use mac_adversary::{AdversaryModel, AdversaryScenario, FeedbackFault};
-use mac_channel::{ArrivalModel, ArrivalStream, ShardedArrivalStream};
+use mac_channel::{ArrivalModel, ArrivalStream, ShardStrategy, ShardedArrivalStream};
 use mac_prob::rng::derive_seed;
 use mac_prob::sketch::StreamingLatencyStats;
 use mac_prob::wire::{self, Decoder, Encoder, WireError};
 use mac_protocols::{
     KnownKOracle, LogFailsAdaptive, LogFailsConfig, OneFailAdaptive, ParameterError,
-    ProtocolFamily, ProtocolKind,
+    ProtocolFamily, ProtocolKind, RandomizedParityOneFail,
 };
 use std::fmt;
 use std::str::FromStr;
@@ -80,8 +80,11 @@ const SHARDED_MAGIC: u64 = 0x4D41_4353_4841_5244; // "MACSHARD"
 /// Checkpoint format version (bumped on any layout change).
 ///
 /// v1: PR 7 layout, no integrity frame. v2: integrity frame (length word +
-/// trailing digest) and watchdog / shard-health state.
-const CHECKPOINT_VERSION: u64 = 2;
+/// trailing digest) and watchdog / shard-health state. v3: cohort knobs
+/// (merge tolerance, live-class cap) in the options and the engine core,
+/// the randomised-parity protocol tag, and the shard-assignment strategy in
+/// sharded arrival streams.
+const CHECKPOINT_VERSION: u64 = 3;
 
 /// Words of frame overhead around a checkpoint payload: magic, version,
 /// total length, and the trailing digest.
@@ -633,6 +636,17 @@ impl BuildState<KnownKOracle> for KindFactory {
     }
 }
 
+impl BuildState<RandomizedParityOneFail> for KindFactory {
+    fn build(&self) -> Result<RandomizedParityOneFail, ParameterError> {
+        match &self.kind {
+            ProtocolKind::RandomizedParityOneFail { delta } => {
+                RandomizedParityOneFail::try_new(*delta)
+            }
+            _ => Err(factory_mismatch()),
+        }
+    }
+}
+
 fn factory_mismatch() -> ParameterError {
     ParameterError::new(
         "protocol",
@@ -781,6 +795,7 @@ enum EngineState {
     CohortOneFail(Box<CohortCore<OneFailAdaptive>>),
     CohortLogFails(Box<CohortCore<LogFailsAdaptive>>),
     CohortOracle(Box<CohortCore<KnownKOracle>>),
+    CohortRandomizedParity(Box<CohortCore<RandomizedParityOneFail>>),
 }
 
 /// Dispatches a read-only method over every engine variant.
@@ -794,6 +809,7 @@ macro_rules! on_engine {
             EngineState::CohortOneFail($core) => $body,
             EngineState::CohortLogFails($core) => $body,
             EngineState::CohortOracle($core) => $body,
+            EngineState::CohortRandomizedParity($core) => $body,
         }
     };
 }
@@ -946,6 +962,7 @@ impl Session {
         run_seed: u64,
         options: &RunOptions,
     ) -> Result<Self, SessionError> {
+        options.validate_cohort()?;
         // Same cap convention as the monolithic cohort runner: the
         // per-message budget is granted on top of the arrival horizon.
         let max_slots = options
@@ -960,19 +977,18 @@ impl Session {
             &[SKETCH_STREAM],
         )));
         let engine = match kind {
-            ProtocolKind::OneFailAdaptive { .. } => {
-                EngineState::CohortOneFail(Box::new(CohortEngineCore::new(
-                    feed, factory, k, run_seed, max_slots, options, 0.0, recorder,
-                )))
-            }
-            ProtocolKind::LogFailsAdaptive { .. } => {
-                EngineState::CohortLogFails(Box::new(CohortEngineCore::new(
-                    feed, factory, k, run_seed, max_slots, options, 0.0, recorder,
-                )))
-            }
-            ProtocolKind::KnownKOracle => {
-                EngineState::CohortOracle(Box::new(CohortEngineCore::new(
-                    feed, factory, k, run_seed, max_slots, options, 0.0, recorder,
+            ProtocolKind::OneFailAdaptive { .. } => EngineState::CohortOneFail(Box::new(
+                CohortEngineCore::new(feed, factory, k, run_seed, max_slots, options, recorder),
+            )),
+            ProtocolKind::LogFailsAdaptive { .. } => EngineState::CohortLogFails(Box::new(
+                CohortEngineCore::new(feed, factory, k, run_seed, max_slots, options, recorder),
+            )),
+            ProtocolKind::KnownKOracle => EngineState::CohortOracle(Box::new(
+                CohortEngineCore::new(feed, factory, k, run_seed, max_slots, options, recorder),
+            )),
+            ProtocolKind::RandomizedParityOneFail { .. } => {
+                EngineState::CohortRandomizedParity(Box::new(CohortEngineCore::new(
+                    feed, factory, k, run_seed, max_slots, options, recorder,
                 )))
             }
             _ => unreachable!("family checked by the caller"),
@@ -1141,6 +1157,9 @@ impl Session {
             EngineState::CohortOracle(core) => {
                 core.advance(max_slots)?;
             }
+            EngineState::CohortRandomizedParity(core) => {
+                core.advance(max_slots)?;
+            }
         }
         Ok(())
     }
@@ -1227,6 +1246,7 @@ impl Session {
             EngineState::CohortOneFail(core) => core.run_snapshot(&label).result,
             EngineState::CohortLogFails(core) => core.run_snapshot(&label).result,
             EngineState::CohortOracle(core) => core.run_snapshot(&label).result,
+            EngineState::CohortRandomizedParity(core) => core.run_snapshot(&label).result,
         }
     }
 
@@ -1237,6 +1257,7 @@ impl Session {
             EngineState::CohortOneFail(core) => Some(core.run_snapshot(&label)),
             EngineState::CohortLogFails(core) => Some(core.run_snapshot(&label)),
             EngineState::CohortOracle(core) => Some(core.run_snapshot(&label)),
+            EngineState::CohortRandomizedParity(core) => Some(core.run_snapshot(&label)),
             _ => None,
         }
     }
@@ -1303,6 +1324,11 @@ impl Session {
             }
             EngineState::CohortOracle(core) => {
                 out.put_u32(6);
+                encode_cohort_prefix(core, &mut out);
+                core.encode(&mut out)
+            }
+            EngineState::CohortRandomizedParity(core) => {
+                out.put_u32(7);
                 encode_cohort_prefix(core, &mut out);
                 core.encode(&mut out)
             }
@@ -1381,7 +1407,7 @@ impl Session {
                     &mut input, schedule, &scenario,
                 )?))
             }
-            tag @ (4..=6) => {
+            tag @ (4..=7) => {
                 let k = input.take_u64()?;
                 let feed = StreamFeed::decode(&mut input)?;
                 let factory = KindFactory {
@@ -1395,7 +1421,10 @@ impl Session {
                     5 => EngineState::CohortLogFails(Box::new(CohortEngineCore::decode(
                         &mut input, feed, factory, &scenario,
                     )?)),
-                    _ => EngineState::CohortOracle(Box::new(CohortEngineCore::decode(
+                    6 => EngineState::CohortOracle(Box::new(CohortEngineCore::decode(
+                        &mut input, feed, factory, &scenario,
+                    )?)),
+                    _ => EngineState::CohortRandomizedParity(Box::new(CohortEngineCore::decode(
                         &mut input, feed, factory, &scenario,
                     )?)),
                 }
@@ -1458,6 +1487,10 @@ fn encode_kind(kind: &ProtocolKind, out: &mut Encoder) {
             out.put_f64(*r);
         }
         ProtocolKind::KnownKOracle => out.put_u32(5),
+        ProtocolKind::RandomizedParityOneFail { delta } => {
+            out.put_u32(6);
+            out.put_f64(*delta);
+        }
     }
 }
 
@@ -1481,6 +1514,9 @@ fn decode_kind(input: &mut Decoder<'_>) -> Result<ProtocolKind, WireError> {
             r: input.take_f64()?,
         },
         5 => ProtocolKind::KnownKOracle,
+        6 => ProtocolKind::RandomizedParityOneFail {
+            delta: input.take_f64()?,
+        },
         _ => return Err(WireError::Malformed("unknown protocol kind tag")),
     })
 }
@@ -1497,6 +1533,8 @@ fn encode_options(options: &RunOptions, out: &mut Encoder) {
     out.put_str(&options.adversary.jamming.to_string());
     out.put_f64(options.adversary.feedback.confuse_collision_empty);
     out.put_f64(options.adversary.feedback.miss_delivery);
+    out.put_f64(options.merge_tolerance);
+    out.put_u64(options.max_live_cohorts);
 }
 
 fn decode_options(input: &mut Decoder<'_>) -> Result<RunOptions, WireError> {
@@ -1507,6 +1545,8 @@ fn decode_options(input: &mut Decoder<'_>) -> Result<RunOptions, WireError> {
         .map_err(|_| WireError::Malformed("unparseable jamming model config"))?;
     let confuse_collision_empty = input.take_f64()?;
     let miss_delivery = input.take_f64()?;
+    let merge_tolerance = input.take_f64()?;
+    let max_live_cohorts = input.take_u64()?;
     Ok(RunOptions {
         slot_cap_per_message,
         min_slot_cap,
@@ -1518,6 +1558,8 @@ fn decode_options(input: &mut Decoder<'_>) -> Result<RunOptions, WireError> {
                 miss_delivery,
             },
         },
+        merge_tolerance,
+        max_live_cohorts,
     })
 }
 
@@ -1640,12 +1682,36 @@ impl ShardedSession {
         options: &RunOptions,
         shards: u32,
     ) -> Result<Self, SessionError> {
+        Self::with_strategy(kind, model, seed, options, shards, ShardStrategy::Uniform)
+    }
+
+    /// [`ShardedSession::new`] with an explicit message→shard assignment
+    /// strategy. Skewed strategies ([`ShardStrategy::HotShard`]) model a
+    /// hot channel: the union over shards is still exactly the
+    /// single-channel arrival sequence — only the per-shard load changes.
+    ///
+    /// # Errors
+    /// As for [`ShardedSession::new`], plus [`SessionError::Unsupported`]
+    /// for out-of-range strategy parameters.
+    pub fn with_strategy(
+        kind: &ProtocolKind,
+        model: &ArrivalModel,
+        seed: u64,
+        options: &RunOptions,
+        shards: u32,
+        strategy: ShardStrategy,
+    ) -> Result<Self, SessionError> {
         if shards == 0 {
             return Err(SessionError::Unsupported("shard count must be positive"));
         }
         if kind.family() != ProtocolFamily::Fair {
             return Err(SessionError::Unsupported(
                 "sharded sessions serve fair protocols on the cohort engine",
+            ));
+        }
+        if !strategy.is_valid() {
+            return Err(SessionError::Unsupported(
+                "shard strategy parameters out of range",
             ));
         }
         options.validate_adversary()?;
@@ -1655,11 +1721,12 @@ impl ShardedSession {
         for shard in 0..shards {
             // Counting pre-pass: the cohort engine's state factories (and
             // the slot cap) need the shard's message count up front.
-            let mut counter = ShardedArrivalStream::new(
+            let mut counter = ShardedArrivalStream::with_strategy(
                 ArrivalStream::new(model, arrival_seed),
                 salt,
                 shard,
                 shards,
+                strategy,
             );
             let mut k = 0u64;
             let mut last_arrival = None;
@@ -1667,11 +1734,12 @@ impl ShardedSession {
                 k += count;
                 last_arrival = Some(slot);
             }
-            let stream = ShardedArrivalStream::new(
+            let stream = ShardedArrivalStream::with_strategy(
                 ArrivalStream::new(model, arrival_seed),
                 salt,
                 shard,
                 shards,
+                strategy,
             );
             let run_seed = derive_seed(seed, &[SHARD_STREAM, u64::from(shard)]);
             sessions.push(Session::dynamic_on_feed(

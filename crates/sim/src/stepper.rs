@@ -38,7 +38,7 @@ use mac_prob::rng::Xoshiro256pp;
 use mac_protocols::{
     ExpBackonBackoff, FairNode, KnownKOracle, LogFailsAdaptive, LogFailsConfig,
     LoglogIteratedBackoff, OneFailAdaptive, ParameterError, Protocol, ProtocolKind,
-    RExponentialBackoff, WindowNode,
+    RExponentialBackoff, RandomizedParityOneFail, WindowNode,
 };
 use rand::SeedableRng;
 use std::fmt;
@@ -298,6 +298,12 @@ impl ExactStepper {
             )),
             ProtocolKind::RExponentialBackoff { r } => Box::new(Core::new(
                 WindowNode::new(RExponentialBackoff::try_new(*r)?),
+                k,
+                seed,
+                options,
+            )),
+            ProtocolKind::RandomizedParityOneFail { delta } => Box::new(Core::new(
+                FairNode::new(RandomizedParityOneFail::try_new(*delta)?),
                 k,
                 seed,
                 options,

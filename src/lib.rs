@@ -52,11 +52,13 @@ pub use mac_sim as sim;
 /// The most commonly used items, importable with a single `use`.
 pub mod prelude {
     pub use crate::adversary::{AdversaryModel, AdversaryScenario, FeedbackFault, JamTrigger};
-    pub use crate::channel::{ArrivalModel, ArrivalSchedule, Channel, ChannelModel, Observation};
+    pub use crate::channel::{
+        ArrivalModel, ArrivalSchedule, Channel, ChannelModel, Observation, ShardStrategy,
+    };
     pub use crate::protocols::{
         analysis, ExpBackonBackoff, FairProtocol, KnownKOracle, LogFailsAdaptive, LogFailsConfig,
         LoglogIteratedBackoff, OneFailAdaptive, Protocol, ProtocolKind, RExponentialBackoff,
-        WindowSchedule,
+        RandomizedParityOneFail, WindowSchedule,
     };
     pub use crate::sim::dynamic::{simulate_dynamic, DynamicReport};
     pub use crate::sim::report::{figure1_series, table1_markdown, to_csv};
